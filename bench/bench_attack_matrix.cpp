@@ -1,0 +1,42 @@
+// Experiment CM-EXPLOIT: the attack/defense matrix (the paper's central
+// qualitative "table"), plus the end-to-end cost of mounting each attack.
+#include <benchmark/benchmark.h>
+
+#include "core/attack_lab.hpp"
+#include "core/matrix.hpp"
+
+namespace {
+
+using namespace swsec::core;
+
+void BM_Attack(benchmark::State& state) {
+    const AttackKind kind = all_attacks()[static_cast<std::size_t>(state.range(0))];
+    const Defense defense = state.range(1) == 0 ? Defense::none() : Defense::standard_hardening();
+    state.SetLabel(attack_name(kind) + " vs " + defense.name);
+    bool succeeded = false;
+    for (auto _ : state) {
+        const auto out = run_attack(kind, defense);
+        succeeded = out.succeeded;
+        benchmark::DoNotOptimize(out);
+    }
+    state.counters["attack_succeeded"] = succeeded ? 1 : 0;
+}
+BENCHMARK(BM_Attack)->ArgsProduct({{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, {0, 1}});
+
+void BM_FullMatrix(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(run_matrix());
+    }
+}
+BENCHMARK(BM_FullMatrix)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::printf("Attack/defense matrix (YES = attack achieved its goal):\n\n%s\n",
+                format_matrix(run_matrix()).c_str());
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

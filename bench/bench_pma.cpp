@@ -1,0 +1,168 @@
+// Experiment FIG2/3: cost of protected-module boundary crossings and of the
+// PMA access-control checks.
+//
+// Table 1: instructions per call for (a) a plain in-process function,
+// (b) an insecurely-compiled module entry, (c) a securely-compiled entry
+// (stack switch + argument marshalling + register scrubbing).
+// Table 2: execution slowdown of an ordinary workload as protected modules
+// are added to the machine (every access consults the module ranges).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cc/compiler.hpp"
+#include "os/process.hpp"
+#include "pma/loader.hpp"
+#include "pma/module.hpp"
+
+namespace {
+
+using namespace swsec;
+
+const char* kModuleSrc = R"(
+    static int tries_left = 3;
+    static int PIN = 1234;
+    static int secret = 666;
+    int get_secret(int provided_pin) {
+      if (tries_left > 0) {
+        if (PIN == provided_pin) { tries_left = 3; return secret; }
+        else { tries_left = tries_left - 1; return 0; }
+      } else { return 0; }
+    }
+)";
+
+const char* kCallLoop = R"(
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 1000; i = i + 1) { acc = acc + get_secret(1234); }
+      return acc & 255;
+    }
+)";
+
+cc::ExternEnv gs_externs() {
+    cc::ExternEnv e;
+    e["get_secret"] = cc::Type::func(cc::Type::int_type(), {cc::Type::int_type()});
+    return e;
+}
+
+std::uint64_t steps_plain() {
+    const std::string host = std::string(kModuleSrc) + kCallLoop;
+    os::Process p(cc::compile_program({host}, cc::CompilerOptions::none()),
+                  os::SecurityProfile::none(), 3);
+    return p.run(100'000'000).steps;
+}
+
+struct ModuleRig {
+    objfmt::Image module_img;
+    pma::ModulePlacement place;
+    os::Process process;
+    pma::LoadedModule module;
+
+    explicit ModuleRig(pma::ModuleSecurity sec)
+        : module_img(pma::build_module(kModuleSrc, sec, "secret")),
+          process(cc::compile_program_with_objects(
+                      {kCallLoop}, cc::CompilerOptions::none(),
+                      {pma::make_import_stubs(module_img, place, {"get_secret"})}, gs_externs()),
+                  os::SecurityProfile::none(), 3),
+          module(pma::load_module(process.machine(), module_img, place, "secret", true)) {}
+};
+
+std::uint64_t steps_module(pma::ModuleSecurity sec) {
+    ModuleRig rig(sec);
+    return rig.process.run(100'000'000).steps;
+}
+
+void print_crossing_table() {
+    const std::uint64_t plain = steps_plain();
+    const std::uint64_t insecure = steps_module(pma::ModuleSecurity::Insecure);
+    const std::uint64_t secure = steps_module(pma::ModuleSecurity::Secure);
+    std::printf("Boundary-crossing cost, 1000 get_secret() calls (instructions):\n\n");
+    std::printf("  %-28s %10llu   (baseline)\n", "plain in-process call",
+                static_cast<unsigned long long>(plain));
+    std::printf("  %-28s %10llu   (%+.1f insns/call)\n", "PMA entry (naive module)",
+                static_cast<unsigned long long>(insecure),
+                (static_cast<double>(insecure) - static_cast<double>(plain)) / 1000.0);
+    std::printf("  %-28s %10llu   (%+.1f insns/call)\n", "PMA entry (secure compile)",
+                static_cast<unsigned long long>(secure),
+                (static_cast<double>(secure) - static_cast<double>(plain)) / 1000.0);
+    std::printf("\n");
+}
+
+void print_check_overhead_table() {
+    std::printf("Access-check overhead vs. number of registered protected modules\n");
+    std::printf("(fib(14) wall-clock-free metric: simulated instructions are constant;\n");
+    std::printf("the hardware cost shows up in host simulation time below):\n\n");
+    const auto img = cc::compile_program(
+        {"int fib(int n){ if(n<2){return n;} return fib(n-1)+fib(n-2);} int main(){return fib(14);}"},
+        cc::CompilerOptions::none());
+    for (const int modules : {0, 1, 2, 4, 8}) {
+        os::Process p(img, os::SecurityProfile::none(), 5);
+        for (int m = 0; m < modules; ++m) {
+            vm::ProtectedModule pm;
+            pm.name = "dummy" + std::to_string(m);
+            pm.code_base = 0x70000000 + static_cast<std::uint32_t>(m) * 0x10000;
+            pm.code_size = 0x1000;
+            pm.data_base = pm.code_base + 0x2000;
+            pm.data_size = 0x1000;
+            p.machine().memory().map(pm.code_base, pm.code_size, vm::Perm::RX);
+            p.machine().memory().map(pm.data_base, pm.data_size, vm::Perm::RW);
+            p.machine().add_protected_module(pm);
+        }
+        const auto r = p.run(100'000'000);
+        std::printf("  %d module(s): %llu instructions, trap=%s\n", modules,
+                    static_cast<unsigned long long>(r.steps), vm::trap_name(r.trap.kind).c_str());
+    }
+    std::printf("\n");
+}
+
+void BM_PlainCallLoop(benchmark::State& state) {
+    const std::string host = std::string(kModuleSrc) + kCallLoop;
+    const auto img = cc::compile_program({host}, cc::CompilerOptions::none());
+    for (auto _ : state) {
+        os::Process p(img, os::SecurityProfile::none(), 3);
+        benchmark::DoNotOptimize(p.run(100'000'000));
+    }
+}
+BENCHMARK(BM_PlainCallLoop)->Unit(benchmark::kMillisecond);
+
+void BM_ModuleCallLoop(benchmark::State& state) {
+    const auto sec = state.range(0) == 0 ? pma::ModuleSecurity::Insecure
+                                         : pma::ModuleSecurity::Secure;
+    state.SetLabel(state.range(0) == 0 ? "insecure-module" : "secure-module");
+    for (auto _ : state) {
+        ModuleRig rig(sec);
+        benchmark::DoNotOptimize(rig.process.run(100'000'000));
+    }
+}
+BENCHMARK(BM_ModuleCallLoop)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_CheckOverheadVsModules(benchmark::State& state) {
+    const auto img = cc::compile_program(
+        {"int fib(int n){ if(n<2){return n;} return fib(n-1)+fib(n-2);} int main(){return fib(14);}"},
+        cc::CompilerOptions::none());
+    const int modules = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        os::Process p(img, os::SecurityProfile::none(), 5);
+        for (int m = 0; m < modules; ++m) {
+            vm::ProtectedModule pm;
+            pm.code_base = 0x70000000 + static_cast<std::uint32_t>(m) * 0x10000;
+            pm.code_size = 0x1000;
+            pm.data_base = pm.code_base + 0x2000;
+            pm.data_size = 0x1000;
+            p.machine().add_protected_module(pm);
+        }
+        benchmark::DoNotOptimize(p.run(100'000'000));
+    }
+}
+BENCHMARK(BM_CheckOverheadVsModules)->Arg(0)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_crossing_table();
+    print_check_overhead_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,159 @@
+// Experiment FIG4: cost of the secure-compilation scheme (Section IV-B) —
+// entry stubs, argument marshalling across the protection boundary,
+// function-pointer sanitisation, out-call re-entry and register scrubbing.
+//
+// Ablation: entry cost as a function of argument count, and the round-trip
+// cost of an out-call (module -> host callback -> module).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cc/compiler.hpp"
+#include "os/process.hpp"
+#include "pma/loader.hpp"
+#include "pma/module.hpp"
+
+namespace {
+
+using namespace swsec;
+
+/// Module with exported functions of increasing arity.
+const char* kArityModule = R"(
+    int f0() { return 1; }
+    int f1(int a) { return a; }
+    int f2(int a, int b) { return a + b; }
+    int f4(int a, int b, int c, int d) { return a + b + c + d; }
+)";
+
+/// Fig. 4 module for the out-call round trip.
+const char* kCallbackModule = R"(
+    static int calls = 0;
+    int ping(int get_value()) {
+      calls = calls + 1;
+      return get_value() + 1;
+    }
+)";
+
+cc::ExternEnv arity_externs() {
+    cc::ExternEnv e;
+    const auto i = cc::Type::int_type();
+    e["f0"] = cc::Type::func(i, {});
+    e["f1"] = cc::Type::func(i, {i});
+    e["f2"] = cc::Type::func(i, {i, i});
+    e["f4"] = cc::Type::func(i, {i, i, i, i});
+    return e;
+}
+
+std::uint64_t entry_steps(pma::ModuleSecurity sec, const std::string& call_expr) {
+    const auto img = pma::build_module(kArityModule, sec, "arity");
+    const pma::ModulePlacement place;
+    const std::string host =
+        "int main() { int acc = 0; for (int i = 0; i < 500; i = i + 1) { acc = acc + " +
+        call_expr + "; } return acc & 255; }";
+    os::Process p(cc::compile_program_with_objects(
+                      {host}, cc::CompilerOptions::none(),
+                      {pma::make_import_stubs(img, place, {"f0", "f1", "f2", "f4"})},
+                      arity_externs()),
+                  os::SecurityProfile::none(), 3);
+    (void)pma::load_module(p.machine(), img, place, "arity", true);
+    return p.run(100'000'000).steps;
+}
+
+void print_arity_table() {
+    std::printf("Entry-stub cost vs. argument count (500 calls; secure - naive =\n");
+    std::printf("marshalling + stack switch + scrubbing per call):\n\n");
+    std::printf("  %-10s %12s %12s %14s\n", "callee", "naive", "secure", "delta/call");
+    const struct {
+        const char* label;
+        const char* expr;
+    } cases[] = {
+        {"f0()", "f0()"},
+        {"f1(1)", "f1(1)"},
+        {"f2(1,2)", "f2(1, 2)"},
+        {"f4(1..4)", "f4(1, 2, 3, 4)"},
+    };
+    for (const auto& c : cases) {
+        const std::uint64_t naive = entry_steps(pma::ModuleSecurity::Insecure, c.expr);
+        const std::uint64_t secure = entry_steps(pma::ModuleSecurity::Secure, c.expr);
+        std::printf("  %-10s %12llu %12llu %+13.1f\n", c.label,
+                    static_cast<unsigned long long>(naive),
+                    static_cast<unsigned long long>(secure),
+                    (static_cast<double>(secure) - static_cast<double>(naive)) / 500.0);
+    }
+    std::printf("\n");
+}
+
+std::uint64_t outcall_steps() {
+    const auto img = pma::build_module(kCallbackModule, pma::ModuleSecurity::Secure, "cbmod");
+    const pma::ModulePlacement place;
+    cc::ExternEnv ext;
+    ext["ping"] = cc::Type::func(cc::Type::int_type(),
+                                 {cc::Type::ptr_to(cc::Type::func(cc::Type::int_type(), {}))});
+    const char* host = R"(
+        int give_seven() { return 7; }
+        int main() {
+          int acc = 0;
+          for (int i = 0; i < 500; i = i + 1) { acc = acc + ping(give_seven); }
+          return acc & 255;
+        }
+    )";
+    os::Process p(cc::compile_program_with_objects(
+                      {host}, cc::CompilerOptions::none(),
+                      {pma::make_import_stubs(img, place, {"ping"})}, ext),
+                  os::SecurityProfile::none(), 3);
+    (void)pma::load_module(p.machine(), img, place, "cbmod", true);
+    const auto r = p.run(100'000'000);
+    if (r.trap.kind != vm::TrapKind::Exit) {
+        std::fprintf(stderr, "outcall loop failed: %s\n", r.trap.to_string().c_str());
+    }
+    return r.steps;
+}
+
+void print_outcall_cost() {
+    std::printf("Out-call round trip (entry + sanitise + marshal + re-entry), 500\n");
+    std::printf("module->host callback round trips: %llu instructions total\n\n",
+                static_cast<unsigned long long>(outcall_steps()));
+}
+
+void BM_SecureEntry(benchmark::State& state) {
+    const auto img = pma::build_module(kArityModule, pma::ModuleSecurity::Secure, "arity");
+    const pma::ModulePlacement place;
+    const char* host = "int main() { int acc = 0; for (int i = 0; i < 500; i = i + 1) "
+                       "{ acc = acc + f2(i, i); } return acc & 255; }";
+    for (auto _ : state) {
+        os::Process p(cc::compile_program_with_objects(
+                          {host}, cc::CompilerOptions::none(),
+                          {pma::make_import_stubs(img, place, {"f0", "f1", "f2", "f4"})},
+                          arity_externs()),
+                      os::SecurityProfile::none(), 3);
+        (void)pma::load_module(p.machine(), img, place, "arity", true);
+        benchmark::DoNotOptimize(p.run(100'000'000));
+    }
+}
+BENCHMARK(BM_SecureEntry)->Unit(benchmark::kMillisecond);
+
+void BM_OutcallRoundTrip(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(outcall_steps());
+    }
+}
+BENCHMARK(BM_OutcallRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_BuildSecureModule(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pma::build_module(kArityModule, pma::ModuleSecurity::Secure, "arity"));
+    }
+}
+BENCHMARK(BM_BuildSecureModule);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_arity_table();
+    print_outcall_cost();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

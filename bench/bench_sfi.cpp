@@ -1,0 +1,102 @@
+// Experiment SFI: cost of software fault isolation (Section IV-A) — the
+// load-time rewrite/verify pass and the run-time masking overhead on the
+// sandboxed module's stores.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "assembler/linker.hpp"
+#include "cc/compiler.hpp"
+#include "os/process.hpp"
+#include "pma/loader.hpp"
+#include "sfi/sfi.hpp"
+
+namespace {
+
+using namespace swsec;
+
+const char* kCodecModule = R"(
+    static int pixels[64];
+
+    int transform(int rounds) {
+      int acc = 0;
+      for (int r = 0; r < rounds; r = r + 1) {
+        for (int i = 0; i < 64; i = i + 1) {
+          pixels[i] = pixels[i] * 31 + i + r;   /* store-heavy kernel */
+        }
+        acc = acc + pixels[63];
+      }
+      return acc;
+    }
+)";
+
+std::uint64_t run_sandboxed(bool sandboxed) {
+    const sfi::SandboxPolicy policy;
+    cc::ExternEnv ext;
+    ext["sfi_transform"] = cc::Type::func(cc::Type::int_type(), {cc::Type::int_type()});
+    ext["transform"] = cc::Type::func(cc::Type::int_type(), {cc::Type::int_type()});
+    if (sandboxed) {
+        const auto obj = sfi::sandbox_minic_unit(kCodecModule, policy, "codec");
+        const std::vector<objfmt::ObjectFile> objs = {obj};
+        const auto module_img = assembler::link(objs);
+        const pma::ModulePlacement place{0x58000000, policy.data_base};
+        os::Process p(cc::compile_program_with_objects(
+                          {"int main() { return sfi_transform(20) & 255; }"},
+                          cc::CompilerOptions::none(),
+                          {pma::make_import_stubs(module_img, place, {"sfi_transform"})}, ext),
+                      os::SecurityProfile::none(), 5);
+        (void)pma::load_module(p.machine(), module_img, place, "codec", false);
+        return p.run(100'000'000).steps;
+    }
+    const std::string host = std::string(kCodecModule) +
+                             "\nint main() { return transform(20) & 255; }";
+    os::Process p(cc::compile_program({host}, cc::CompilerOptions::none()),
+                  os::SecurityProfile::none(), 5);
+    return p.run(100'000'000).steps;
+}
+
+void print_masking_overhead() {
+    const std::uint64_t direct = run_sandboxed(false);
+    const std::uint64_t sandboxed = run_sandboxed(true);
+    std::printf("Store-masking overhead on a store-heavy kernel (instructions):\n");
+    std::printf("  direct   : %llu\n", static_cast<unsigned long long>(direct));
+    std::printf("  sandboxed: %llu  (%+.1f%%)\n\n", static_cast<unsigned long long>(sandboxed),
+                100.0 * (static_cast<double>(sandboxed) / static_cast<double>(direct) - 1.0));
+}
+
+void BM_RewriteAndVerify(benchmark::State& state) {
+    const sfi::SandboxPolicy policy;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sfi::sandbox_minic_unit(kCodecModule, policy, "codec"));
+    }
+}
+BENCHMARK(BM_RewriteAndVerify);
+
+void BM_VerifyOnly(benchmark::State& state) {
+    const sfi::SandboxPolicy policy;
+    const auto obj = sfi::sandbox_minic_unit(kCodecModule, policy, "codec");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sfi::verify_object(obj, policy));
+    }
+    state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(obj.text.size()));
+}
+BENCHMARK(BM_VerifyOnly);
+
+void BM_SandboxedRun(benchmark::State& state) {
+    const bool sandboxed = state.range(0) == 1;
+    state.SetLabel(sandboxed ? "sandboxed" : "direct");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(run_sandboxed(sandboxed));
+    }
+}
+BENCHMARK(BM_SandboxedRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_masking_overhead();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

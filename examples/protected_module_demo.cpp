@@ -1,0 +1,154 @@
+// The machine-code attacker of Section IV against the Fig. 2 secret module:
+//   1. without a PMA, a kernel-level memory scraper steals the PIN and the
+//      secret straight out of memory;
+//   2. with the PMA's three access rules, both in-process and kernel-level
+//      access is refused;
+//   3. the Fig. 4 function-pointer variant: entry-point abuse works against
+//      naive compilation and is stopped by the secure compiler's pointer
+//      sanitisation;
+//   4. remote attestation: the genuine module attests, an OS-tampered one
+//      cannot.
+#include <cstdio>
+
+#include "attacks/scraper.hpp"
+#include "attest/attestation.hpp"
+#include "cc/compiler.hpp"
+#include "os/process.hpp"
+#include "pma/loader.hpp"
+#include "pma/module.hpp"
+
+namespace {
+
+const char* kSecretModule = R"(
+    static int tries_left = 3;
+    static int PIN = 1234;
+    static int secret = 666;
+
+    int get_secret(int provided_pin) {
+      if (tries_left > 0) {
+        if (PIN == provided_pin) { tries_left = 3; return secret; }
+        else { tries_left = tries_left - 1; return 0; }
+      } else { return 0; }
+    }
+)";
+
+const char* kSecretModuleFnPtr = R"(
+    static int tries_left = 3;
+    static int PIN = 1234;
+    static int secret = 666;
+
+    int get_secret(int get_pin()) {
+      if (tries_left > 0) {
+        if (PIN == get_pin()) { tries_left = 3; return secret; }
+        else { tries_left = tries_left - 1; return 0; }
+      } else { return 0; }
+    }
+)";
+
+} // namespace
+
+int main() {
+    using namespace swsec;
+    using pma::ModulePlacement;
+    using pma::ModuleSecurity;
+
+    std::puts("=== Part 1: memory scraping (Fig. 2) ===\n");
+    for (const bool protect : {false, true}) {
+        const auto img = pma::build_module(kSecretModule, ModuleSecurity::Insecure, "secret");
+        cc::ExternEnv ext;
+        ext["get_secret"] = cc::Type::func(cc::Type::int_type(), {cc::Type::int_type()});
+        const ModulePlacement place;
+        os::Process p(cc::compile_program_with_objects(
+                          {"int main() { return get_secret(1111); }"}, cc::CompilerOptions::none(),
+                          {pma::make_import_stubs(img, place, {"get_secret"})}, ext),
+                      os::SecurityProfile::none(), 7);
+        const auto mod = pma::load_module(p.machine(), img, place, "secret", protect);
+        (void)p.run();
+
+        // OS-level malware scans all of memory for candidate PINs [3].
+        const auto hits = attacks::kernel_scrape(p.machine(), 1234);
+        std::printf("PMA %-9s kernel scraper looking for the PIN: %zu hit(s)%s\n",
+                    protect ? "enabled:" : "disabled:", hits.size(),
+                    hits.empty() ? "  -> the secret module is opaque" : "  -> PIN stolen");
+        std::uint32_t direct = 0;
+        const bool readable = p.machine().kernel_read32(mod.addr_of("PIN$secret"), direct);
+        std::printf("            direct kernel read of PIN cell: %s\n\n",
+                    readable ? "succeeded (!!)" : "refused by the access-control hardware");
+    }
+
+    std::puts("=== Part 2: entry-point abuse (Fig. 4) and secure compilation ===\n");
+    for (const ModuleSecurity sec : {ModuleSecurity::Insecure, ModuleSecurity::Secure}) {
+        const auto img = pma::build_module(kSecretModuleFnPtr, sec, "secret");
+        const ModulePlacement place;
+        // Find the "tries_left = 3" gadget in the module binary (public).
+        vm::Machine scratch;
+        const auto probe = pma::load_module(scratch, img, place, "secret", false);
+        const std::uint32_t tries_addr = probe.addr_of("tries_left$secret");
+        std::uint32_t gadget = 0;
+        for (std::uint32_t a = place.code_base;
+             a + 10 < place.code_base + static_cast<std::uint32_t>(img.text.size()); ++a) {
+            if (scratch.memory().raw_read8(a) == 0xb8 &&
+                scratch.memory().raw_read8(a + 1) == 0x00 &&
+                scratch.memory().raw_read32(a + 2) == tries_addr &&
+                scratch.memory().raw_read8(a + 6) == 0x50) {
+                gadget = a;
+                break;
+            }
+        }
+        cc::ExternEnv ext;
+        ext["get_secret"] = cc::Type::func(cc::Type::int_type(), {cc::Type::int_type()});
+        const std::string host = "int main() { return get_secret(" + std::to_string(gadget) +
+                                 "); } /* a pointer INTO the module as the callback */";
+        os::Process p(cc::compile_program_with_objects(
+                          {host}, cc::CompilerOptions::none(),
+                          {pma::make_import_stubs(img, place, {"get_secret"})}, ext),
+                      os::SecurityProfile::none(), 7);
+        (void)pma::load_module(p.machine(), img, place, "secret", true);
+        const auto r = p.run();
+        if (sec == ModuleSecurity::Insecure) {
+            std::printf("naive compilation:  attacker got r0 = %d %s\n",
+                        r.trap.code, r.trap.code == 666 ? "(the secret, without the PIN!)" : "");
+        } else {
+            std::printf("secure compilation: %s (pointer sanitisation aborted the call)\n\n",
+                        r.trap.to_string().c_str());
+        }
+    }
+
+    std::puts("=== Part 3: remote attestation ===\n");
+    const char* attesting = R"(
+        int do_attest(char* nonce, char* mac) { __attest(nonce, mac); return 0; }
+    )";
+    for (const bool tampered : {false, true}) {
+        auto img = pma::build_module(attesting, ModuleSecurity::Secure, "att");
+        const auto genuine_meas = pma::measure_module(img, ModulePlacement{});
+        if (tampered) {
+            img.text.back() ^= 0x01; // the OS patches the module before load
+        }
+        cc::ExternEnv ext;
+        const auto cp = cc::Type::ptr_to(cc::Type::char_type());
+        ext["do_attest"] = cc::Type::func(cc::Type::int_type(), {cp, cp});
+        const ModulePlacement place;
+        const char* host = R"(
+            char nonce[16];
+            char mac[32];
+            int main() { read(0, nonce, 16); do_attest(nonce, mac); write(1, mac, 32); return 0; }
+        )";
+        os::Process p(cc::compile_program_with_objects(
+                          {host}, cc::CompilerOptions::none(),
+                          {pma::make_import_stubs(img, place, {"do_attest"})}, ext),
+                      os::SecurityProfile::none(), 9);
+        attest::AttestationEngine engine(0xfab);
+        const auto mod = pma::load_module(p.machine(), img, place, "att", true);
+        engine.register_module(mod.machine_index, mod.measurement);
+        p.kernel().set_extension(&engine);
+
+        attest::Verifier verifier(engine.module_key(genuine_meas), 77);
+        const auto nonce = verifier.fresh_nonce();
+        p.feed_input(std::span<const std::uint8_t>(nonce));
+        (void)p.run();
+        const auto mac = p.output_bytes(1);
+        std::printf("%s module: attestation %s\n", tampered ? "tampered" : "genuine ",
+                    verifier.check(nonce, mac) ? "VERIFIED" : "REJECTED");
+    }
+    return 0;
+}

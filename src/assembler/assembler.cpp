@@ -1,0 +1,709 @@
+#include "assembler/assembler.hpp"
+
+#include <cctype>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "isa/encoder.hpp"
+#include "isa/isa.hpp"
+
+namespace swsec::assembler {
+
+namespace {
+
+using isa::Op;
+using isa::Reg;
+using objfmt::ObjectFile;
+using objfmt::Reloc;
+using objfmt::RelocKind;
+using objfmt::SectionKind;
+using objfmt::Symbol;
+
+// ---------------------------------------------------------------------------
+// Operand model
+// ---------------------------------------------------------------------------
+
+struct SymRef {
+    std::string name;
+    std::int32_t addend = 0;
+};
+
+struct Operand {
+    enum class Kind { Reg, Imm, Sym, Mem } kind = Kind::Imm;
+    Reg reg = Reg::R0;       // Kind::Reg
+    std::int32_t imm = 0;    // Kind::Imm
+    SymRef sym;              // Kind::Sym
+    Reg base = Reg::R0;      // Kind::Mem
+    std::int32_t disp = 0;   // Kind::Mem
+};
+
+// ---------------------------------------------------------------------------
+// Lexical helpers
+// ---------------------------------------------------------------------------
+
+std::string strip_comment(const std::string& line) {
+    std::string out;
+    bool in_str = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '"' && (i == 0 || line[i - 1] != '\\')) {
+            in_str = !in_str;
+        }
+        if (!in_str && (c == ';' || c == '#')) {
+            break;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::string trim(const std::string& s) {
+    std::size_t a = 0;
+    std::size_t b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a])) != 0) {
+        ++a;
+    }
+    while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])) != 0) {
+        --b;
+    }
+    return s.substr(a, b - a);
+}
+
+bool is_ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '.' || c == '$';
+}
+bool is_ident_char(char c) {
+    return is_ident_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+std::optional<std::int64_t> parse_number(const std::string& tok) {
+    if (tok.empty()) {
+        return std::nullopt;
+    }
+    std::size_t i = 0;
+    bool neg = false;
+    if (tok[i] == '-' || tok[i] == '+') {
+        neg = (tok[i] == '-');
+        ++i;
+    }
+    if (i >= tok.size()) {
+        return std::nullopt;
+    }
+    std::int64_t value = 0;
+    if (tok.size() - i > 2 && tok[i] == '0' && (tok[i + 1] == 'x' || tok[i + 1] == 'X')) {
+        for (std::size_t j = i + 2; j < tok.size(); ++j) {
+            const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(tok[j])));
+            int digit = 0;
+            if (c >= '0' && c <= '9') {
+                digit = c - '0';
+            } else if (c >= 'a' && c <= 'f') {
+                digit = c - 'a' + 10;
+            } else {
+                return std::nullopt;
+            }
+            value = value * 16 + digit;
+        }
+    } else {
+        for (std::size_t j = i; j < tok.size(); ++j) {
+            if (std::isdigit(static_cast<unsigned char>(tok[j])) == 0) {
+                return std::nullopt;
+            }
+            value = value * 10 + (tok[j] - '0');
+        }
+    }
+    return neg ? -value : value;
+}
+
+// Split "a, b, c" respecting quotes and brackets.
+std::vector<std::string> split_operands(const std::string& s) {
+    std::vector<std::string> out;
+    std::string cur;
+    bool in_str = false;
+    int depth = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (c == '"' && (i == 0 || s[i - 1] != '\\')) {
+            in_str = !in_str;
+        }
+        if (!in_str) {
+            if (c == '[') {
+                ++depth;
+            } else if (c == ']') {
+                --depth;
+            } else if (c == ',' && depth == 0) {
+                out.push_back(trim(cur));
+                cur.clear();
+                continue;
+            }
+        }
+        cur.push_back(c);
+    }
+    const std::string last = trim(cur);
+    if (!last.empty()) {
+        out.push_back(last);
+    }
+    return out;
+}
+
+std::string unescape_string(const std::string& tok, int line) {
+    if (tok.size() < 2 || tok.front() != '"' || tok.back() != '"') {
+        throw ParseError("expected string literal, got '" + tok + "'", line);
+    }
+    std::string out;
+    for (std::size_t i = 1; i + 1 < tok.size(); ++i) {
+        char c = tok[i];
+        if (c == '\\' && i + 2 < tok.size()) {
+            ++i;
+            switch (tok[i]) {
+            case 'n':
+                c = '\n';
+                break;
+            case 't':
+                c = '\t';
+                break;
+            case '0':
+                c = '\0';
+                break;
+            case '\\':
+                c = '\\';
+                break;
+            case '"':
+                c = '"';
+                break;
+            default:
+                c = tok[i];
+                break;
+            }
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// The assembler proper
+// ---------------------------------------------------------------------------
+
+class Assembler {
+public:
+    explicit Assembler(std::string unit_name) { obj_.name = std::move(unit_name); }
+
+    ObjectFile run(const std::string& source) {
+        std::size_t pos = 0;
+        int line_no = 0;
+        while (pos <= source.size()) {
+            const std::size_t nl = source.find('\n', pos);
+            const std::string raw =
+                source.substr(pos, nl == std::string::npos ? std::string::npos : nl - pos);
+            pos = (nl == std::string::npos) ? source.size() + 1 : nl + 1;
+            ++line_no;
+            process_line(trim(strip_comment(raw)), line_no);
+        }
+        finalize();
+        return std::move(obj_);
+    }
+
+private:
+    ObjectFile obj_;
+    isa::Encoder text_;
+    std::vector<std::uint8_t> data_;
+    SectionKind section_ = SectionKind::Text;
+    std::unordered_map<std::string, std::pair<SectionKind, std::uint32_t>> labels_;
+    std::vector<std::string> globals_;
+    std::vector<std::string> funcs_;
+    std::vector<std::string> entries_;
+
+    [[nodiscard]] std::uint32_t here() const noexcept {
+        return section_ == SectionKind::Text ? text_.size()
+                                             : static_cast<std::uint32_t>(data_.size());
+    }
+
+    void define_label(const std::string& name, int line) {
+        if (labels_.contains(name)) {
+            throw ParseError("duplicate label '" + name + "'", line);
+        }
+        labels_[name] = {section_, here()};
+    }
+
+    void process_line(const std::string& line, int line_no) {
+        if (line.empty()) {
+            return;
+        }
+        std::string rest = line;
+        // Labels (possibly several on one line).
+        while (true) {
+            std::size_t i = 0;
+            if (i < rest.size() && is_ident_start(rest[i])) {
+                std::size_t j = i;
+                while (j < rest.size() && is_ident_char(rest[j])) {
+                    ++j;
+                }
+                if (j < rest.size() && rest[j] == ':') {
+                    define_label(rest.substr(i, j - i), line_no);
+                    rest = trim(rest.substr(j + 1));
+                    continue;
+                }
+            }
+            break;
+        }
+        if (rest.empty()) {
+            return;
+        }
+        if (rest[0] == '.') {
+            directive(rest, line_no);
+        } else {
+            instruction(rest, line_no);
+        }
+    }
+
+    void directive(const std::string& line, int line_no) {
+        std::size_t sp = line.find_first_of(" \t");
+        const std::string name = (sp == std::string::npos) ? line : line.substr(0, sp);
+        const std::string args = (sp == std::string::npos) ? "" : trim(line.substr(sp));
+        if (name == ".text") {
+            section_ = SectionKind::Text;
+        } else if (name == ".data") {
+            section_ = SectionKind::Data;
+        } else if (name == ".global") {
+            globals_.push_back(args);
+        } else if (name == ".func") {
+            funcs_.push_back(args);
+        } else if (name == ".entry") {
+            entries_.push_back(args);
+        } else if (name == ".word") {
+            for (const auto& tok : split_operands(args)) {
+                emit_word_expr(tok, line_no);
+            }
+        } else if (name == ".byte") {
+            for (const auto& tok : split_operands(args)) {
+                const auto v = parse_number(tok);
+                if (!v) {
+                    throw ParseError("bad .byte operand '" + tok + "'", line_no);
+                }
+                emit_byte(static_cast<std::uint8_t>(*v & 0xff));
+            }
+        } else if (name == ".ascii" || name == ".asciz") {
+            const std::string s = unescape_string(args, line_no);
+            for (const char c : s) {
+                emit_byte(static_cast<std::uint8_t>(c));
+            }
+            if (name == ".asciz") {
+                emit_byte(0);
+            }
+        } else if (name == ".space") {
+            const auto v = parse_number(args);
+            if (!v || *v < 0) {
+                throw ParseError("bad .space operand", line_no);
+            }
+            for (std::int64_t i = 0; i < *v; ++i) {
+                emit_byte(0);
+            }
+        } else if (name == ".align") {
+            const auto v = parse_number(args);
+            if (!v || *v <= 0) {
+                throw ParseError("bad .align operand", line_no);
+            }
+            while (here() % static_cast<std::uint32_t>(*v) != 0) {
+                emit_byte(section_ == SectionKind::Text ? 0x90 : 0x00); // NOP-pad text
+            }
+        } else if (name == ".bss") {
+            const auto v = parse_number(args);
+            if (!v || *v < 0) {
+                throw ParseError("bad .bss operand", line_no);
+            }
+            obj_.bss_size += static_cast<std::uint32_t>(*v);
+        } else {
+            throw ParseError("unknown directive '" + name + "'", line_no);
+        }
+    }
+
+    void emit_byte(std::uint8_t b) {
+        if (section_ == SectionKind::Text) {
+            const std::uint8_t one[] = {b};
+            text_.raw(one);
+        } else {
+            data_.push_back(b);
+        }
+    }
+
+    void emit_word_expr(const std::string& tok, int line_no) {
+        if (const auto v = parse_number(tok)) {
+            const auto u = static_cast<std::uint32_t>(*v);
+            emit_byte(static_cast<std::uint8_t>(u & 0xff));
+            emit_byte(static_cast<std::uint8_t>((u >> 8) & 0xff));
+            emit_byte(static_cast<std::uint8_t>((u >> 16) & 0xff));
+            emit_byte(static_cast<std::uint8_t>((u >> 24) & 0xff));
+            return;
+        }
+        const SymRef ref = parse_symref(tok, line_no);
+        obj_.relocs.push_back(Reloc{section_, here(), ref.name, RelocKind::Abs32, ref.addend});
+        for (int i = 0; i < 4; ++i) {
+            emit_byte(0);
+        }
+    }
+
+    static SymRef parse_symref(const std::string& tok, int line_no) {
+        // name, name+N or name-N
+        std::size_t i = 0;
+        if (i >= tok.size() || !is_ident_start(tok[i])) {
+            throw ParseError("expected symbol, got '" + tok + "'", line_no);
+        }
+        std::size_t j = i;
+        while (j < tok.size() && is_ident_char(tok[j])) {
+            ++j;
+        }
+        SymRef ref;
+        ref.name = tok.substr(i, j - i);
+        const std::string rest = trim(tok.substr(j));
+        if (!rest.empty()) {
+            const auto v = parse_number(rest);
+            if (!v) {
+                throw ParseError("bad symbol addend '" + rest + "'", line_no);
+            }
+            ref.addend = static_cast<std::int32_t>(*v);
+        }
+        return ref;
+    }
+
+    Operand parse_operand(const std::string& tok, int line_no) {
+        Operand op;
+        if (!tok.empty() && tok.front() == '[') {
+            if (tok.back() != ']') {
+                throw ParseError("unterminated memory operand '" + tok + "'", line_no);
+            }
+            const std::string inner = trim(tok.substr(1, tok.size() - 2));
+            std::size_t split = inner.find_first_of("+-");
+            std::string reg_part = trim(split == std::string::npos ? inner : inner.substr(0, split));
+            const auto base = isa::parse_reg(reg_part);
+            if (!base) {
+                throw ParseError("bad base register '" + reg_part + "'", line_no);
+            }
+            op.kind = Operand::Kind::Mem;
+            op.base = *base;
+            if (split != std::string::npos) {
+                const auto v = parse_number(trim(inner.substr(split)));
+                if (!v) {
+                    throw ParseError("bad displacement in '" + tok + "'", line_no);
+                }
+                op.disp = static_cast<std::int32_t>(*v);
+            }
+            return op;
+        }
+        if (const auto r = isa::parse_reg(tok)) {
+            op.kind = Operand::Kind::Reg;
+            op.reg = *r;
+            return op;
+        }
+        if (const auto v = parse_number(tok)) {
+            op.kind = Operand::Kind::Imm;
+            op.imm = static_cast<std::int32_t>(*v);
+            return op;
+        }
+        op.kind = Operand::Kind::Sym;
+        op.sym = parse_symref(tok, line_no);
+        return op;
+    }
+
+    void add_text_reloc(std::uint32_t field_offset, const SymRef& ref, RelocKind kind) {
+        obj_.relocs.push_back(Reloc{SectionKind::Text, field_offset, ref.name, kind, ref.addend});
+    }
+
+    void instruction(const std::string& line, int line_no) {
+        if (section_ != SectionKind::Text) {
+            throw ParseError("instruction outside .text", line_no);
+        }
+        std::size_t sp = line.find_first_of(" \t");
+        std::string mn = (sp == std::string::npos) ? line : line.substr(0, sp);
+        for (auto& c : mn) {
+            c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        const std::string args = (sp == std::string::npos) ? "" : trim(line.substr(sp));
+        std::vector<Operand> ops;
+        std::vector<std::string> toks = split_operands(args);
+        ops.reserve(toks.size());
+        for (const auto& t : toks) {
+            ops.push_back(parse_operand(t, line_no));
+        }
+        emit_insn(mn, ops, toks, line_no);
+    }
+
+    void expect_ops(const std::vector<Operand>& ops, std::size_t n, const std::string& mn,
+                    int line_no) {
+        if (ops.size() != n) {
+            throw ParseError("'" + mn + "' expects " + std::to_string(n) + " operand(s)", line_no);
+        }
+    }
+
+    // Emit an ALU-style instruction with reg/imm/sym overloading.
+    void alu(Op rr, Op ri, const std::vector<Operand>& ops, const std::string& mn, int line_no) {
+        expect_ops(ops, 2, mn, line_no);
+        if (ops[0].kind != Operand::Kind::Reg) {
+            throw ParseError("'" + mn + "' first operand must be a register", line_no);
+        }
+        switch (ops[1].kind) {
+        case Operand::Kind::Reg:
+            text_.reg_reg(rr, ops[0].reg, ops[1].reg);
+            break;
+        case Operand::Kind::Imm:
+            text_.reg_imm32(ri, ops[0].reg, ops[1].imm);
+            break;
+        case Operand::Kind::Sym: {
+            const std::uint32_t at = text_.reg_imm32(ri, ops[0].reg, 0);
+            add_text_reloc(at + 2, ops[1].sym, RelocKind::Abs32);
+            break;
+        }
+        default:
+            throw ParseError("'" + mn + "' cannot take a memory operand", line_no);
+        }
+    }
+
+    void shift(Op rr, Op ri, const std::vector<Operand>& ops, const std::string& mn, int line_no) {
+        expect_ops(ops, 2, mn, line_no);
+        if (ops[0].kind != Operand::Kind::Reg) {
+            throw ParseError("'" + mn + "' first operand must be a register", line_no);
+        }
+        if (ops[1].kind == Operand::Kind::Reg) {
+            text_.reg_reg(rr, ops[0].reg, ops[1].reg);
+        } else if (ops[1].kind == Operand::Kind::Imm) {
+            text_.reg_imm8(ri, ops[0].reg, static_cast<std::uint8_t>(ops[1].imm & 0xff));
+        } else {
+            throw ParseError("bad shift operand", line_no);
+        }
+    }
+
+    void branch(Op op, const std::vector<Operand>& ops, const std::string& mn, int line_no) {
+        expect_ops(ops, 1, mn, line_no);
+        if (ops[0].kind == Operand::Kind::Sym) {
+            const std::uint32_t at = text_.rel32(op, 0);
+            add_text_reloc(at + 1, ops[0].sym, RelocKind::Rel32);
+        } else if (ops[0].kind == Operand::Kind::Imm) {
+            text_.rel32(op, ops[0].imm); // raw relative displacement
+        } else {
+            throw ParseError("'" + mn + "' expects a label", line_no);
+        }
+    }
+
+    void emit_insn(const std::string& mn, const std::vector<Operand>& ops,
+                   const std::vector<std::string>& toks, int line_no) {
+        (void)toks;
+        if (mn == "halt") {
+            text_.none(Op::Halt);
+        } else if (mn == "nop") {
+            text_.none(Op::Nop);
+        } else if (mn == "ret") {
+            text_.none(Op::Ret);
+        } else if (mn == "leave") {
+            text_.none(Op::Leave);
+        } else if (mn == "push") {
+            expect_ops(ops, 1, mn, line_no);
+            if (ops[0].kind == Operand::Kind::Reg) {
+                text_.reg(Op::Push, ops[0].reg);
+            } else if (ops[0].kind == Operand::Kind::Imm) {
+                text_.imm32(Op::PushI, ops[0].imm);
+            } else if (ops[0].kind == Operand::Kind::Sym) {
+                const std::uint32_t at = text_.imm32(Op::PushI, 0);
+                add_text_reloc(at + 1, ops[0].sym, RelocKind::Abs32);
+            } else {
+                throw ParseError("bad push operand", line_no);
+            }
+        } else if (mn == "pop") {
+            expect_ops(ops, 1, mn, line_no);
+            if (ops[0].kind != Operand::Kind::Reg) {
+                throw ParseError("pop expects a register", line_no);
+            }
+            text_.reg(Op::Pop, ops[0].reg);
+        } else if (mn == "not" || mn == "neg") {
+            expect_ops(ops, 1, mn, line_no);
+            if (ops[0].kind != Operand::Kind::Reg) {
+                throw ParseError(mn + " expects a register", line_no);
+            }
+            text_.reg(mn == "not" ? Op::Not : Op::Neg, ops[0].reg);
+        } else if (mn == "movi" || mn == "addi" || mn == "subi" || mn == "muli" ||
+                   mn == "andi" || mn == "ori" || mn == "xori" || mn == "cmpi") {
+            // Explicit immediate forms (as the disassembler prints them).
+            expect_ops(ops, 2, mn, line_no);
+            if (ops[0].kind != Operand::Kind::Reg || ops[1].kind != Operand::Kind::Imm) {
+                throw ParseError("'" + mn + "' expects: reg, imm32", line_no);
+            }
+            const Op op = (mn == "movi")   ? Op::MovI
+                          : (mn == "addi") ? Op::AddI
+                          : (mn == "subi") ? Op::SubI
+                          : (mn == "muli") ? Op::MulI
+                          : (mn == "andi") ? Op::AndI
+                          : (mn == "ori")  ? Op::OrI
+                          : (mn == "xori") ? Op::XorI
+                                           : Op::CmpI;
+            text_.reg_imm32(op, ops[0].reg, ops[1].imm);
+        } else if (mn == "shli" || mn == "shri" || mn == "sari") {
+            expect_ops(ops, 2, mn, line_no);
+            if (ops[0].kind != Operand::Kind::Reg || ops[1].kind != Operand::Kind::Imm) {
+                throw ParseError("'" + mn + "' expects: reg, imm8", line_no);
+            }
+            const Op op = (mn == "shli") ? Op::ShlI : (mn == "shri") ? Op::ShrI : Op::SarI;
+            text_.reg_imm8(op, ops[0].reg, static_cast<std::uint8_t>(ops[1].imm & 0xff));
+        } else if (mn == "pushi") {
+            expect_ops(ops, 1, mn, line_no);
+            if (ops[0].kind != Operand::Kind::Imm) {
+                throw ParseError("pushi expects an immediate", line_no);
+            }
+            text_.imm32(Op::PushI, ops[0].imm);
+        } else if (mn == "callr") {
+            expect_ops(ops, 1, mn, line_no);
+            if (ops[0].kind != Operand::Kind::Reg) {
+                throw ParseError("callr expects a register", line_no);
+            }
+            text_.reg(Op::CallR, ops[0].reg);
+        } else if (mn == "jmpr") {
+            expect_ops(ops, 1, mn, line_no);
+            if (ops[0].kind != Operand::Kind::Reg) {
+                throw ParseError("jmpr expects a register", line_no);
+            }
+            text_.reg(Op::JmpR, ops[0].reg);
+        } else if (mn == "mov") {
+            alu(Op::MovR, Op::MovI, ops, mn, line_no);
+        } else if (mn == "add") {
+            alu(Op::Add, Op::AddI, ops, mn, line_no);
+        } else if (mn == "sub") {
+            alu(Op::Sub, Op::SubI, ops, mn, line_no);
+        } else if (mn == "mul") {
+            alu(Op::Mul, Op::MulI, ops, mn, line_no);
+        } else if (mn == "and") {
+            alu(Op::And, Op::AndI, ops, mn, line_no);
+        } else if (mn == "or") {
+            alu(Op::Or, Op::OrI, ops, mn, line_no);
+        } else if (mn == "xor") {
+            alu(Op::Xor, Op::XorI, ops, mn, line_no);
+        } else if (mn == "cmp") {
+            alu(Op::Cmp, Op::CmpI, ops, mn, line_no);
+        } else if (mn == "divs" || mn == "rems" || mn == "test") {
+            expect_ops(ops, 2, mn, line_no);
+            if (ops[0].kind != Operand::Kind::Reg || ops[1].kind != Operand::Kind::Reg) {
+                throw ParseError("'" + mn + "' expects two registers", line_no);
+            }
+            const Op op = (mn == "divs") ? Op::Divs : (mn == "rems") ? Op::Rems : Op::Test;
+            text_.reg_reg(op, ops[0].reg, ops[1].reg);
+        } else if (mn == "shl") {
+            shift(Op::Shl, Op::ShlI, ops, mn, line_no);
+        } else if (mn == "shr") {
+            shift(Op::Shr, Op::ShrI, ops, mn, line_no);
+        } else if (mn == "sar") {
+            shift(Op::Sar, Op::SarI, ops, mn, line_no);
+        } else if (mn == "load" || mn == "load8" || mn == "lea") {
+            expect_ops(ops, 2, mn, line_no);
+            if (ops[0].kind != Operand::Kind::Reg || ops[1].kind != Operand::Kind::Mem) {
+                throw ParseError("'" + mn + "' expects: reg, [base+disp]", line_no);
+            }
+            const Op op = (mn == "load") ? Op::Load : (mn == "load8") ? Op::Load8 : Op::Lea;
+            text_.reg_mem(op, ops[0].reg, ops[1].base, ops[1].disp);
+        } else if (mn == "store" || mn == "store8") {
+            expect_ops(ops, 2, mn, line_no);
+            if (ops[0].kind != Operand::Kind::Mem || ops[1].kind != Operand::Kind::Reg) {
+                throw ParseError("'" + mn + "' expects: [base+disp], reg", line_no);
+            }
+            // Encoding packs (base << 4 | src).
+            text_.reg_mem(mn == "store" ? Op::Store : Op::Store8, ops[0].base, ops[1].reg,
+                          ops[0].disp);
+        } else if (mn == "jmp") {
+            if (ops.size() == 1 && ops[0].kind == Operand::Kind::Reg) {
+                text_.reg(Op::JmpR, ops[0].reg);
+            } else {
+                branch(Op::Jmp, ops, mn, line_no);
+            }
+        } else if (mn == "call") {
+            if (ops.size() == 1 && ops[0].kind == Operand::Kind::Reg) {
+                text_.reg(Op::CallR, ops[0].reg);
+            } else {
+                branch(Op::Call, ops, mn, line_no);
+            }
+        } else if (mn == "jz") {
+            branch(Op::Jz, ops, mn, line_no);
+        } else if (mn == "jnz") {
+            branch(Op::Jnz, ops, mn, line_no);
+        } else if (mn == "jl") {
+            branch(Op::Jl, ops, mn, line_no);
+        } else if (mn == "jge") {
+            branch(Op::Jge, ops, mn, line_no);
+        } else if (mn == "jg") {
+            branch(Op::Jg, ops, mn, line_no);
+        } else if (mn == "jle") {
+            branch(Op::Jle, ops, mn, line_no);
+        } else if (mn == "jb") {
+            branch(Op::Jb, ops, mn, line_no);
+        } else if (mn == "jae") {
+            branch(Op::Jae, ops, mn, line_no);
+        } else if (mn == "sys") {
+            expect_ops(ops, 1, mn, line_no);
+            if (ops[0].kind != Operand::Kind::Imm) {
+                throw ParseError("sys expects an immediate", line_no);
+            }
+            text_.imm8(Op::Sys, static_cast<std::uint8_t>(ops[0].imm & 0xff));
+        } else if (mn == "cload" || mn == "cstore" || mn == "csetb") {
+            // capability ops: "<mn> rd, imm8" with imm8 = (cap<<4)|off_reg
+            expect_ops(ops, 2, mn, line_no);
+            if (ops[0].kind != Operand::Kind::Reg || ops[1].kind != Operand::Kind::Imm) {
+                throw ParseError("'" + mn + "' expects: reg, imm8", line_no);
+            }
+            const Op op = (mn == "cload") ? Op::CLoad : (mn == "cstore") ? Op::CStore : Op::CSetB;
+            text_.reg_imm8(op, ops[0].reg, static_cast<std::uint8_t>(ops[1].imm & 0xff));
+        } else if (mn == "cjmp") {
+            expect_ops(ops, 1, mn, line_no);
+            if (ops[0].kind != Operand::Kind::Imm) {
+                throw ParseError("cjmp expects a capability index", line_no);
+            }
+            text_.imm8(Op::CJmp, static_cast<std::uint8_t>(ops[0].imm & 0xff));
+        } else {
+            throw ParseError("unknown mnemonic '" + mn + "'", line_no);
+        }
+    }
+
+    void finalize() {
+        obj_.text = text_.take();
+        obj_.data = std::move(data_);
+        for (const auto& [name, loc] : labels_) {
+            Symbol s;
+            s.name = name;
+            s.section = loc.first;
+            s.offset = loc.second;
+            for (const auto& g : globals_) {
+                if (g == name) {
+                    s.is_global = true;
+                }
+            }
+            for (const auto& f : funcs_) {
+                if (f == name) {
+                    s.is_func = true;
+                }
+            }
+            for (const auto& e : entries_) {
+                if (e == name) {
+                    s.is_entry = true;
+                    s.is_func = true;
+                }
+            }
+            obj_.symbols.push_back(std::move(s));
+        }
+        // Validate that .global/.func/.entry names exist.
+        auto check = [&](const std::vector<std::string>& names, const char* what) {
+            for (const auto& n : names) {
+                if (!labels_.contains(n)) {
+                    throw Error(std::string(what) + " of undefined symbol '" + n + "' in unit " +
+                                obj_.name);
+                }
+            }
+        };
+        check(globals_, ".global");
+        check(funcs_, ".func");
+        check(entries_, ".entry");
+    }
+};
+
+} // namespace
+
+objfmt::ObjectFile assemble(const std::string& source, const std::string& unit_name) {
+    Assembler as(unit_name);
+    return as.run(source);
+}
+
+} // namespace swsec::assembler

@@ -1,0 +1,41 @@
+// Two-pass assembler for swsec assembly.
+//
+// Syntax (one statement per line; ';' or '#' start a comment):
+//
+//   .text / .data          switch section
+//   label:                 define a symbol at the current position
+//   .global name           export a symbol
+//   .func name             mark symbol as a function start (CFI metadata)
+//   .entry name            mark symbol as a PMA entry point
+//   .word expr[, expr...]  emit 32-bit words (expr: number or label[+off])
+//   .byte n[, n...]        emit bytes
+//   .ascii "str"           emit string bytes (no terminator)
+//   .asciz "str"           emit string bytes + NUL
+//   .space n               emit n zero bytes
+//   .align n               pad with zeros to n-byte alignment
+//   .bss n                 reserve n zero bytes after the data section
+//
+// Instructions use the mnemonics of isa.hpp with operand-shape overloading:
+// "mov r0, r1" is register-register, "mov r0, 42" loads an immediate and
+// "mov r0, label" loads an absolute address (emitting an Abs32 relocation).
+// Memory operands are written "[reg]", "[reg+off]" or "[reg-off]":
+//
+//   load  r0, [bp+8]
+//   store [bp-4], r0
+//   call  get_request        ; Rel32 relocation
+//   jz    done
+//   sys   2                  ; SYS write
+#pragma once
+
+#include <string>
+
+#include "assembler/object.hpp"
+
+namespace swsec::assembler {
+
+/// Assemble one translation unit.  Throws swsec::ParseError (with line
+/// numbers) on malformed input.
+[[nodiscard]] objfmt::ObjectFile assemble(const std::string& source,
+                                          const std::string& unit_name = "asm");
+
+} // namespace swsec::assembler

@@ -1,0 +1,32 @@
+#include "assembler/object.hpp"
+
+#include "common/error.hpp"
+
+namespace swsec::objfmt {
+
+const Symbol* ObjectFile::find_symbol(const std::string& sym) const noexcept {
+    for (const auto& s : symbols) {
+        if (s.name == sym) {
+            return &s;
+        }
+    }
+    return nullptr;
+}
+
+const ImageSymbol& Image::symbol(const std::string& name) const {
+    const auto it = symbols.find(name);
+    if (it == symbols.end()) {
+        throw Error("undefined symbol: " + name);
+    }
+    return it->second;
+}
+
+std::optional<ImageSymbol> Image::try_symbol(const std::string& name) const noexcept {
+    const auto it = symbols.find(name);
+    if (it == symbols.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+} // namespace swsec::objfmt

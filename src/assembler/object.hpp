@@ -1,0 +1,91 @@
+// Object file and linked-image formats.
+//
+// The assembler produces ObjectFile values; the Linker merges them into a
+// relocatable Image.  Crucially the Image *keeps* its relocations: the final
+// segment bases are chosen by the OS loader, which is what makes Address
+// Space Layout Randomization possible (Section III-C1) — the same image can
+// be placed at a different randomized base on every run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace swsec::objfmt {
+
+enum class SectionKind : std::uint8_t { Text, Data };
+
+enum class RelocKind : std::uint8_t {
+    Abs32, // write absolute address of (symbol + addend)
+    Rel32, // write (symbol + addend) - (site + 4): IP-relative branch field
+};
+
+/// A symbol defined in an object file, at `offset` within `section`.
+struct Symbol {
+    std::string name;
+    SectionKind section = SectionKind::Text;
+    std::uint32_t offset = 0;
+    bool is_global = false;
+    bool is_func = false;   // function start (coarse-CFI target metadata)
+    bool is_entry = false;  // PMA entry point (Section IV)
+};
+
+/// A fixup: patch 4 bytes at `offset` within `section` once addresses are known.
+struct Reloc {
+    SectionKind section = SectionKind::Text;
+    std::uint32_t offset = 0;
+    std::string symbol;
+    RelocKind kind = RelocKind::Abs32;
+    std::int32_t addend = 0;
+};
+
+/// Output of one assembler run.
+struct ObjectFile {
+    std::string name;
+    std::vector<std::uint8_t> text;
+    std::vector<std::uint8_t> data;
+    std::uint32_t bss_size = 0; // zero-initialised space appended after data
+    std::vector<Symbol> symbols;
+    std::vector<Reloc> relocs;
+
+    [[nodiscard]] const Symbol* find_symbol(const std::string& sym) const noexcept;
+};
+
+/// A resolved symbol in a linked image: section + offset within it.
+struct ImageSymbol {
+    SectionKind section = SectionKind::Text;
+    std::uint32_t offset = 0;
+    bool is_func = false;
+    bool is_entry = false;
+};
+
+/// A resolved relocation in a linked image.
+struct ImageReloc {
+    SectionKind section = SectionKind::Text; // where the fixup lives
+    std::uint32_t offset = 0;
+    SectionKind target_section = SectionKind::Text;
+    std::uint32_t target_offset = 0;
+    RelocKind kind = RelocKind::Abs32;
+};
+
+/// A fully linked, relocatable program image.
+struct Image {
+    std::vector<std::uint8_t> text;
+    std::vector<std::uint8_t> data; // initialised data; bss_size zero bytes follow
+    std::uint32_t bss_size = 0;
+    std::unordered_map<std::string, ImageSymbol> symbols;
+    std::vector<ImageReloc> relocs;
+    std::vector<std::uint32_t> func_offsets;  // text offsets of function starts
+    std::vector<std::uint32_t> entry_offsets; // text offsets of PMA entry points
+
+    [[nodiscard]] std::uint32_t data_total_size() const noexcept {
+        return static_cast<std::uint32_t>(data.size()) + bss_size;
+    }
+    /// Offset of a named symbol; throws swsec::Error when undefined.
+    [[nodiscard]] const ImageSymbol& symbol(const std::string& name) const;
+    [[nodiscard]] std::optional<ImageSymbol> try_symbol(const std::string& name) const noexcept;
+};
+
+} // namespace swsec::objfmt

@@ -1,0 +1,23 @@
+#include "attacks/payload.hpp"
+
+namespace swsec::attacks {
+
+PayloadBuilder& PayloadBuilder::fill(std::size_t n, std::uint8_t b) {
+    bytes_.insert(bytes_.end(), n, b);
+    return *this;
+}
+
+PayloadBuilder& PayloadBuilder::word(std::uint32_t v) {
+    bytes_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    bytes_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    bytes_.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    bytes_.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+    return *this;
+}
+
+PayloadBuilder& PayloadBuilder::raw(std::span<const std::uint8_t> bytes) {
+    bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+    return *this;
+}
+
+} // namespace swsec::attacks

@@ -1,0 +1,35 @@
+// Attack payload construction (Section III-B).
+//
+// An I/O-attacker payload is just a byte string fed to the victim's input
+// channel.  PayloadBuilder assembles the classic stack-smashing shapes:
+// filler up to the saved registers, an optional (leaked or guessed) canary,
+// a forged saved base pointer, the overwritten return address, and either
+// injected shellcode or a ROP chain after it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace swsec::attacks {
+
+class PayloadBuilder {
+public:
+    /// Append `n` filler bytes (the part that legitimately fits the buffer).
+    PayloadBuilder& fill(std::size_t n, std::uint8_t b = 'A');
+
+    /// Append a little-endian 32-bit word (addresses, canary, chain links).
+    PayloadBuilder& word(std::uint32_t v);
+
+    /// Append raw bytes (shellcode).
+    PayloadBuilder& raw(std::span<const std::uint8_t> bytes);
+
+    [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+    [[nodiscard]] std::vector<std::uint8_t> build() && noexcept { return std::move(bytes_); }
+    [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+
+private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+} // namespace swsec::attacks

@@ -1,0 +1,65 @@
+#include "attacks/scraper.hpp"
+
+#include "assembler/assembler.hpp"
+#include "vm/memory.hpp"
+
+namespace swsec::attacks {
+
+objfmt::ObjectFile make_scraper_object() {
+    // int scrape(int lo, int hi, int needle): linear scan, word granular.
+    static const char* src = R"(
+.text
+.global scrape
+.func scrape
+scrape:
+  load r1, [sp+4]       ; lo
+  load r2, [sp+8]       ; hi
+  load r3, [sp+12]      ; needle
+scan_loop:
+  cmp r1, r2
+  jae not_found
+  load r0, [r1+0]
+  cmp r0, r3
+  jz found
+  add r1, 4
+  jmp scan_loop
+found:
+  mov r0, r1
+  ret
+not_found:
+  mov r0, 0
+  ret
+)";
+    return assembler::assemble(src, "scraper");
+}
+
+objfmt::ObjectFile make_dumper_object() {
+    // void dump(int lo, int n, int fd): write(fd, lo, n).
+    static const char* src = R"(
+.text
+.global dump
+.func dump
+dump:
+  load r0, [sp+12]      ; fd
+  load r1, [sp+4]       ; lo
+  load r2, [sp+8]       ; n
+  sys 2
+  ret
+)";
+    return assembler::assemble(src, "dumper");
+}
+
+std::vector<std::uint32_t> kernel_scrape(const vm::Machine& machine, std::uint32_t needle) {
+    std::vector<std::uint32_t> hits;
+    for (const std::uint32_t page : machine.memory().mapped_pages()) {
+        for (std::uint32_t off = 0; off + 4 <= vm::kPageSize; off += 4) {
+            std::uint32_t v = 0;
+            if (machine.kernel_read32(page + off, v) && v == needle) {
+                hits.push_back(page + off);
+            }
+        }
+    }
+    return hits;
+}
+
+} // namespace swsec::attacks

@@ -1,0 +1,41 @@
+// Memory-scraping attackers (Section IV, [3]).
+//
+// Two embodiments of the machine-code attacker:
+//  * an in-process malicious module: generated machine code linked into the
+//    victim program (the "third-party library" threat) that scans a memory
+//    range for a needle value;
+//  * a kernel-level scraper: host-side code using the machine's
+//    kernel-privilege access path (the "OS malware" threat).
+//
+// Against an unprotected module both find the secrets; against a PMA,
+// in-process loads trap and kernel reads are refused.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "assembler/object.hpp"
+#include "vm/machine.hpp"
+
+namespace swsec::attacks {
+
+/// Generate a malicious object file exporting
+///   int scrape(int lo, int hi, int needle)
+/// that scans [lo, hi) word-by-word and returns the first address whose
+/// contents equal `needle` (0 when not found).  Linked into the victim like
+/// any third-party library.
+[[nodiscard]] objfmt::ObjectFile make_scraper_object();
+
+/// Generate a malicious object exporting
+///   void dump(int lo, int n, int fd)
+/// that exfiltrates n bytes at lo to the attacker's channel.
+[[nodiscard]] objfmt::ObjectFile make_dumper_object();
+
+/// Kernel-level scrape over all mapped pages: returns addresses whose 32-bit
+/// little-endian contents equal `needle`.  PMA-protected ranges are silently
+/// unreadable (the hardware refuses), exactly as the paper claims.
+[[nodiscard]] std::vector<std::uint32_t> kernel_scrape(const vm::Machine& machine,
+                                                       std::uint32_t needle);
+
+} // namespace swsec::attacks

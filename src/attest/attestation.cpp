@@ -1,0 +1,144 @@
+#include "attest/attestation.hpp"
+
+#include "vm/syscalls.hpp"
+
+namespace swsec::attest {
+
+using isa::Reg;
+using vm::Sys;
+
+AttestationEngine::AttestationEngine(std::uint64_t platform_seed)
+    : nonce_rng_(platform_seed ^ 0x6e6f6e6365ULL) {
+    Rng key_rng(platform_seed);
+    key_rng.fill(master_);
+}
+
+void AttestationEngine::register_module(int machine_index, const crypto::Digest& measurement) {
+    measurements_[machine_index] = measurement;
+}
+
+crypto::Key AttestationEngine::module_key(const crypto::Digest& measurement) const {
+    return crypto::derive_key(master_, measurement);
+}
+
+crypto::Key AttestationEngine::sealing_key(const crypto::Digest& measurement) const {
+    const crypto::Key mk = module_key(measurement);
+    const std::array<std::uint8_t, 4> ctx = {'s', 'e', 'a', 'l'};
+    return crypto::derive_key(mk, ctx);
+}
+
+const crypto::Digest* AttestationEngine::measurement_of_caller(const vm::Machine& m) const {
+    const int idx = m.current_module();
+    const auto it = measurements_.find(idx);
+    return it == measurements_.end() ? nullptr : &it->second;
+}
+
+bool AttestationEngine::sys_attest(vm::Machine& m) {
+    const std::uint32_t nonce_ptr = m.reg(Reg::R0);
+    const std::uint32_t out_ptr = m.reg(Reg::R1);
+    const crypto::Digest* meas = measurement_of_caller(m);
+    if (meas == nullptr) {
+        // Only code inside a registered protected module owns a module key.
+        m.set_reg(Reg::R0, 0xffffffff);
+        return true;
+    }
+    Nonce nonce{};
+    for (std::size_t i = 0; i < nonce.size(); ++i) {
+        std::uint8_t b = 0;
+        if (!m.load8(nonce_ptr + static_cast<std::uint32_t>(i), b)) {
+            return true; // trap set
+        }
+        nonce[i] = b;
+    }
+    const crypto::Key key = module_key(*meas);
+    const crypto::Digest mac = crypto::hmac_sha256(key, nonce);
+    for (std::size_t i = 0; i < mac.size(); ++i) {
+        if (!m.store8(out_ptr + static_cast<std::uint32_t>(i), mac[i])) {
+            return true;
+        }
+    }
+    m.set_reg(Reg::R0, 0);
+    return true;
+}
+
+bool AttestationEngine::sys_seal(vm::Machine& m) {
+    const std::uint32_t in_ptr = m.reg(Reg::R0);
+    const std::uint32_t len = m.reg(Reg::R1);
+    const std::uint32_t out_ptr = m.reg(Reg::R2);
+    const crypto::Digest* meas = measurement_of_caller(m);
+    if (meas == nullptr || len > 4096) {
+        m.set_reg(Reg::R0, 0xffffffff);
+        return true;
+    }
+    std::vector<std::uint8_t> plain(len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+        if (!m.load8(in_ptr + i, plain[i])) {
+            return true;
+        }
+    }
+    std::array<std::uint8_t, 12> nonce{};
+    nonce_rng_.fill(nonce);
+    const auto blob = crypto::seal(sealing_key(*meas), nonce, plain);
+    for (std::size_t i = 0; i < blob.size(); ++i) {
+        if (!m.store8(out_ptr + static_cast<std::uint32_t>(i), blob[i])) {
+            return true;
+        }
+    }
+    m.set_reg(Reg::R0, static_cast<std::uint32_t>(blob.size()));
+    return true;
+}
+
+bool AttestationEngine::sys_unseal(vm::Machine& m) {
+    const std::uint32_t in_ptr = m.reg(Reg::R0);
+    const std::uint32_t len = m.reg(Reg::R1);
+    const std::uint32_t out_ptr = m.reg(Reg::R2);
+    const crypto::Digest* meas = measurement_of_caller(m);
+    if (meas == nullptr || len > 4096 + 64) {
+        m.set_reg(Reg::R0, 0xffffffff);
+        return true;
+    }
+    std::vector<std::uint8_t> blob(len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+        if (!m.load8(in_ptr + i, blob[i])) {
+            return true;
+        }
+    }
+    const auto plain = crypto::unseal(sealing_key(*meas), blob);
+    if (!plain) {
+        m.set_reg(Reg::R0, 0xffffffff); // tampered or foreign blob
+        return true;
+    }
+    for (std::size_t i = 0; i < plain->size(); ++i) {
+        if (!m.store8(out_ptr + static_cast<std::uint32_t>(i), (*plain)[i])) {
+            return true;
+        }
+    }
+    m.set_reg(Reg::R0, static_cast<std::uint32_t>(plain->size()));
+    return true;
+}
+
+bool AttestationEngine::handle_syscall(vm::Machine& m, std::uint8_t number) {
+    switch (static_cast<Sys>(number)) {
+    case Sys::Attest:
+        return sys_attest(m);
+    case Sys::Seal:
+        return sys_seal(m);
+    case Sys::Unseal:
+        return sys_unseal(m);
+    default:
+        return next_ != nullptr && next_->handle_syscall(m, number);
+    }
+}
+
+Nonce Verifier::fresh_nonce() {
+    Nonce n{};
+    rng_.fill(n);
+    return n;
+}
+
+bool Verifier::check(const Nonce& nonce, std::span<const std::uint8_t> mac) const {
+    const crypto::Digest expect = crypto::hmac_sha256(key_, nonce);
+    return crypto::constant_time_equal(expect, mac);
+}
+
+} // namespace swsec::attest

@@ -1,0 +1,85 @@
+// Remote attestation and module-key services (Section IV-C).
+//
+// The "hardware" derives a module-private key from a platform master key
+// and the module's load-time measurement (Sancus-style [25]):
+//
+//   K_module = HMAC-SHA256(K_platform, measurement)
+//   measurement = SHA-256(code || layout || entry points)
+//
+// The engine plugs into the kernel's syscall chain and serves:
+//   SYS attest (8): MAC a verifier nonce under the *calling* module's key —
+//                   only code executing inside a registered protected module
+//                   can produce valid MACs;
+//   SYS seal (9) / unseal (10): authenticated encryption of module state
+//                   under a sealing key derived from the same module key.
+//
+// If the OS tampers with the module before loading it, the measurement —
+// and hence the key — changes, and attestation fails: the module cannot be
+// impersonated, exactly the property the paper describes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/seal.hpp"
+#include "vm/machine.hpp"
+
+namespace swsec::attest {
+
+using Nonce = std::array<std::uint8_t, 16>;
+
+class AttestationEngine : public vm::SyscallHandler {
+public:
+    /// The platform master key is burned in at manufacturing time; the seed
+    /// stands in for the fab's randomness.
+    explicit AttestationEngine(std::uint64_t platform_seed);
+
+    /// Record the measurement the hardware took when module `machine_index`
+    /// was loaded (call after pma::load_module).
+    void register_module(int machine_index, const crypto::Digest& measurement);
+
+    /// Chain for syscalls this engine does not handle.
+    void set_next(vm::SyscallHandler* next) noexcept { next_ = next; }
+
+    bool handle_syscall(vm::Machine& m, std::uint8_t number) override;
+
+    /// Provider-side key derivation: the module author, who shares the
+    /// platform key with the hardware vendor, computes the same module key
+    /// to verify attestation MACs remotely.
+    [[nodiscard]] crypto::Key module_key(const crypto::Digest& measurement) const;
+    [[nodiscard]] crypto::Key sealing_key(const crypto::Digest& measurement) const;
+
+private:
+    bool sys_attest(vm::Machine& m);
+    bool sys_seal(vm::Machine& m);
+    bool sys_unseal(vm::Machine& m);
+    [[nodiscard]] const crypto::Digest* measurement_of_caller(const vm::Machine& m) const;
+
+    crypto::Key master_{};
+    std::unordered_map<int, crypto::Digest> measurements_;
+    Rng nonce_rng_;
+    vm::SyscallHandler* next_ = nullptr; // non-owning
+};
+
+/// The remote verifier: challenges a module with a fresh nonce and checks
+/// the MAC against the key derived from the *expected* measurement.
+class Verifier {
+public:
+    Verifier(crypto::Key expected_module_key, std::uint64_t seed)
+        : key_(expected_module_key), rng_(seed) {}
+
+    [[nodiscard]] Nonce fresh_nonce();
+
+    /// True iff `mac` is HMAC(expected key, nonce) — i.e. the unmodified
+    /// module is running inside a genuine protected module.
+    [[nodiscard]] bool check(const Nonce& nonce, std::span<const std::uint8_t> mac) const;
+
+private:
+    crypto::Key key_;
+    Rng rng_;
+};
+
+} // namespace swsec::attest

@@ -1,0 +1,95 @@
+#include "capability/capability.hpp"
+
+#include "isa/encoder.hpp"
+
+namespace swsec::capability {
+
+namespace {
+
+using isa::Encoder;
+using isa::Op;
+using isa::Reg;
+
+constexpr std::uint32_t kCodeBase = 0x00001000;
+constexpr std::uint32_t kDataBase = 0x00020000;
+
+std::uint8_t cap_off(int cap, Reg off_reg) {
+    return static_cast<std::uint8_t>((cap << 4) | static_cast<int>(off_reg));
+}
+
+} // namespace
+
+std::vector<std::uint8_t> make_summer_code(std::uint32_t count) {
+    Encoder e;
+    e.reg_imm32(Op::MovI, Reg::R0, 0);                               // sum
+    e.reg_imm32(Op::MovI, Reg::R1, 0);                               // offset
+    e.reg_imm32(Op::MovI, Reg::R2, static_cast<std::int32_t>(count * 4)); // limit
+    const std::uint32_t loop = e.size();
+    e.reg_reg(Op::Cmp, Reg::R1, Reg::R2);
+    const std::uint32_t jdone = e.rel32(Op::Jae, 0);
+    e.reg_imm8(Op::CLoad, Reg::R3, cap_off(0, Reg::R1));
+    e.reg_reg(Op::Add, Reg::R0, Reg::R3);
+    e.reg_imm32(Op::AddI, Reg::R1, 4);
+    const std::uint32_t jback = e.rel32(Op::Jmp, 0);
+    const std::uint32_t done = e.size();
+    e.none(Op::Halt);
+    e.patch_rel32(jdone, done);
+    e.patch_rel32(jback, loop);
+    return e.take();
+}
+
+std::vector<std::uint8_t> make_forge_code(std::uint32_t addr) {
+    Encoder e;
+    e.reg_imm32(Op::MovI, Reg::R4, static_cast<std::int32_t>(addr));
+    e.reg_mem(Op::Load, Reg::R0, Reg::R4, 0); // plain load: traps in pure mode
+    e.none(Op::Halt);
+    return e.take();
+}
+
+std::vector<std::uint8_t> make_grow_code(std::uint32_t requested_len) {
+    Encoder e;
+    e.reg_imm32(Op::MovI, Reg::R2, 0); // base delta
+    e.reg_imm32(Op::MovI, Reg::R1, static_cast<std::int32_t>(requested_len));
+    e.reg_imm8(Op::CSetB, Reg::R1, cap_off(0, Reg::R2)); // traps: growth
+    e.reg_imm32(Op::MovI, Reg::R1, 0);
+    e.reg_imm8(Op::CLoad, Reg::R0, cap_off(0, Reg::R1));
+    e.none(Op::Halt);
+    return e.take();
+}
+
+std::vector<std::uint8_t> make_shrink_and_read_code(std::uint32_t off, std::uint32_t len) {
+    Encoder e;
+    e.reg_imm32(Op::MovI, Reg::R2, static_cast<std::int32_t>(off));
+    e.reg_imm32(Op::MovI, Reg::R1, static_cast<std::int32_t>(len));
+    e.reg_imm8(Op::CSetB, Reg::R1, cap_off(0, Reg::R2)); // monotonic shrink
+    e.reg_imm32(Op::MovI, Reg::R1, 0);
+    e.reg_imm8(Op::CLoad, Reg::R0, cap_off(0, Reg::R1)); // word at the new base
+    e.none(Op::Halt);
+    return e.take();
+}
+
+CapRunResult run_with_capability(std::span<const std::uint8_t> code,
+                                 std::span<const std::uint32_t> data, vm::Perm perms) {
+    vm::MachineOptions opts;
+    opts.capability_mode = true;
+    opts.pure_capability = true;
+    vm::Machine m(opts);
+    m.memory().map(kCodeBase, static_cast<std::uint32_t>(code.size()), vm::Perm::RX);
+    m.memory().raw_write(kCodeBase, code);
+    const auto data_bytes = static_cast<std::uint32_t>(data.size() * 4);
+    m.memory().map(kDataBase, std::max<std::uint32_t>(data_bytes, 4), vm::Perm::RW);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        m.memory().raw_write32(kDataBase + static_cast<std::uint32_t>(4 * i), data[i]);
+    }
+    vm::Capability cap;
+    cap.base = kDataBase;
+    cap.length = data_bytes;
+    cap.perms = perms;
+    cap.tag = true;
+    m.set_capability(0, cap);
+    m.set_ip(kCodeBase);
+    const auto r = m.run(1'000'000);
+    return CapRunResult{r.trap, m.reg(isa::Reg::R0)};
+}
+
+} // namespace swsec::capability

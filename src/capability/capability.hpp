@@ -1,0 +1,56 @@
+// Capability-machine demonstration (Section IV-A, CHERI [21]).
+//
+// On a capability machine, machine code is limited by the capabilities it
+// holds: a capability is an unforgeable, bounds- and permission-carrying
+// pointer minted only by privileged code.  This module provides small
+// machine-code kernels that access memory *exclusively* through capability
+// registers (the machine runs them in pure-capability mode, where plain
+// loads/stores trap), plus a harness showing:
+//   * in-bounds access through a granted capability works;
+//   * out-of-bounds access through the same capability traps;
+//   * capabilities can only be shrunk (monotonicity), never grown;
+//   * integer data cannot be turned into a pointer (no forging).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/machine.hpp"
+
+namespace swsec::capability {
+
+/// Outcome of running a capability kernel.
+struct CapRunResult {
+    vm::Trap trap;
+    std::uint32_t result = 0; // r0 at halt
+
+    [[nodiscard]] bool ok() const noexcept { return trap.kind == vm::TrapKind::Halted; }
+};
+
+/// Machine code that sums `count` words through capability 0 and halts with
+/// the sum in r0.  If `count` exceeds the capability's length the machine
+/// traps with CapViolation — the paper's "limited by the capabilities it
+/// holds".
+[[nodiscard]] std::vector<std::uint8_t> make_summer_code(std::uint32_t count);
+
+/// Machine code that tries to *forge* a pointer: it builds an integer
+/// address in a register and performs a plain load.  In pure-capability
+/// mode this traps — integers are not pointers.
+[[nodiscard]] std::vector<std::uint8_t> make_forge_code(std::uint32_t addr);
+
+/// Machine code that attempts to grow capability 0 by `extra` bytes via
+/// CSETB (monotonicity violation) and then read past the original bound.
+[[nodiscard]] std::vector<std::uint8_t> make_grow_code(std::uint32_t extra);
+
+/// Machine code that shrinks capability 0 to [off, off+len) and then reads
+/// the word at its new base — legitimate delegation of a sub-range.
+[[nodiscard]] std::vector<std::uint8_t> make_shrink_and_read_code(std::uint32_t off,
+                                                                  std::uint32_t len);
+
+/// Run `code` in pure-capability mode with capability 0 granting
+/// [data_base, data_base + data.size()) read access.
+[[nodiscard]] CapRunResult run_with_capability(std::span<const std::uint8_t> code,
+                                               std::span<const std::uint32_t> data,
+                                               vm::Perm perms = vm::Perm::R);
+
+} // namespace swsec::capability

@@ -1,0 +1,378 @@
+#include "cc/analyzer.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "cc/parser.hpp"
+#include "cc/sema.hpp"
+
+namespace swsec::cc {
+
+namespace {
+
+/// Flow-insensitive per-function walk collecting the facts the checks need.
+class Analyzer {
+public:
+    explicit Analyzer(const Program& prog) : prog_(prog) {}
+
+    std::vector<Finding> run() {
+        for (const auto& fn : prog_.funcs) {
+            if (fn.body) {
+                fn_ = &fn;
+                // Pass 1: collect which variables are ever "validated"
+                // (appear in any comparison) and which allocs are checked.
+                collect_stmt(*fn.body);
+                // Pass 2: raise findings.
+                check_stmt(*fn.body);
+                validated_.clear();
+                null_checked_.clear();
+                freed_.clear();
+            }
+        }
+        std::sort(findings_.begin(), findings_.end(),
+                  [](const Finding& a, const Finding& b) { return a.line < b.line; });
+        return std::move(findings_);
+    }
+
+private:
+    const Program& prog_;
+    const FuncDef* fn_ = nullptr;
+    std::vector<Finding> findings_;
+    std::set<std::string> validated_;    // names used in comparisons
+    std::set<std::string> null_checked_; // pointer names compared to 0 / used in conditions
+    std::set<std::string> freed_;        // names passed to free() so far (flow: source order)
+
+    void add(FindingKind kind, int line, std::string msg) {
+        findings_.push_back(Finding{kind, line, fn_->name, std::move(msg)});
+    }
+
+    // --- pass 1: validation facts ----------------------------------------
+
+    void collect_stmt(const Stmt& s) {
+        switch (s.kind) {
+        case Stmt::Kind::ExprStmt:
+            collect_expr(*s.expr);
+            break;
+        case Stmt::Kind::Decl:
+            if (s.decl.init) {
+                collect_expr(*s.decl.init);
+            }
+            break;
+        case Stmt::Kind::If:
+        case Stmt::Kind::While:
+            mark_condition(*s.expr);
+            collect_expr(*s.expr);
+            collect_stmt(*s.then_branch);
+            if (s.else_branch) {
+                collect_stmt(*s.else_branch);
+            }
+            break;
+        case Stmt::Kind::For:
+            if (s.init_stmt) {
+                collect_stmt(*s.init_stmt);
+            }
+            if (s.expr) {
+                mark_condition(*s.expr);
+                collect_expr(*s.expr);
+            }
+            if (s.step_expr) {
+                collect_expr(*s.step_expr);
+            }
+            collect_stmt(*s.then_branch);
+            break;
+        case Stmt::Kind::Return:
+            if (s.expr) {
+                collect_expr(*s.expr);
+            }
+            break;
+        case Stmt::Kind::Block:
+            for (const auto& sub : s.body) {
+                collect_stmt(*sub);
+            }
+            break;
+        default:
+            break;
+        }
+    }
+
+    /// Record every identifier appearing under a comparison as "validated".
+    void mark_condition(const Expr& e) {
+        if (e.kind == Expr::Kind::Binary) {
+            switch (e.bin_op) {
+            case BinOp::Lt:
+            case BinOp::Gt:
+            case BinOp::Le:
+            case BinOp::Ge:
+            case BinOp::Eq:
+            case BinOp::Ne:
+                mark_idents(*e.lhs);
+                mark_idents(*e.rhs);
+                break;
+            case BinOp::LogAnd:
+            case BinOp::LogOr:
+                mark_condition(*e.lhs);
+                mark_condition(*e.rhs);
+                break;
+            default:
+                break;
+            }
+        }
+        // A bare pointer used as a condition counts as a null check.
+        if (e.kind == Expr::Kind::Ident && e.type && e.type->is_ptr()) {
+            null_checked_.insert(e.name);
+        }
+        if (e.kind == Expr::Kind::Unary && e.un_op == UnOp::Not) {
+            mark_condition(*e.lhs);
+        }
+    }
+
+    void mark_idents(const Expr& e) {
+        if (e.kind == Expr::Kind::Ident) {
+            validated_.insert(e.name);
+            if (e.type && e.type->is_ptr()) {
+                null_checked_.insert(e.name);
+            }
+        }
+        if (e.lhs) {
+            mark_idents(*e.lhs);
+        }
+        if (e.rhs) {
+            mark_idents(*e.rhs);
+        }
+    }
+
+    void collect_expr(const Expr& e) {
+        if (e.kind == Expr::Kind::Binary) {
+            mark_condition(e);
+        }
+        if (e.lhs) {
+            collect_expr(*e.lhs);
+        }
+        if (e.rhs) {
+            collect_expr(*e.rhs);
+        }
+        for (const auto& a : e.args) {
+            collect_expr(*a);
+        }
+    }
+
+    // --- pass 2: checks ------------------------------------------------------
+
+    void check_stmt(const Stmt& s) {
+        switch (s.kind) {
+        case Stmt::Kind::ExprStmt:
+            check_expr(*s.expr);
+            break;
+        case Stmt::Kind::Decl:
+            if (s.decl.init) {
+                check_expr(*s.decl.init);
+                track_alloc_and_free(s.decl.name, *s.decl.init);
+            }
+            break;
+        case Stmt::Kind::If:
+        case Stmt::Kind::While:
+            check_expr(*s.expr);
+            check_stmt(*s.then_branch);
+            if (s.else_branch) {
+                check_stmt(*s.else_branch);
+            }
+            break;
+        case Stmt::Kind::For:
+            if (s.init_stmt) {
+                check_stmt(*s.init_stmt);
+            }
+            if (s.expr) {
+                check_expr(*s.expr);
+            }
+            if (s.step_expr) {
+                check_expr(*s.step_expr);
+            }
+            check_stmt(*s.then_branch);
+            break;
+        case Stmt::Kind::Return:
+            if (s.expr) {
+                check_expr(*s.expr);
+            }
+            break;
+        case Stmt::Kind::Block:
+            for (const auto& sub : s.body) {
+                check_stmt(*sub);
+            }
+            break;
+        default:
+            break;
+        }
+    }
+
+    void track_alloc_and_free(const std::string& name, const Expr& init) {
+        if (init.kind == Expr::Kind::Call && init.lhs->kind == Expr::Kind::Ident &&
+            init.lhs->name == "malloc" && !null_checked_.contains(name)) {
+            add(FindingKind::UncheckedAlloc, init.line,
+                "result of malloc() stored in '" + name + "' is never checked against 0");
+        }
+        // Reassignment clears a stale mark.
+        freed_.erase(name);
+    }
+
+    [[nodiscard]] static const Type* known_array(const Expr& e) {
+        if (e.object_type && e.object_type->is_array()) {
+            return e.object_type.get();
+        }
+        return nullptr;
+    }
+
+    void check_expr(const Expr& e) {
+        switch (e.kind) {
+        case Expr::Kind::Call:
+            check_call(e);
+            if (e.lhs->kind == Expr::Kind::Ident && e.lhs->name == "free") {
+                return; // the argument of free() is not a "use" of the pointer
+            }
+            break;
+        case Expr::Kind::Index:
+            check_index(e);
+            break;
+        case Expr::Kind::Assign:
+            // Assignment to a pointer variable clears a stale mark.
+            if (e.lhs->kind == Expr::Kind::Ident) {
+                freed_.erase(e.lhs->name);
+            }
+            break;
+        case Expr::Kind::Ident:
+            if (freed_.contains(e.name)) {
+                add(FindingKind::StalePointer, e.line,
+                    "'" + e.name + "' is used after being passed to free()");
+                freed_.erase(e.name); // one report per variable
+            }
+            break;
+        default:
+            break;
+        }
+        if (e.lhs) {
+            check_expr(*e.lhs);
+        }
+        if (e.rhs) {
+            check_expr(*e.rhs);
+        }
+        for (const auto& a : e.args) {
+            check_expr(*a);
+        }
+    }
+
+    void check_call(const Expr& e) {
+        if (e.lhs->kind != Expr::Kind::Ident) {
+            return;
+        }
+        const std::string& callee = e.lhs->name;
+        if (callee == "free" && e.args.size() == 1 &&
+            e.args[0]->kind == Expr::Kind::Ident) {
+            freed_.insert(e.args[0]->name);
+            return;
+        }
+        // Length-taking buffer functions: (buf_arg_index, len_arg_index).
+        int buf_idx = -1;
+        int len_idx = -1;
+        if ((callee == "read" || callee == "write") && e.args.size() == 3) {
+            buf_idx = 1;
+            len_idx = 2;
+        } else if ((callee == "memcpy" || callee == "memset") && e.args.size() == 3) {
+            buf_idx = 0;
+            len_idx = 2;
+        }
+        if (buf_idx >= 0) {
+            const Type* arr = known_array(*e.args[static_cast<std::size_t>(buf_idx)]);
+            if (arr == nullptr) {
+                return; // unknown destination size: silent (a false-negative source)
+            }
+            const Expr& len = *e.args[static_cast<std::size_t>(len_idx)];
+            if (len.kind == Expr::Kind::IntLit) {
+                if (len.value > arr->size()) {
+                    add(FindingKind::BufferLength, e.line,
+                        callee + "() with length " + std::to_string(len.value) +
+                            " into a buffer of " + std::to_string(arr->size()) + " bytes");
+                }
+            } else if (len.kind == Expr::Kind::Ident && !validated_.contains(len.name)) {
+                add(FindingKind::BufferLengthUnvalidated, e.line,
+                    callee + "() length '" + len.name + "' is never validated against sizeof(" +
+                        "buffer) == " + std::to_string(arr->size()));
+            }
+            return;
+        }
+        if (callee == "strcpy" && e.args.size() == 2) {
+            const Type* arr = known_array(*e.args[0]);
+            if (arr != nullptr && e.args[1]->kind == Expr::Kind::StrLit &&
+                static_cast<int>(e.args[1]->str.size()) + 1 > arr->size()) {
+                add(FindingKind::StringCopyOverflow, e.line,
+                    "strcpy() of a " + std::to_string(e.args[1]->str.size() + 1) +
+                        "-byte literal into a buffer of " + std::to_string(arr->size()) +
+                        " bytes");
+            }
+        }
+    }
+
+    void check_index(const Expr& e) {
+        const Type* arr = known_array(*e.lhs);
+        if (arr == nullptr) {
+            return;
+        }
+        const Expr& idx = *e.rhs;
+        if (idx.kind == Expr::Kind::IntLit) {
+            if (idx.value < 0 || idx.value >= arr->array_len()) {
+                add(FindingKind::IndexRange, e.line,
+                    "index " + std::to_string(idx.value) + " out of range for array of " +
+                        std::to_string(arr->array_len()));
+            }
+        } else if (idx.kind == Expr::Kind::Ident && !validated_.contains(idx.name)) {
+            add(FindingKind::IndexUnvalidated, e.line,
+                "index '" + idx.name + "' into array of " + std::to_string(arr->array_len()) +
+                    " is never compared against a bound");
+        }
+    }
+};
+
+} // namespace
+
+std::string finding_name(FindingKind k) {
+    switch (k) {
+    case FindingKind::BufferLength:
+        return "buffer-length";
+    case FindingKind::BufferLengthUnvalidated:
+        return "buffer-length-unvalidated";
+    case FindingKind::IndexRange:
+        return "index-range";
+    case FindingKind::IndexUnvalidated:
+        return "index-unvalidated";
+    case FindingKind::StalePointer:
+        return "stale-pointer";
+    case FindingKind::StringCopyOverflow:
+        return "strcpy-overflow";
+    case FindingKind::UncheckedAlloc:
+        return "unchecked-alloc";
+    }
+    return "?";
+}
+
+std::string Finding::to_string() const {
+    return "line " + std::to_string(line) + " [" + finding_name(kind) + "] in " + function +
+           ": " + message;
+}
+
+std::vector<Finding> analyze_source(const std::string& source) {
+    Program prog = parse(source);
+    analyze(prog, runtime_externs(), "lint");
+    Analyzer a(prog);
+    return a.run();
+}
+
+std::string format_findings(const std::vector<Finding>& findings) {
+    if (findings.empty()) {
+        return "no findings\n";
+    }
+    std::string out;
+    for (const auto& f : findings) {
+        out += f.to_string() + "\n";
+    }
+    return out;
+}
+
+} // namespace swsec::cc

@@ -1,0 +1,961 @@
+#include "cc/codegen.hpp"
+
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace swsec::cc {
+
+namespace {
+
+int round4(int n) { return (n + 3) & ~3; }
+
+constexpr int kRedZone = 16; // bytes of poison around each stack array (memcheck)
+
+/// Constant folding for global initialisers.
+std::int32_t fold_const(const Expr& e) {
+    switch (e.kind) {
+    case Expr::Kind::IntLit:
+        return e.value;
+    case Expr::Kind::Unary: {
+        const std::int32_t v = fold_const(*e.lhs);
+        switch (e.un_op) {
+        case UnOp::Neg:
+            return -v;
+        case UnOp::Not:
+            return v == 0 ? 1 : 0;
+        case UnOp::BitNot:
+            return ~v;
+        default:
+            throw Error("non-constant global initialiser");
+        }
+    }
+    case Expr::Kind::Binary: {
+        const std::int32_t a = fold_const(*e.lhs);
+        const std::int32_t b = fold_const(*e.rhs);
+        switch (e.bin_op) {
+        case BinOp::Add:
+            return a + b;
+        case BinOp::Sub:
+            return a - b;
+        case BinOp::Mul:
+            return a * b;
+        case BinOp::Div:
+            if (b == 0) {
+                throw Error("division by zero in constant initialiser");
+            }
+            return a / b;
+        case BinOp::Rem:
+            if (b == 0) {
+                throw Error("division by zero in constant initialiser");
+            }
+            return a % b;
+        case BinOp::Shl:
+            return a << (b & 31);
+        case BinOp::Shr:
+            return a >> (b & 31);
+        case BinOp::BitAnd:
+            return a & b;
+        case BinOp::BitOr:
+            return a | b;
+        case BinOp::BitXor:
+            return a ^ b;
+        case BinOp::Lt:
+            return a < b ? 1 : 0;
+        case BinOp::Gt:
+            return a > b ? 1 : 0;
+        case BinOp::Le:
+            return a <= b ? 1 : 0;
+        case BinOp::Ge:
+            return a >= b ? 1 : 0;
+        case BinOp::Eq:
+            return a == b ? 1 : 0;
+        case BinOp::Ne:
+            return a != b ? 1 : 0;
+        case BinOp::LogAnd:
+            return (a != 0 && b != 0) ? 1 : 0;
+        case BinOp::LogOr:
+            return (a != 0 || b != 0) ? 1 : 0;
+        }
+        return 0;
+    }
+    default:
+        throw Error("non-constant global initialiser");
+    }
+}
+
+class CodeGen {
+public:
+    CodeGen(const Program& prog, const CompilerOptions& opts, std::string unit)
+        : prog_(prog), opts_(opts), unit_(std::move(unit)) {}
+
+    std::string run() {
+        emit_globals();
+        text("");
+        text(".text");
+        for (const auto& fn : prog_.funcs) {
+            if (fn.body) {
+                gen_func(fn);
+            }
+        }
+        return text_ + data_;
+    }
+
+private:
+    const Program& prog_;
+    CompilerOptions opts_;
+    std::string unit_;
+    std::string text_;
+    std::string data_;
+    int label_counter_ = 0;
+    int str_counter_ = 0;
+
+    // per-function state
+    const FuncDef* fn_ = nullptr;
+    std::vector<int> slot_offsets_; // bp-relative offset per local slot
+    int frame_size_ = 0;
+    std::string epilogue_label_;
+    std::vector<std::string> break_labels_;
+    std::vector<std::string> continue_labels_;
+
+    // ---- emission helpers --------------------------------------------------
+    void text(const std::string& line) { text_ += line + "\n"; }
+    void data(const std::string& line) { data_ += line + "\n"; }
+    void ins(const std::string& line) { text_ += "  " + line + "\n"; }
+    void comment(const std::string& c) {
+        if (opts_.emit_comments) {
+            text_ += "  ; " + c + "\n";
+        }
+    }
+    std::string fresh_label(const std::string& hint) {
+        return ".L$" + unit_ + "$" + hint + "$" + std::to_string(label_counter_++);
+    }
+
+    /// "[bp+8]" / "[bp-20]" — the assembler expects the sign to replace '+'.
+    static std::string bp_mem(int off) {
+        return off >= 0 ? "[bp+" + std::to_string(off) + "]" : "[bp" + std::to_string(off) + "]";
+    }
+
+    static std::string escape(const std::string& s) {
+        std::string out;
+        for (const char c : s) {
+            switch (c) {
+            case '\n':
+                out += "\\n";
+                break;
+            case '\t':
+                out += "\\t";
+                break;
+            case '\0':
+                out += "\\0";
+                break;
+            case '"':
+                out += "\\\"";
+                break;
+            case '\\':
+                out += "\\\\";
+                break;
+            default:
+                out.push_back(c);
+            }
+        }
+        return out;
+    }
+
+    std::string intern_string(const std::string& s) {
+        const std::string label = "Lstr$" + unit_ + "$" + std::to_string(str_counter_++);
+        data(label + ": .asciz \"" + escape(s) + "\"");
+        data(".align 4");
+        return label;
+    }
+
+    // ---- globals -----------------------------------------------------------
+    void emit_globals() {
+        data_ += ".data\n";
+        for (const auto& g : prog_.globals) {
+            const std::string label = g.is_static ? static_label(g.name, unit_) : g.name;
+            if (!g.is_static) {
+                data(".global " + label);
+            }
+            data(".align 4");
+            if (g.type->is_array()) {
+                if (g.has_init_str) {
+                    data(label + ": .asciz \"" + escape(g.init_str) + "\"");
+                    const int pad = g.type->size() - static_cast<int>(g.init_str.size()) - 1;
+                    if (pad > 0) {
+                        data(".space " + std::to_string(pad));
+                    }
+                } else {
+                    data(label + ": .space " + std::to_string(g.type->size()));
+                }
+            } else if (g.type->is_char()) {
+                const std::int32_t v = g.init ? fold_const(*g.init) : 0;
+                data(label + ": .byte " + std::to_string(v & 0xff));
+            } else {
+                const std::int32_t v = g.init ? fold_const(*g.init) : 0;
+                data(label + ": .word " + std::to_string(v));
+            }
+        }
+    }
+
+    // ---- frame layout --------------------------------------------------------
+    void layout_frame(const FuncDef& fn) {
+        slot_offsets_.assign(fn.local_slots.size(), 0);
+        int cursor = opts_.stack_canaries ? 4 : 0; // canary slot at [bp-4]
+        for (std::size_t i = 0; i < fn.local_slots.size(); ++i) {
+            const TypePtr& t = fn.local_slots[i];
+            const bool zoned = opts_.memcheck && t->is_array();
+            if (zoned) {
+                cursor += kRedZone; // red zone above (closer to bp)
+            }
+            cursor += round4(t->size());
+            slot_offsets_[i] = -cursor;
+            if (zoned) {
+                cursor += kRedZone; // red zone below
+            }
+        }
+        frame_size_ = cursor;
+    }
+
+    [[nodiscard]] int param_offset(int index) const { return 8 + 4 * index; }
+
+    // ---- protected-module support (Section IV-B) -----------------------------
+
+    /// Link-time label of the function body that direct calls target.  In
+    /// SecureModule mode exported functions get an internal implementation
+    /// label; the exported name becomes the entry stub.
+    [[nodiscard]] std::string impl_label(const FuncDef& fn) const {
+        if (fn.is_static) {
+            return static_label(fn.name, unit_);
+        }
+        if (opts_.pma_mode == PmaMode::SecureModule) {
+            return fn.name + "$impl$" + unit_;
+        }
+        return fn.name;
+    }
+
+    /// Emit the secure entry stub for an exported module function: save the
+    /// outside stack pointer, switch to the module's private stack, copy the
+    /// arguments across the protection boundary, run the implementation, and
+    /// on the way out scrub every scratch register so module secrets cannot
+    /// leak through the register file.
+    void gen_entry_stub(const FuncDef& fn) {
+        const int n = static_cast<int>(fn.params.size());
+        text("");
+        comment("PMA entry stub for " + fn.name + " (secure compilation)");
+        text(".global " + fn.name);
+        text(".func " + fn.name);
+        text(".entry " + fn.name);
+        text(fn.name + ":");
+        ins("mov r5, sp"); // outside stack pointer
+        ins("mov r7, __pma_out_sp");
+        ins("store [r7+0], r5");
+        ins("mov r7, __pma_priv_sp");
+        ins("load sp, [r7+0]"); // switch to the private stack
+        ins("push r5");         // remember the outside sp across the call
+        for (int i = n - 1; i >= 0; --i) {
+            ins("load r4, [r5+" + std::to_string(4 + 4 * i) + "]");
+            ins("push r4");
+        }
+        ins("call " + impl_label(fn));
+        if (n > 0) {
+            ins("add sp, " + std::to_string(4 * n));
+        }
+        ins("pop r5");
+        ins("mov r7, __pma_priv_sp");
+        ins("store [r7+0], sp"); // persist the private stack pointer
+        ins("mov sp, r5");       // back on the outside stack
+        comment("scrub scratch registers before leaving the module");
+        for (int r = 1; r <= 7; ++r) {
+            ins("mov r" + std::to_string(r) + ", 0");
+        }
+        ins("ret");
+    }
+
+    // ---- functions ---------------------------------------------------------
+    void gen_func(const FuncDef& fn) {
+        fn_ = &fn;
+        layout_frame(fn);
+        epilogue_label_ = fresh_label("epi$" + fn.name);
+
+        const std::string label = impl_label(fn);
+        text("");
+        comment(fn.ret->to_string() + " " + fn.name + "(...)");
+        if (!fn.is_static && opts_.pma_mode != PmaMode::SecureModule) {
+            text(".global " + label);
+        }
+        if (!fn.is_static && opts_.pma_mode == PmaMode::InsecureModule) {
+            // Naive module compilation: the function start itself is the
+            // entry point (this is what the Fig. 4 attack exploits).
+            text(".entry " + label);
+        }
+        text(".func " + label);
+        text(label + ":");
+        ins("push bp");
+        ins("mov bp, sp");
+        if (frame_size_ > 0) {
+            ins("sub sp, " + std::to_string(frame_size_));
+        }
+        if (opts_.stack_canaries) {
+            comment("StackGuard: place canary between locals and saved bp/ret");
+            ins("mov r0, __stack_chk_guard");
+            ins("load r0, [r0+0]");
+            ins("store [bp-4], r0");
+        }
+        if (opts_.memcheck && frame_size_ > 0) {
+            comment("memcheck: clear stale poison, then poison array red zones");
+            ins("lea r0, [bp-" + std::to_string(frame_size_) + "]");
+            ins("mov r1, " + std::to_string(frame_size_));
+            ins("sys 7"); // unpoison
+            for (std::size_t i = 0; i < fn.local_slots.size(); ++i) {
+                const TypePtr& t = fn.local_slots[i];
+                if (!t->is_array()) {
+                    continue;
+                }
+                const int off = slot_offsets_[i];
+                const int size = round4(t->size());
+                ins("lea r0, " + bp_mem(off + size));
+                ins("mov r1, " + std::to_string(kRedZone));
+                ins("sys 6"); // poison above
+                ins("lea r0, " + bp_mem(off - kRedZone));
+                ins("mov r1, " + std::to_string(kRedZone));
+                ins("sys 6"); // poison below
+            }
+        }
+
+        gen_stmt(*fn.body);
+
+        text(epilogue_label_ + ":");
+        if (opts_.memcheck && frame_size_ > 0) {
+            comment("memcheck: unpoison the whole frame before it is deallocated");
+            ins("mov r3, r0"); // preserve the return value
+            ins("lea r0, [bp-" + std::to_string(frame_size_) + "]");
+            ins("mov r1, " + std::to_string(frame_size_));
+            ins("sys 7");
+            ins("mov r0, r3");
+        }
+        if (opts_.stack_canaries) {
+            comment("StackGuard: verify canary before using the saved return address");
+            const std::string ok = fresh_label("canary_ok");
+            ins("mov r1, __stack_chk_guard");
+            ins("load r1, [r1+0]");
+            ins("load r2, [bp-4]");
+            ins("cmp r1, r2");
+            ins("jz " + ok);
+            ins("sys 5"); // abort: smashing detected
+            text(ok + ":");
+        }
+        ins("leave");
+        ins("ret");
+        if (!fn.is_static && opts_.pma_mode == PmaMode::SecureModule) {
+            gen_entry_stub(fn);
+        }
+        fn_ = nullptr;
+    }
+
+    // ---- statements ----------------------------------------------------------
+    void gen_stmt(const Stmt& s) {
+        switch (s.kind) {
+        case Stmt::Kind::Empty:
+            break;
+        case Stmt::Kind::ExprStmt:
+            eval(*s.expr);
+            break;
+        case Stmt::Kind::Decl:
+            gen_decl(s.decl);
+            break;
+        case Stmt::Kind::If: {
+            const std::string els = fresh_label("else");
+            const std::string end = fresh_label("endif");
+            eval(*s.expr);
+            ins("cmp r0, 0");
+            ins("jz " + els);
+            gen_stmt(*s.then_branch);
+            if (s.else_branch) {
+                ins("jmp " + end);
+                text(els + ":");
+                gen_stmt(*s.else_branch);
+                text(end + ":");
+            } else {
+                text(els + ":");
+            }
+            break;
+        }
+        case Stmt::Kind::While: {
+            const std::string head = fresh_label("while");
+            const std::string end = fresh_label("endwhile");
+            text(head + ":");
+            eval(*s.expr);
+            ins("cmp r0, 0");
+            ins("jz " + end);
+            break_labels_.push_back(end);
+            continue_labels_.push_back(head);
+            gen_stmt(*s.then_branch);
+            break_labels_.pop_back();
+            continue_labels_.pop_back();
+            ins("jmp " + head);
+            text(end + ":");
+            break;
+        }
+        case Stmt::Kind::For: {
+            const std::string head = fresh_label("for");
+            const std::string step = fresh_label("forstep");
+            const std::string end = fresh_label("endfor");
+            if (s.init_stmt) {
+                gen_stmt(*s.init_stmt);
+            }
+            text(head + ":");
+            if (s.expr) {
+                eval(*s.expr);
+                ins("cmp r0, 0");
+                ins("jz " + end);
+            }
+            break_labels_.push_back(end);
+            continue_labels_.push_back(step);
+            gen_stmt(*s.then_branch);
+            break_labels_.pop_back();
+            continue_labels_.pop_back();
+            text(step + ":");
+            if (s.step_expr) {
+                eval(*s.step_expr);
+            }
+            ins("jmp " + head);
+            text(end + ":");
+            break;
+        }
+        case Stmt::Kind::Return:
+            if (s.expr) {
+                eval(*s.expr);
+            }
+            ins("jmp " + epilogue_label_);
+            break;
+        case Stmt::Kind::Break:
+            SWSEC_ASSERT(!break_labels_.empty(), "break outside loop");
+            ins("jmp " + break_labels_.back());
+            break;
+        case Stmt::Kind::Continue:
+            SWSEC_ASSERT(!continue_labels_.empty(), "continue outside loop");
+            ins("jmp " + continue_labels_.back());
+            break;
+        case Stmt::Kind::Block:
+            for (const auto& sub : s.body) {
+                gen_stmt(*sub);
+            }
+            break;
+        }
+    }
+
+    void gen_decl(const VarDecl& d) {
+        SWSEC_ASSERT(d.slot >= 0, "local decl must have a slot");
+        const int off = slot_offsets_[static_cast<std::size_t>(d.slot)];
+        if (d.has_init_str) {
+            // Copy the string literal into the stack array.
+            const std::string label = intern_string(d.init_str);
+            comment("init " + d.name + " = string literal");
+            ins("mov r0, " + label);
+            ins("push r0");
+            ins("lea r0, " + bp_mem(off));
+            ins("push r0");
+            ins("push " + std::to_string(static_cast<int>(d.init_str.size()) + 1));
+            // strcpy-free path: memcpy(dst, src, len+1) with args (dst,src,n)
+            ins("pop r2");
+            ins("pop r0");
+            ins("pop r1");
+            // inline byte copy loop
+            const std::string loop = fresh_label("strinit");
+            const std::string done = fresh_label("strinit_done");
+            text(loop + ":");
+            ins("cmp r2, 0");
+            ins("jz " + done);
+            ins("load8 r3, [r1+0]");
+            ins("store8 [r0+0], r3");
+            ins("add r0, 1");
+            ins("add r1, 1");
+            ins("sub r2, 1");
+            ins("jmp " + loop);
+            text(done + ":");
+            return;
+        }
+        if (d.init) {
+            eval(*d.init);
+            if (d.type->is_char()) {
+                ins("store8 " + bp_mem(off) + ", r0");
+            } else {
+                ins("store " + bp_mem(off) + ", r0");
+            }
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------
+    // eval(): result in r0.  eval_addr(): address of lvalue in r0.
+
+    static bool is_char_value(const Expr& e) {
+        return e.type->is_char();
+    }
+
+    void eval(const Expr& e) {
+        switch (e.kind) {
+        case Expr::Kind::IntLit:
+            ins("mov r0, " + std::to_string(e.value));
+            break;
+        case Expr::Kind::StrLit:
+            ins("mov r0, " + intern_string(e.str));
+            break;
+        case Expr::Kind::Ident:
+            switch (e.ref) {
+            case RefKind::Func:
+                ins("mov r0, " + e.str);
+                break;
+            case RefKind::Global:
+                if (e.object_type->is_array()) {
+                    ins("mov r0, " + e.str); // decay to base address
+                } else {
+                    ins("mov r0, " + e.str);
+                    ins(e.object_type->is_char() ? "load8 r0, [r0+0]" : "load r0, [r0+0]");
+                }
+                break;
+            case RefKind::Local: {
+                const int off = slot_offsets_[static_cast<std::size_t>(e.value)];
+                if (e.object_type->is_array()) {
+                    ins("lea r0, " + bp_mem(off));
+                } else {
+                    ins((e.object_type->is_char() ? "load8 r0, " : "load r0, ") + bp_mem(off));
+                }
+                break;
+            }
+            case RefKind::Param: {
+                const int off = param_offset(e.value);
+                ins((e.object_type->is_char() ? "load8 r0, " : "load r0, ") + bp_mem(off));
+                break;
+            }
+            case RefKind::None:
+                throw Error("unresolved identifier in codegen: " + e.name);
+            }
+            break;
+        case Expr::Kind::Unary:
+            gen_unary(e);
+            break;
+        case Expr::Kind::Binary:
+            gen_binary(e);
+            break;
+        case Expr::Kind::Assign: {
+            eval_addr(*e.lhs);
+            ins("push r0");
+            eval(*e.rhs);
+            ins("pop r1");
+            ins(is_char_value(*e.lhs) ? "store8 [r1+0], r0" : "store [r1+0], r0");
+            break;
+        }
+        case Expr::Kind::Call:
+            gen_call(e);
+            break;
+        case Expr::Kind::Index:
+            eval_addr(e);
+            ins(is_char_value(e) ? "load8 r0, [r0+0]" : "load r0, [r0+0]");
+            break;
+        case Expr::Kind::Cast:
+            if (e.cast_type->is_void()) {
+                eval(*e.lhs);
+            } else {
+                eval(*e.lhs);
+                if (e.cast_type->is_char()) {
+                    ins("and r0, 255");
+                }
+            }
+            break;
+        case Expr::Kind::SizeofT:
+            ins("mov r0, " + std::to_string(e.value));
+            break;
+        case Expr::Kind::Cond: {
+            const std::string els = fresh_label("cond_else");
+            const std::string end = fresh_label("cond_end");
+            eval(*e.lhs);
+            ins("cmp r0, 0");
+            ins("jz " + els);
+            eval(*e.rhs);
+            ins("jmp " + end);
+            text(els + ":");
+            eval(*e.args[0]);
+            text(end + ":");
+            break;
+        }
+        case Expr::Kind::PreIncDec:
+        case Expr::Kind::PostIncDec: {
+            const int step = e.lhs->type->is_ptr() ? e.lhs->type->step() : 1;
+            eval_addr(*e.lhs);
+            ins(is_char_value(*e.lhs) ? "load8 r1, [r0+0]" : "load r1, [r0+0]");
+            ins("mov r2, r1"); // original value
+            if (e.value > 0) {
+                ins("add r1, " + std::to_string(step));
+            } else {
+                ins("sub r1, " + std::to_string(step));
+            }
+            ins(is_char_value(*e.lhs) ? "store8 [r0+0], r1" : "store [r0+0], r1");
+            ins(e.kind == Expr::Kind::PreIncDec ? "mov r0, r1" : "mov r0, r2");
+            break;
+        }
+        }
+    }
+
+    void gen_unary(const Expr& e) {
+        switch (e.un_op) {
+        case UnOp::Neg:
+            eval(*e.lhs);
+            ins("neg r0");
+            break;
+        case UnOp::BitNot:
+            eval(*e.lhs);
+            ins("not r0");
+            break;
+        case UnOp::Not: {
+            eval(*e.lhs);
+            const std::string t = fresh_label("not");
+            ins("cmp r0, 0");
+            ins("mov r0, 1");
+            ins("jz " + t);
+            ins("mov r0, 0");
+            text(t + ":");
+            break;
+        }
+        case UnOp::Deref:
+            eval(*e.lhs);
+            if (e.object_type->is_array()) {
+                break; // *p where p points to an array: address is the value
+            }
+            ins(is_char_value(e) ? "load8 r0, [r0+0]" : "load r0, [r0+0]");
+            break;
+        case UnOp::AddrOf:
+            eval_addr(*e.lhs);
+            break;
+        }
+    }
+
+    void gen_binary(const Expr& e) {
+        if (e.bin_op == BinOp::LogAnd || e.bin_op == BinOp::LogOr) {
+            const bool is_and = e.bin_op == BinOp::LogAnd;
+            const std::string shortcut = fresh_label(is_and ? "and_false" : "or_true");
+            const std::string end = fresh_label("log_end");
+            eval(*e.lhs);
+            ins("cmp r0, 0");
+            ins(is_and ? "jz " + shortcut : "jnz " + shortcut);
+            eval(*e.rhs);
+            ins("cmp r0, 0");
+            ins(is_and ? "jz " + shortcut : "jnz " + shortcut);
+            ins(std::string("mov r0, ") + (is_and ? "1" : "0"));
+            ins("jmp " + end);
+            text(shortcut + ":");
+            ins(std::string("mov r0, ") + (is_and ? "0" : "1"));
+            text(end + ":");
+            return;
+        }
+
+        // Pointer arithmetic scaling.
+        const bool lp = e.lhs->type->is_ptr();
+        const bool rp = e.rhs->type->is_ptr();
+        eval(*e.lhs);
+        ins("push r0");
+        eval(*e.rhs);
+        ins("pop r1"); // lhs in r1, rhs in r0
+
+        const auto scale_rhs = [&](int step) {
+            if (step != 1) {
+                ins("mul r0, " + std::to_string(step));
+            }
+        };
+
+        switch (e.bin_op) {
+        case BinOp::Add:
+            if (lp && !rp) {
+                scale_rhs(e.lhs->type->step());
+            } else if (rp && !lp) {
+                // int + ptr: scale the int side (in r1)
+                if (e.rhs->type->step() != 1) {
+                    ins("mul r1, " + std::to_string(e.rhs->type->step()));
+                }
+            }
+            ins("add r1, r0");
+            ins("mov r0, r1");
+            break;
+        case BinOp::Sub:
+            if (lp && rp) {
+                ins("sub r1, r0");
+                ins("mov r0, r1");
+                const int step = e.lhs->type->step();
+                if (step != 1) {
+                    ins("mov r1, " + std::to_string(step));
+                    ins("divs r0, r1");
+                }
+            } else {
+                if (lp) {
+                    scale_rhs(e.lhs->type->step());
+                }
+                ins("sub r1, r0");
+                ins("mov r0, r1");
+            }
+            break;
+        case BinOp::Mul:
+            ins("mul r1, r0");
+            ins("mov r0, r1");
+            break;
+        case BinOp::Div:
+            ins("divs r1, r0");
+            ins("mov r0, r1");
+            break;
+        case BinOp::Rem:
+            ins("rems r1, r0");
+            ins("mov r0, r1");
+            break;
+        case BinOp::Shl:
+            ins("shl r1, r0");
+            ins("mov r0, r1");
+            break;
+        case BinOp::Shr:
+            ins("sar r1, r0"); // C: >> on signed int is arithmetic
+            ins("mov r0, r1");
+            break;
+        case BinOp::BitAnd:
+            ins("and r1, r0");
+            ins("mov r0, r1");
+            break;
+        case BinOp::BitOr:
+            ins("or r1, r0");
+            ins("mov r0, r1");
+            break;
+        case BinOp::BitXor:
+            ins("xor r1, r0");
+            ins("mov r0, r1");
+            break;
+        case BinOp::Lt:
+        case BinOp::Gt:
+        case BinOp::Le:
+        case BinOp::Ge:
+        case BinOp::Eq:
+        case BinOp::Ne: {
+            // Pointers compare unsigned, ints signed.
+            const bool unsigned_cmp = lp || rp;
+            ins("cmp r1, r0");
+            const std::string yes = fresh_label("cmp_true");
+            const std::string end = fresh_label("cmp_end");
+            std::string jump;
+            switch (e.bin_op) {
+            case BinOp::Lt:
+                jump = unsigned_cmp ? "jb" : "jl";
+                break;
+            case BinOp::Ge:
+                jump = unsigned_cmp ? "jae" : "jge";
+                break;
+            case BinOp::Gt:
+                jump = unsigned_cmp ? "ja" : "jg"; // ja synthesised below
+                break;
+            case BinOp::Le:
+                jump = unsigned_cmp ? "jbe" : "jle";
+                break;
+            case BinOp::Eq:
+                jump = "jz";
+                break;
+            case BinOp::Ne:
+                jump = "jnz";
+                break;
+            default:
+                break;
+            }
+            if (jump == "ja") {
+                // a > b unsigned == b < a: swap by testing "not below and not equal"
+                const std::string no = fresh_label("cmp_false");
+                ins("jb " + no);
+                ins("jz " + no);
+                ins("mov r0, 1");
+                ins("jmp " + end);
+                text(no + ":");
+                ins("mov r0, 0");
+                text(end + ":");
+                return;
+            }
+            if (jump == "jbe") {
+                ins("jb " + yes);
+                ins("jz " + yes);
+                ins("mov r0, 0");
+                ins("jmp " + end);
+                text(yes + ":");
+                ins("mov r0, 1");
+                text(end + ":");
+                return;
+            }
+            ins(jump + " " + yes);
+            ins("mov r0, 0");
+            ins("jmp " + end);
+            text(yes + ":");
+            ins("mov r0, 1");
+            text(end + ":");
+            break;
+        }
+        case BinOp::LogAnd:
+        case BinOp::LogOr:
+            SWSEC_ASSERT(false, "handled above");
+            break;
+        }
+    }
+
+    void gen_call(const Expr& e) {
+        // Push arguments right to left: arg0 ends up at [sp].
+        for (std::size_t i = e.args.size(); i-- > 0;) {
+            eval(*e.args[i]);
+            ins("push r0");
+        }
+
+        // FORTIFY-style capacity check: read(fd, buf, n) with buf a known
+        // array must have n <= sizeof(buf).  Catches the Fig. 1 bug.
+        if (opts_.fortify_reads && e.lhs->kind == Expr::Kind::Ident && e.args.size() == 3 &&
+            (e.lhs->name == "read" || e.lhs->name == "write" || e.lhs->name == "memcpy" ||
+             e.lhs->name == "memset")) {
+            const bool buf_is_second = e.lhs->name == "read" || e.lhs->name == "write";
+            const Expr& dst = buf_is_second ? *e.args[1] : *e.args[0];
+            if (dst.object_type && dst.object_type->is_array()) {
+                const int cap = dst.object_type->size();
+                comment("fortify: length must not exceed sizeof(" +
+                        (dst.kind == Expr::Kind::Ident ? dst.name : std::string("buffer")) + ")");
+                const std::string ok = fresh_label("fortify_ok");
+                ins("load r1, [sp+8]"); // the length argument
+                ins("cmp r1, " + std::to_string(cap + 1));
+                ins("jb " + ok);
+                ins("sys 5");
+                text(ok + ":");
+            }
+        }
+
+        if (e.lhs->kind == Expr::Kind::Ident && e.lhs->ref == RefKind::Func) {
+            ins("call " + direct_call_label(*e.lhs));
+        } else if (opts_.pma_mode == PmaMode::SecureModule) {
+            eval(*e.lhs);
+            gen_secure_outcall(static_cast<int>(e.args.size()));
+        } else {
+            eval(*e.lhs);
+            ins("call r0");
+        }
+        if (!e.args.empty()) {
+            ins("add sp, " + std::to_string(4 * e.args.size()));
+        }
+    }
+
+    /// Direct calls inside a secure module must target the implementation
+    /// label, not the entry stub (re-entering through the stub would switch
+    /// stacks a second time and corrupt the out-sp bookkeeping).
+    [[nodiscard]] std::string direct_call_label(const Expr& callee) const {
+        if (opts_.pma_mode == PmaMode::SecureModule) {
+            for (const auto& fn : prog_.funcs) {
+                if (fn.body && fn.name == callee.name) {
+                    return impl_label(fn);
+                }
+            }
+        }
+        return callee.str;
+    }
+
+    /// Secure-compilation out-call (Section IV-B): the module calls through
+    /// a function pointer supplied from outside.  The compiled sequence
+    ///  (1) *sanitises* the pointer — it must lie outside the module's code,
+    ///      which is exactly the defensive check that defeats the Fig. 4
+    ///      entry-point-abuse attack;
+    ///  (2) marshals the arguments from the private stack to the outside
+    ///      stack (the callee may not read module memory);
+    ///  (3) transfers control with the return address set to a dedicated
+    ///      per-call-site *re-entry point*, the only legal way back in.
+    /// Target is in r0; `n` arguments sit on the private stack.
+    void gen_secure_outcall(int n) {
+        const std::string ok = fresh_label("san_ok");
+        const std::string reentry = "__pma_reentry$" + unit_ + "$" +
+                                    std::to_string(label_counter_++);
+        comment("sanitise function pointer: must not point into the module");
+        ins("mov r6, __pma_text_start");
+        ins("cmp r0, r6");
+        ins("jb " + ok);
+        ins("mov r6, __pma_text_end");
+        ins("cmp r0, r6");
+        ins("jae " + ok);
+        ins("sys 5"); // abort: entry-point abuse attempt
+        text(ok + ":");
+        ins("mov r6, r0");
+        comment("marshal arguments to the outside stack");
+        ins("mov r5, __pma_out_sp");
+        ins("load r5, [r5+0]");
+        for (int i = n - 1; i >= 0; --i) {
+            ins("load r4, [sp+" + std::to_string(4 * i) + "]");
+            ins("sub r5, 4");
+            ins("store [r5+0], r4");
+        }
+        ins("sub r5, 4");
+        ins("mov r4, " + reentry);
+        ins("store [r5+0], r4"); // outside callee returns to the re-entry point
+        ins("mov r7, __pma_priv_sp");
+        ins("store [r7+0], sp");
+        ins("mov sp, r5");
+        ins("jmp r6");
+        text(".entry " + reentry);
+        text(".func " + reentry);
+        text(reentry + ":");
+        comment("back inside the module: restore the private stack");
+        ins("mov r7, __pma_priv_sp");
+        ins("load sp, [r7+0]");
+    }
+
+    void eval_addr(const Expr& e) {
+        switch (e.kind) {
+        case Expr::Kind::Ident:
+            switch (e.ref) {
+            case RefKind::Global:
+            case RefKind::Func:
+                ins("mov r0, " + e.str);
+                break;
+            case RefKind::Local:
+                ins("lea r0, " + bp_mem(slot_offsets_[static_cast<std::size_t>(e.value)]));
+                break;
+            case RefKind::Param:
+                ins("lea r0, " + bp_mem(param_offset(e.value)));
+                break;
+            case RefKind::None:
+                throw Error("unresolved identifier in codegen: " + e.name);
+            }
+            break;
+        case Expr::Kind::Unary:
+            SWSEC_ASSERT(e.un_op == UnOp::Deref, "only deref yields an lvalue");
+            eval(*e.lhs);
+            break;
+        case Expr::Kind::Index: {
+            // Base address: arrays use their storage address; pointers load
+            // the pointer value.
+            eval(*e.lhs); // decayed value == base address in both cases
+            ins("push r0");
+            eval(*e.rhs);
+            if (opts_.bounds_checks && e.lhs->kind == Expr::Kind::Ident &&
+                e.lhs->object_type && e.lhs->object_type->is_array()) {
+                const int len = e.lhs->object_type->array_len();
+                comment("bounds check: index < " + std::to_string(len));
+                const std::string ok = fresh_label("bounds_ok");
+                ins("cmp r0, " + std::to_string(len));
+                ins("jb " + ok); // unsigned: also rejects negative indices
+                ins("sys 5");
+                text(ok + ":");
+            }
+            const int step = e.object_type->size();
+            if (step != 1) {
+                ins("mul r0, " + std::to_string(step));
+            }
+            ins("pop r1");
+            ins("add r0, r1");
+            break;
+        }
+        default:
+            throw Error("expression is not an lvalue in codegen");
+        }
+    }
+};
+
+} // namespace
+
+std::string generate(const Program& prog, const CompilerOptions& opts,
+                     const std::string& unit_name) {
+    CodeGen cg(prog, opts, unit_name);
+    return cg.run();
+}
+
+} // namespace swsec::cc

@@ -1,0 +1,15 @@
+// MiniC code generation (internal interface; use cc/compiler.hpp).
+#pragma once
+
+#include <string>
+
+#include "cc/ast.hpp"
+#include "cc/compiler.hpp"
+
+namespace swsec::cc {
+
+/// Lower an analysed Program to swsec assembly text.
+[[nodiscard]] std::string generate(const Program& prog, const CompilerOptions& opts,
+                                   const std::string& unit_name);
+
+} // namespace swsec::cc

@@ -1,0 +1,51 @@
+#include "cc/compiler.hpp"
+
+#include "assembler/assembler.hpp"
+#include "assembler/linker.hpp"
+#include "cc/codegen.hpp"
+#include "cc/parser.hpp"
+#include "cc/runtime.hpp"
+
+namespace swsec::cc {
+
+std::string compile_to_asm(const std::string& source, const CompilerOptions& opts,
+                           const std::string& unit_name, const ExternEnv& externs) {
+    Program prog = parse(source);
+    analyze(prog, externs, unit_name);
+    return generate(prog, opts, unit_name);
+}
+
+objfmt::ObjectFile compile(const std::string& source, const CompilerOptions& opts,
+                           const std::string& unit_name, const ExternEnv& externs) {
+    return assembler::assemble(compile_to_asm(source, opts, unit_name, externs), unit_name);
+}
+
+objfmt::Image compile_program(const std::vector<std::string>& minic_units,
+                              const CompilerOptions& opts) {
+    return compile_program_with_objects(minic_units, opts, {});
+}
+
+objfmt::Image compile_program_with_objects(const std::vector<std::string>& minic_units,
+                                           const CompilerOptions& opts,
+                                           const std::vector<objfmt::ObjectFile>& extra_objects,
+                                           const ExternEnv& extra_externs) {
+    ExternEnv env = runtime_externs();
+    for (const auto& [name, type] : extra_externs) {
+        env[name] = type;
+    }
+    std::vector<objfmt::ObjectFile> objects;
+    objects.push_back(assembler::assemble(runtime_crt0_asm(), "crt0"));
+    // The runtime library is compiled with the same hardening profile as the
+    // program (a real distro ships a canary-protected libc alongside
+    // canary-protected applications).
+    objects.push_back(compile(runtime_libc_minic(), opts, "libc"));
+    for (std::size_t i = 0; i < minic_units.size(); ++i) {
+        objects.push_back(compile(minic_units[i], opts, "u" + std::to_string(i), env));
+    }
+    for (const auto& obj : extra_objects) {
+        objects.push_back(obj);
+    }
+    return assembler::link(objects);
+}
+
+} // namespace swsec::cc

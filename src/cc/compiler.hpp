@@ -1,0 +1,92 @@
+// MiniC compiler driver and hardening options.
+//
+// The compiler lowers MiniC to swsec assembly, then assembles it to an
+// ObjectFile.  Its options are the *compiler-inserted* countermeasures of
+// the paper:
+//
+//  * stack_canaries  — StackGuard [9]: a random canary between the locals
+//                      and the saved base pointer / return address, checked
+//                      before every return (Section III-C1).
+//  * bounds_checks   — "safe language" mode: every indexing operation on an
+//                      array of statically known size is range-checked
+//                      (Section III-C2, compiler-enforced bounds checks).
+//  * fortify_reads   — capacity checks on read()/memcpy()/strcpy() into
+//                      arrays of known size (FORTIFY_SOURCE analogue; this
+//                      catches the Fig. 1 bug where the *length argument*,
+//                      not the index, is wrong).
+//  * memcheck        — ASan-style testing instrumentation [16]: red zones
+//                      around stack arrays, poisoned via the machine's
+//                      poison map (heap red zones live in the runtime
+//                      allocator).  Requires a machine with
+//                      MachineOptions::memcheck.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assembler/object.hpp"
+#include "cc/ast.hpp"
+#include "cc/sema.hpp"
+
+namespace swsec::cc {
+
+/// How a unit relates to a Protected Module Architecture (Section IV).
+enum class PmaMode : std::uint8_t {
+    Off,            // ordinary code
+    InsecureModule, // module placed in a PMA but compiled naively: every
+                    // exported function is an entry point, frames live on
+                    // the shared stack, no defensive checks — the Fig. 4
+                    // attack works against this mode
+    SecureModule,   // Agten/Patrignani-style secure compilation: entry
+                    // stubs, a private in-module stack, register scrubbing
+                    // on exit, function-pointer sanitisation, per-call-site
+                    // re-entry points for out-calls
+};
+
+struct CompilerOptions {
+    bool stack_canaries = false;
+    bool bounds_checks = false;
+    bool fortify_reads = false;
+    bool memcheck = false;
+    bool emit_comments = true;
+    PmaMode pma_mode = PmaMode::Off;
+
+    [[nodiscard]] static CompilerOptions none() noexcept { return {}; }
+    [[nodiscard]] static CompilerOptions safe() noexcept {
+        CompilerOptions o;
+        o.stack_canaries = true;
+        o.bounds_checks = true;
+        o.fortify_reads = true;
+        return o;
+    }
+};
+
+/// Compile one MiniC unit to assembly text (inspectable; Fig. 1(b) views
+/// come from disassembling the final image, but this is the direct output).
+[[nodiscard]] std::string compile_to_asm(const std::string& source, const CompilerOptions& opts,
+                                         const std::string& unit_name = "unit",
+                                         const ExternEnv& externs = runtime_externs());
+
+/// Compile one MiniC unit to an object file.
+[[nodiscard]] objfmt::ObjectFile compile(const std::string& source, const CompilerOptions& opts,
+                                         const std::string& unit_name = "unit",
+                                         const ExternEnv& externs = runtime_externs());
+
+/// Compile a whole program: the given MiniC units plus the swsec runtime
+/// (crt0/_start, syscall wrappers, small libc), linked into an Image ready
+/// for os::load_image.
+[[nodiscard]] objfmt::Image compile_program(const std::vector<std::string>& minic_units,
+                                            const CompilerOptions& opts);
+
+/// As compile_program, but also links extra pre-assembled objects (e.g. a
+/// malicious machine-code module for the Section IV attacker, or import
+/// stubs for a protected module) and exposes extra extern declarations to
+/// the MiniC units (the signatures of those imports).
+[[nodiscard]] objfmt::Image
+compile_program_with_objects(const std::vector<std::string>& minic_units,
+                             const CompilerOptions& opts,
+                             const std::vector<objfmt::ObjectFile>& extra_objects,
+                             const ExternEnv& extra_externs = {});
+
+} // namespace swsec::cc

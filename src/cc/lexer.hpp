@@ -1,0 +1,79 @@
+// MiniC lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swsec::cc {
+
+enum class Tok : std::uint8_t {
+    End,
+    Ident,
+    Number,
+    CharLit,
+    StringLit,
+    // keywords
+    KwInt,
+    KwChar,
+    KwVoid,
+    KwStatic,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSizeof,
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    AndAnd,
+    OrOr,
+    Shl,
+    Shr,
+    PlusAssign,
+    MinusAssign,
+    PlusPlus,
+    MinusMinus,
+    Question,
+    Colon,
+};
+
+struct Token {
+    Tok kind = Tok::End;
+    std::string text;     // identifier / string contents
+    std::int32_t value = 0; // number / char literal
+    int line = 0;
+};
+
+/// Tokenize MiniC source.  Throws swsec::ParseError on bad input.
+[[nodiscard]] std::vector<Token> lex(const std::string& source);
+
+[[nodiscard]] std::string token_name(Tok t);
+
+} // namespace swsec::cc

@@ -1,0 +1,13 @@
+// MiniC recursive-descent parser.
+#pragma once
+
+#include <string>
+
+#include "cc/ast.hpp"
+
+namespace swsec::cc {
+
+/// Parse a MiniC translation unit.  Throws swsec::ParseError on bad input.
+[[nodiscard]] Program parse(const std::string& source);
+
+} // namespace swsec::cc

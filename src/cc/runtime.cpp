@@ -1,0 +1,221 @@
+#include "cc/runtime.hpp"
+
+namespace swsec::cc {
+
+const std::string& runtime_crt0_asm() {
+    static const std::string src = R"(
+; crt0: process entry and raw syscall wrappers.
+.text
+.global _start
+.func _start
+_start:
+  ; Initialise the StackGuard canary with fresh randomness (StackGuard [9]).
+  mov r0, __stack_chk_guard
+  mov r1, 4
+  sys 4               ; getrandom(&__stack_chk_guard, 4)
+  call main
+  sys 0               ; exit(main()); r0 already holds the return value
+
+.global read
+.func read
+read:                  ; int read(int fd, char* buf, int n)
+  load r0, [sp+4]
+  load r1, [sp+8]
+  load r2, [sp+12]
+  sys 1
+  ret
+
+.global write
+.func write
+write:                 ; int write(int fd, char* buf, int n)
+  load r0, [sp+4]
+  load r1, [sp+8]
+  load r2, [sp+12]
+  sys 2
+  ret
+
+.global exit
+.func exit
+exit:                  ; void exit(int code)
+  load r0, [sp+4]
+  sys 0
+  ret
+
+.global sbrk
+.func sbrk
+sbrk:                  ; char* sbrk(int delta)
+  load r0, [sp+4]
+  sys 3
+  ret
+
+.global getrandom
+.func getrandom
+getrandom:             ; void getrandom(char* buf, int n)
+  load r0, [sp+4]
+  load r1, [sp+8]
+  sys 4
+  ret
+
+.global abort
+.func abort
+abort:                 ; void abort(void)
+  sys 5
+  ret
+
+.global __poison
+.func __poison
+__poison:              ; void __poison(char* p, int n) — memcheck hook
+  load r0, [sp+4]
+  load r1, [sp+8]
+  sys 6
+  ret
+
+.global __unpoison
+.func __unpoison
+__unpoison:            ; void __unpoison(char* p, int n)
+  load r0, [sp+4]
+  load r1, [sp+8]
+  sys 7
+  ret
+
+.global __memcheck_active
+.func __memcheck_active
+__memcheck_active:     ; int __memcheck_active(void)
+  sys 15
+  ret
+
+.data
+.global __stack_chk_guard
+.align 4
+__stack_chk_guard: .word 0
+)";
+    return src;
+}
+
+const std::string& runtime_libc_minic() {
+    static const std::string src = R"(
+/* swsec libc — compiled into every program. */
+
+/* --- allocator: first-fit free list over sbrk --------------------------
+ * Chunk layout: [size:int][next:int][user bytes...][16B red zone]
+ * free() poisons the user area (memcheck catches use-after-free);
+ * malloc() unpoisons on reuse.  Without memcheck the hooks are no-ops
+ * and the reuse behaviour is exactly what temporal attacks exploit. */
+static int free_head = 0;
+
+char* malloc(int n) {
+  if (n <= 0) { return (char*)0; }
+  n = (n + 3) & ~3;
+  int prev = 0;
+  int cur = free_head;
+  while (cur != 0) {
+    int* hdr = (int*)cur;
+    if (hdr[0] >= n) {
+      if (prev == 0) { free_head = hdr[1]; }
+      else { int* ph = (int*)prev; ph[1] = hdr[1]; }
+      __unpoison((char*)(cur + 8), hdr[0]);
+      return (char*)(cur + 8);
+    }
+    prev = cur;
+    cur = hdr[1];
+  }
+  char* raw = sbrk(n + 8 + 16);
+  if ((int)raw == -1) { return (char*)0; }
+  int* hdr = (int*)raw;
+  hdr[0] = n;
+  hdr[1] = 0;
+  __poison(raw + 8 + n, 16);   /* tail red zone */
+  return raw + 8;
+}
+
+void free(char* p) {
+  if ((int)p == 0) { return; }
+  int* hdr = (int*)(p - 8);
+  __poison(p, hdr[0]);         /* freed memory is poisoned until reuse */
+  if (__memcheck_active()) {
+    /* Testing mode: quarantine the chunk forever so every later access
+     * through a stale pointer is detected (ASan-style quarantine [16]). */
+    return;
+  }
+  hdr[1] = free_head;
+  free_head = (int)(p - 8);
+}
+
+/* --- strings / memory --------------------------------------------------- */
+int strlen(char* s) {
+  int n = 0;
+  while (s[n] != 0) { n = n + 1; }
+  return n;
+}
+
+int strcmp(char* a, char* b) {
+  int i = 0;
+  while (a[i] != 0 && a[i] == b[i]) { i = i + 1; }
+  return a[i] - b[i];
+}
+
+char* strcpy(char* d, char* s) {
+  int i = 0;
+  while (s[i] != 0) { d[i] = s[i]; i = i + 1; }
+  d[i] = 0;
+  return d;
+}
+
+char* memcpy(char* d, char* s, int n) {
+  for (int i = 0; i < n; i = i + 1) { d[i] = s[i]; }
+  return d;
+}
+
+char* memset(char* d, int c, int n) {
+  for (int i = 0; i < n; i = i + 1) { d[i] = (char)c; }
+  return d;
+}
+
+/* --- I/O helpers --------------------------------------------------------- */
+int puts(char* s) {
+  write(1, s, strlen(s));
+  write(1, "\n", 1);
+  return 0;
+}
+
+void print_int(int v) {
+  char buf[12];
+  int i = 11;
+  int neg = 0;
+  if (v < 0) { neg = 1; }
+  if (v == 0) { buf[i] = '0'; i = i - 1; }
+  while (v != 0) {
+    int d = v % 10;
+    if (d < 0) { d = -d; }
+    buf[i] = (char)('0' + d);
+    i = i - 1;
+    v = v / 10;
+  }
+  if (neg) { buf[i] = '-'; i = i - 1; }
+  write(1, &buf[i + 1], 11 - i);
+}
+
+int atoi(char* s) {
+  int v = 0;
+  int i = 0;
+  int neg = 0;
+  if (s[0] == '-') { neg = 1; i = 1; }
+  while (s[i] >= '0' && s[i] <= '9') {
+    v = v * 10 + (s[i] - '0');
+    i = i + 1;
+  }
+  if (neg) { return -v; }
+  return v;
+}
+
+/* --- the return-to-libc target ------------------------------------------
+ * A deliberately privileged function that exists in every address space,
+ * standing in for system()/exec() in the paper's code-reuse discussion. */
+void grant_shell() {
+  write(1, "[libc] root shell granted\n", 26);
+}
+)";
+    return src;
+}
+
+} // namespace swsec::cc

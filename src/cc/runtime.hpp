@@ -1,0 +1,26 @@
+// The swsec runtime: crt0 (_start), syscall wrappers and a small libc.
+//
+// Every program linked by cc::compile_program contains these units — they
+// play the role of libc in the paper's attacks: grant_shell() is the
+// "existing useful function" a return-to-libc attack diverts control to,
+// and the allocator's free-list behaviour is what temporal (use-after-free)
+// vulnerabilities exploit.
+#pragma once
+
+#include <string>
+
+#include "cc/compiler.hpp"
+
+namespace swsec::cc {
+
+/// Assembly source of crt0: _start (canary init, call main, exit) and the
+/// raw syscall wrappers (read/write/exit/sbrk/getrandom/abort/__poison/
+/// __unpoison), plus the __stack_chk_guard global.
+[[nodiscard]] const std::string& runtime_crt0_asm();
+
+/// MiniC source of the runtime library: malloc/free (free-list allocator
+/// with poison hooks), string/memory functions, puts/print_int/atoi, and
+/// the privileged grant_shell() that return-to-libc attacks target.
+[[nodiscard]] const std::string& runtime_libc_minic();
+
+} // namespace swsec::cc

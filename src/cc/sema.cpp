@@ -1,0 +1,499 @@
+#include "cc/sema.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace swsec::cc {
+
+namespace {
+
+struct VarInfo {
+    TypePtr type;
+    RefKind ref = RefKind::None;
+    int slot = 0;      // local slot / param index
+    std::string label; // link-time symbol for globals/functions
+};
+
+class Sema {
+public:
+    Sema(Program& prog, const ExternEnv& externs, std::string unit)
+        : prog_(prog), unit_(std::move(unit)) {
+        for (const auto& [name, type] : externs) {
+            VarInfo vi;
+            vi.type = type;
+            vi.ref = type->is_func() ? RefKind::Func : RefKind::Global;
+            vi.label = name;
+            globals_.emplace(name, std::move(vi));
+        }
+    }
+
+    void run() {
+        // Declare globals and functions first (C requires textual order for
+        // variables, but forward references between functions are common in
+        // the paper's examples; whole-unit pre-declaration keeps it simple).
+        for (auto& g : prog_.globals) {
+            declare_global(g);
+        }
+        for (auto& f : prog_.funcs) {
+            declare_func(f);
+        }
+        for (auto& g : prog_.globals) {
+            if (g.init) {
+                check_expr(*g.init);
+                if (!is_const_expr(*g.init)) {
+                    throw ParseError("global initialiser must be constant", g.line);
+                }
+            }
+            if (g.has_init_str &&
+                !(g.type->is_array() && g.type->pointee()->is_char())) {
+                throw ParseError("string initialiser requires a char array", g.line);
+            }
+        }
+        for (auto& f : prog_.funcs) {
+            if (f.body) {
+                check_func(f);
+            }
+        }
+    }
+
+private:
+    Program& prog_;
+    std::string unit_;
+    std::unordered_map<std::string, VarInfo> globals_;
+    std::vector<std::unordered_map<std::string, VarInfo>> scopes_;
+    FuncDef* current_fn_ = nullptr;
+    int loop_depth_ = 0;
+
+    void declare_global(VarDecl& g) {
+        if (g.type->is_void() || g.type->is_func()) {
+            throw ParseError("variable '" + g.name + "' has invalid type", g.line);
+        }
+        VarInfo vi;
+        vi.type = g.type;
+        vi.ref = RefKind::Global;
+        vi.label = g.is_static ? static_label(g.name, unit_) : g.name;
+        if (!globals_.emplace(g.name, vi).second) {
+            throw ParseError("redefinition of '" + g.name + "'", g.line);
+        }
+    }
+
+    void declare_func(FuncDef& f) {
+        VarInfo vi;
+        vi.type = f.func_type();
+        vi.ref = RefKind::Func;
+        vi.label = f.is_static ? static_label(f.name, unit_) : f.name;
+        const auto it = globals_.find(f.name);
+        if (it != globals_.end()) {
+            if (it->second.ref != RefKind::Func || !it->second.type->same(*vi.type)) {
+                throw ParseError("conflicting declaration of '" + f.name + "'", f.line);
+            }
+            it->second = vi; // definition/prototype re-declaration is fine
+            return;
+        }
+        globals_.emplace(f.name, std::move(vi));
+    }
+
+    [[nodiscard]] static bool is_const_expr(const Expr& e) {
+        switch (e.kind) {
+        case Expr::Kind::IntLit:
+        case Expr::Kind::SizeofT:
+            return true;
+        case Expr::Kind::Unary:
+            return e.un_op != UnOp::Deref && e.un_op != UnOp::AddrOf && is_const_expr(*e.lhs);
+        case Expr::Kind::Binary:
+            return is_const_expr(*e.lhs) && is_const_expr(*e.rhs);
+        default:
+            return false;
+        }
+    }
+
+    // --- function bodies ----------------------------------------------------
+
+    void check_func(FuncDef& f) {
+        current_fn_ = &f;
+        scopes_.clear();
+        scopes_.emplace_back();
+        for (std::size_t i = 0; i < f.params.size(); ++i) {
+            VarInfo vi;
+            vi.type = f.params[i].type;
+            vi.ref = RefKind::Param;
+            vi.slot = static_cast<int>(i);
+            if (!scopes_.back().emplace(f.params[i].name, std::move(vi)).second) {
+                throw ParseError("duplicate parameter '" + f.params[i].name + "'", f.line);
+            }
+        }
+        check_stmt(*f.body);
+        current_fn_ = nullptr;
+    }
+
+    VarInfo* lookup(const std::string& name) {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            const auto v = it->find(name);
+            if (v != it->end()) {
+                return &v->second;
+            }
+        }
+        const auto g = globals_.find(name);
+        return g == globals_.end() ? nullptr : &g->second;
+    }
+
+    void check_stmt(Stmt& s) {
+        switch (s.kind) {
+        case Stmt::Kind::Empty:
+            break;
+        case Stmt::Kind::ExprStmt:
+            check_expr(*s.expr);
+            break;
+        case Stmt::Kind::Decl: {
+            VarDecl& d = s.decl;
+            if (d.type->is_void() || d.type->is_func()) {
+                throw ParseError("variable '" + d.name + "' has invalid type", d.line);
+            }
+            if (d.is_static) {
+                throw ParseError("static locals are not supported in MiniC", d.line);
+            }
+            if (d.has_init_str) {
+                if (!(d.type->is_array() && d.type->pointee()->is_char())) {
+                    throw ParseError("string initialiser requires a char array", d.line);
+                }
+                if (static_cast<int>(d.init_str.size()) + 1 > d.type->size()) {
+                    throw ParseError("string initialiser too long for array", d.line);
+                }
+            }
+            if (d.init) {
+                check_expr(*d.init);
+                check_assignable(d.type, *d.init, d.line);
+            }
+            VarInfo vi;
+            vi.type = d.type;
+            vi.ref = RefKind::Local;
+            vi.slot = static_cast<int>(current_fn_->local_slots.size());
+            d.slot = vi.slot;
+            current_fn_->local_slots.push_back(d.type);
+            if (!scopes_.back().emplace(d.name, std::move(vi)).second) {
+                throw ParseError("redefinition of '" + d.name + "'", d.line);
+            }
+            break;
+        }
+        case Stmt::Kind::If:
+            check_expr(*s.expr);
+            check_scalar(*s.expr);
+            check_stmt(*s.then_branch);
+            if (s.else_branch) {
+                check_stmt(*s.else_branch);
+            }
+            break;
+        case Stmt::Kind::While:
+            check_expr(*s.expr);
+            check_scalar(*s.expr);
+            ++loop_depth_;
+            check_stmt(*s.then_branch);
+            --loop_depth_;
+            break;
+        case Stmt::Kind::For:
+            scopes_.emplace_back();
+            if (s.init_stmt) {
+                check_stmt(*s.init_stmt);
+            }
+            if (s.expr) {
+                check_expr(*s.expr);
+                check_scalar(*s.expr);
+            }
+            if (s.step_expr) {
+                check_expr(*s.step_expr);
+            }
+            ++loop_depth_;
+            check_stmt(*s.then_branch);
+            --loop_depth_;
+            scopes_.pop_back();
+            break;
+        case Stmt::Kind::Return:
+            if (s.expr) {
+                check_expr(*s.expr);
+                if (current_fn_->ret->is_void()) {
+                    throw ParseError("return with a value in void function", s.line);
+                }
+                check_assignable(current_fn_->ret, *s.expr, s.line);
+            } else if (!current_fn_->ret->is_void()) {
+                throw ParseError("return without a value in non-void function", s.line);
+            }
+            break;
+        case Stmt::Kind::Break:
+        case Stmt::Kind::Continue:
+            if (loop_depth_ == 0) {
+                throw ParseError("break/continue outside loop", s.line);
+            }
+            break;
+        case Stmt::Kind::Block:
+            scopes_.emplace_back();
+            for (auto& sub : s.body) {
+                check_stmt(*sub);
+            }
+            scopes_.pop_back();
+            break;
+        }
+    }
+
+    static void check_scalar(const Expr& e) {
+        if (!(e.type->is_arith() || e.type->is_ptr())) {
+            throw ParseError("expression is not scalar", e.line);
+        }
+    }
+
+    /// MiniC's permissive conversion rule: arithmetic types interconvert,
+    /// any pointer converts to any pointer, and int<->pointer is implicit
+    /// (this *is* unsafe C; the unsafety is the subject of the paper).
+    static void check_assignable(const TypePtr& dst, const Expr& src, int line) {
+        const bool dst_scalar = dst->is_arith() || dst->is_ptr();
+        const bool src_scalar = src.type->is_arith() || src.type->is_ptr();
+        if (!dst_scalar || !src_scalar) {
+            throw ParseError("invalid conversion from " + src.type->to_string() + " to " +
+                                 dst->to_string(),
+                             line);
+        }
+    }
+
+    // --- expressions -------------------------------------------------------
+
+    void check_expr(Expr& e) {
+        switch (e.kind) {
+        case Expr::Kind::IntLit:
+            e.type = Type::int_type();
+            break;
+        case Expr::Kind::StrLit:
+            e.type = Type::ptr_to(Type::char_type());
+            break;
+        case Expr::Kind::Ident: {
+            VarInfo* vi = lookup(e.name);
+            if (vi == nullptr) {
+                throw ParseError("use of undeclared identifier '" + e.name + "'", e.line);
+            }
+            e.ref = vi->ref;
+            e.value = vi->slot;
+            e.str = vi->label; // link-time symbol for Global/Func
+            e.object_type = vi->type;
+            if (vi->type->is_array()) {
+                e.type = Type::ptr_to(vi->type->pointee()); // decay
+                e.is_lvalue = true;
+            } else if (vi->type->is_func()) {
+                e.type = Type::ptr_to(vi->type); // function designator decay
+            } else {
+                e.type = vi->type;
+                e.is_lvalue = true;
+            }
+            break;
+        }
+        case Expr::Kind::Unary:
+            check_expr(*e.lhs);
+            switch (e.un_op) {
+            case UnOp::Neg:
+            case UnOp::BitNot:
+                if (!e.lhs->type->is_arith()) {
+                    throw ParseError("operand of unary op must be arithmetic", e.line);
+                }
+                e.type = Type::int_type();
+                break;
+            case UnOp::Not:
+                check_scalar(*e.lhs);
+                e.type = Type::int_type();
+                break;
+            case UnOp::Deref: {
+                if (!e.lhs->type->is_ptr()) {
+                    throw ParseError("cannot dereference non-pointer " + e.lhs->type->to_string(),
+                                     e.line);
+                }
+                const TypePtr pointee = e.lhs->type->pointee();
+                if (pointee->is_void() || pointee->is_func()) {
+                    throw ParseError("cannot dereference " + e.lhs->type->to_string(), e.line);
+                }
+                e.object_type = pointee;
+                e.type = pointee->is_array() ? Type::ptr_to(pointee->pointee()) : pointee;
+                e.is_lvalue = true;
+                break;
+            }
+            case UnOp::AddrOf:
+                if (!e.lhs->is_lvalue && e.lhs->ref != RefKind::Func) {
+                    throw ParseError("cannot take address of rvalue", e.line);
+                }
+                e.type = Type::ptr_to(e.lhs->object_type ? e.lhs->object_type : e.lhs->type);
+                break;
+            }
+            break;
+        case Expr::Kind::Binary: {
+            check_expr(*e.lhs);
+            check_expr(*e.rhs);
+            check_scalar(*e.lhs);
+            check_scalar(*e.rhs);
+            const bool lp = e.lhs->type->is_ptr();
+            const bool rp = e.rhs->type->is_ptr();
+            switch (e.bin_op) {
+            case BinOp::Add:
+                e.type = lp ? e.lhs->type : (rp ? e.rhs->type : Type::int_type());
+                break;
+            case BinOp::Sub:
+                if (lp && rp) {
+                    e.type = Type::int_type();
+                } else if (lp) {
+                    e.type = e.lhs->type;
+                } else {
+                    e.type = Type::int_type();
+                }
+                break;
+            default:
+                e.type = Type::int_type();
+                break;
+            }
+            break;
+        }
+        case Expr::Kind::Assign: {
+            check_expr(*e.lhs);
+            check_expr(*e.rhs);
+            if (!e.lhs->is_lvalue || (e.lhs->object_type && e.lhs->object_type->is_array())) {
+                throw ParseError("left side of assignment is not assignable", e.line);
+            }
+            check_assignable(e.lhs->type, *e.rhs, e.line);
+            e.type = e.lhs->type;
+            break;
+        }
+        case Expr::Kind::Call: {
+            check_expr(*e.lhs);
+            TypePtr fn;
+            if (e.lhs->type->is_func_ptr()) {
+                fn = e.lhs->type->pointee();
+            } else if (e.lhs->type->is_func()) {
+                fn = e.lhs->type;
+            } else {
+                throw ParseError("called object is not a function", e.line);
+            }
+            if (fn->params().size() != e.args.size()) {
+                throw ParseError("call arity mismatch: expected " +
+                                     std::to_string(fn->params().size()) + " arguments, got " +
+                                     std::to_string(e.args.size()),
+                                 e.line);
+            }
+            for (std::size_t i = 0; i < e.args.size(); ++i) {
+                check_expr(*e.args[i]);
+                check_assignable(fn->params()[i], *e.args[i], e.line);
+            }
+            e.type = fn->pointee(); // return type
+            break;
+        }
+        case Expr::Kind::Index: {
+            check_expr(*e.lhs);
+            check_expr(*e.rhs);
+            if (!e.lhs->type->is_ptr()) {
+                throw ParseError("subscripted value is not pointer or array", e.line);
+            }
+            if (!e.rhs->type->is_arith()) {
+                throw ParseError("array subscript is not an integer", e.line);
+            }
+            const TypePtr elem = e.lhs->type->pointee();
+            if (elem->is_void() || elem->is_func()) {
+                throw ParseError("cannot index " + e.lhs->type->to_string(), e.line);
+            }
+            e.object_type = elem;
+            e.type = elem->is_array() ? Type::ptr_to(elem->pointee()) : elem;
+            e.is_lvalue = true;
+            break;
+        }
+        case Expr::Kind::Cast:
+            check_expr(*e.lhs);
+            if (e.cast_type->is_void()) {
+                e.type = Type::void_type();
+            } else {
+                check_scalar(*e.lhs);
+                e.type = e.cast_type;
+            }
+            break;
+        case Expr::Kind::SizeofT: {
+            int size = 0;
+            if (e.cast_type) {
+                size = e.cast_type->size();
+            } else {
+                check_expr(*e.lhs);
+                const TypePtr& t = e.lhs->object_type ? e.lhs->object_type : e.lhs->type;
+                size = t->size();
+            }
+            e.kind = Expr::Kind::IntLit;
+            e.value = size;
+            e.type = Type::int_type();
+            e.lhs.reset();
+            break;
+        }
+        case Expr::Kind::Cond: {
+            check_expr(*e.lhs);
+            check_scalar(*e.lhs);
+            check_expr(*e.rhs);
+            check_expr(*e.args[0]);
+            check_scalar(*e.rhs);
+            check_scalar(*e.args[0]);
+            // Permissive convergence, matching MiniC's conversion rule: the
+            // result takes the then-branch's type (pointers dominate ints).
+            e.type = e.rhs->type->is_ptr() ? e.rhs->type
+                     : e.args[0]->type->is_ptr() ? e.args[0]->type
+                                                 : Type::int_type();
+            break;
+        }
+        case Expr::Kind::PreIncDec:
+        case Expr::Kind::PostIncDec: {
+            check_expr(*e.lhs);
+            if (!e.lhs->is_lvalue) {
+                throw ParseError("operand of ++/-- must be an lvalue", e.line);
+            }
+            if (!(e.lhs->type->is_arith() || e.lhs->type->is_ptr())) {
+                throw ParseError("operand of ++/-- must be scalar", e.line);
+            }
+            e.type = e.lhs->type;
+            break;
+        }
+        }
+        SWSEC_ASSERT(e.type != nullptr, "sema must annotate every expression");
+    }
+};
+
+} // namespace
+
+std::string static_label(const std::string& name, const std::string& unit_name) {
+    return name + "$" + unit_name;
+}
+
+const ExternEnv& runtime_externs() {
+    static const ExternEnv env = [] {
+        ExternEnv e;
+        const TypePtr i = Type::int_type();
+        const TypePtr v = Type::void_type();
+        const TypePtr cp = Type::ptr_to(Type::char_type());
+        const TypePtr vp = Type::ptr_to(Type::char_type()); // MiniC has no void*; char* serves
+        e["read"] = Type::func(i, {i, cp, i});
+        e["write"] = Type::func(i, {i, cp, i});
+        e["exit"] = Type::func(v, {i});
+        e["sbrk"] = Type::func(cp, {i});
+        e["getrandom"] = Type::func(v, {cp, i});
+        e["abort"] = Type::func(v, {});
+        e["__poison"] = Type::func(v, {cp, i});
+        e["__unpoison"] = Type::func(v, {cp, i});
+        e["__memcheck_active"] = Type::func(i, {});
+        e["malloc"] = Type::func(cp, {i});
+        e["free"] = Type::func(v, {vp});
+        e["strlen"] = Type::func(i, {cp});
+        e["strcmp"] = Type::func(i, {cp, cp});
+        e["strcpy"] = Type::func(cp, {cp, cp});
+        e["memcpy"] = Type::func(cp, {cp, cp, i});
+        e["memset"] = Type::func(cp, {cp, i, i});
+        e["puts"] = Type::func(i, {cp});
+        e["print_int"] = Type::func(v, {i});
+        e["atoi"] = Type::func(i, {cp});
+        e["grant_shell"] = Type::func(v, {});
+        e["__stack_chk_guard"] = i;
+        return e;
+    }();
+    return env;
+}
+
+void analyze(Program& prog, const ExternEnv& externs, const std::string& unit_name) {
+    Sema s(prog, externs, unit_name);
+    s.run();
+}
+
+} // namespace swsec::cc

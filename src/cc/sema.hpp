@@ -1,0 +1,34 @@
+// MiniC semantic analysis.
+//
+// Resolves identifiers, checks and annotates types, folds sizeof, assigns
+// local-variable slots and mangles module-local ("static") symbols.  MiniC
+// is deliberately *unsafe*: int<->pointer conversions are implicit, just as
+// in the C the paper's vulnerabilities live in.  Sema rejects only what the
+// code generator could not translate meaningfully (arity mismatches, calls
+// through non-function values, assignment to arrays, ...).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "cc/ast.hpp"
+
+namespace swsec::cc {
+
+/// External symbols visible to the unit (the runtime library's functions
+/// and globals).  Function names map to Func types, variables to data types.
+using ExternEnv = std::unordered_map<std::string, TypePtr>;
+
+/// The extern environment of the standard swsec runtime (read, write, exit,
+/// malloc, strlen, ... plus __stack_chk_guard).  See cc/runtime.cpp.
+[[nodiscard]] const ExternEnv& runtime_externs();
+
+/// Analyse and annotate `prog` in place.  `unit_name` is used to mangle
+/// static (module-local) symbols so separate units cannot collide.
+/// Throws swsec::ParseError on semantic errors.
+void analyze(Program& prog, const ExternEnv& externs, const std::string& unit_name);
+
+/// Mangled link-time symbol for a module-local name.
+[[nodiscard]] std::string static_label(const std::string& name, const std::string& unit_name);
+
+} // namespace swsec::cc

@@ -1,0 +1,117 @@
+#include "cc/type.hpp"
+
+namespace swsec::cc {
+
+TypePtr Type::void_type() {
+    static const TypePtr t = std::shared_ptr<const Type>(new Type(Kind::Void));
+    return t;
+}
+
+TypePtr Type::int_type() {
+    static const TypePtr t = std::shared_ptr<const Type>(new Type(Kind::Int));
+    return t;
+}
+
+TypePtr Type::char_type() {
+    static const TypePtr t = std::shared_ptr<const Type>(new Type(Kind::Char));
+    return t;
+}
+
+TypePtr Type::ptr_to(TypePtr pointee) {
+    auto t = new Type(Kind::Ptr);
+    t->pointee_ = std::move(pointee);
+    return std::shared_ptr<const Type>(t);
+}
+
+TypePtr Type::array_of(TypePtr elem, int len) {
+    auto t = new Type(Kind::Array);
+    t->pointee_ = std::move(elem);
+    t->array_len_ = len;
+    return std::shared_ptr<const Type>(t);
+}
+
+TypePtr Type::func(TypePtr ret, std::vector<TypePtr> params) {
+    auto t = new Type(Kind::Func);
+    t->pointee_ = std::move(ret);
+    t->params_ = std::move(params);
+    return std::shared_ptr<const Type>(t);
+}
+
+int Type::size() const noexcept {
+    switch (kind_) {
+    case Kind::Void:
+    case Kind::Func:
+        return 0;
+    case Kind::Int:
+    case Kind::Ptr:
+        return 4;
+    case Kind::Char:
+        return 1;
+    case Kind::Array:
+        return pointee_->size() * array_len_;
+    }
+    return 0;
+}
+
+int Type::step() const noexcept {
+    if (kind_ == Kind::Ptr || kind_ == Kind::Array) {
+        return pointee_->size();
+    }
+    return 1;
+}
+
+std::string Type::to_string() const {
+    switch (kind_) {
+    case Kind::Void:
+        return "void";
+    case Kind::Int:
+        return "int";
+    case Kind::Char:
+        return "char";
+    case Kind::Ptr:
+        return pointee_->to_string() + "*";
+    case Kind::Array:
+        return pointee_->to_string() + "[" + std::to_string(array_len_) + "]";
+    case Kind::Func: {
+        std::string s = pointee_->to_string() + "(";
+        for (std::size_t i = 0; i < params_.size(); ++i) {
+            if (i != 0) {
+                s += ", ";
+            }
+            s += params_[i]->to_string();
+        }
+        return s + ")";
+    }
+    }
+    return "?";
+}
+
+bool Type::same(const Type& other) const noexcept {
+    if (kind_ != other.kind_) {
+        return false;
+    }
+    switch (kind_) {
+    case Kind::Void:
+    case Kind::Int:
+    case Kind::Char:
+        return true;
+    case Kind::Ptr:
+        return pointee_->same(*other.pointee_);
+    case Kind::Array:
+        return array_len_ == other.array_len_ && pointee_->same(*other.pointee_);
+    case Kind::Func: {
+        if (!pointee_->same(*other.pointee_) || params_.size() != other.params_.size()) {
+            return false;
+        }
+        for (std::size_t i = 0; i < params_.size(); ++i) {
+            if (!params_[i]->same(*other.params_[i])) {
+                return false;
+            }
+        }
+        return true;
+    }
+    }
+    return false;
+}
+
+} // namespace swsec::cc

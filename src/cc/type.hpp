@@ -1,0 +1,65 @@
+// MiniC type system.
+//
+// MiniC is the C subset the paper's examples are written in: int, char,
+// pointers, fixed-size arrays, and function (pointer) types — enough to
+// express Fig. 1's server, Fig. 2's secret module and Fig. 4's
+// function-pointer variant, plus a small libc.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace swsec::cc {
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+class Type {
+public:
+    enum class Kind { Void, Int, Char, Ptr, Array, Func };
+
+    [[nodiscard]] static TypePtr void_type();
+    [[nodiscard]] static TypePtr int_type();
+    [[nodiscard]] static TypePtr char_type();
+    [[nodiscard]] static TypePtr ptr_to(TypePtr pointee);
+    [[nodiscard]] static TypePtr array_of(TypePtr elem, int len);
+    [[nodiscard]] static TypePtr func(TypePtr ret, std::vector<TypePtr> params);
+
+    [[nodiscard]] Kind kind() const noexcept { return kind_; }
+    [[nodiscard]] bool is_void() const noexcept { return kind_ == Kind::Void; }
+    [[nodiscard]] bool is_int() const noexcept { return kind_ == Kind::Int; }
+    [[nodiscard]] bool is_char() const noexcept { return kind_ == Kind::Char; }
+    [[nodiscard]] bool is_ptr() const noexcept { return kind_ == Kind::Ptr; }
+    [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+    [[nodiscard]] bool is_func() const noexcept { return kind_ == Kind::Func; }
+    [[nodiscard]] bool is_arith() const noexcept { return is_int() || is_char(); }
+    /// Pointer to function (how function-typed parameters are passed).
+    [[nodiscard]] bool is_func_ptr() const noexcept { return is_ptr() && pointee_->is_func(); }
+
+    /// Element type (Ptr/Array) or return type (Func).
+    [[nodiscard]] const TypePtr& pointee() const noexcept { return pointee_; }
+    [[nodiscard]] int array_len() const noexcept { return array_len_; }
+    [[nodiscard]] const std::vector<TypePtr>& params() const noexcept { return params_; }
+
+    /// Size in bytes when stored in memory.  Arrays are elem*len; function
+    /// types have no storage size (their pointers are 4 bytes).
+    [[nodiscard]] int size() const noexcept;
+
+    /// Size used for pointer arithmetic / indexing through this type.
+    [[nodiscard]] int step() const noexcept;
+
+    [[nodiscard]] std::string to_string() const;
+
+    [[nodiscard]] bool same(const Type& other) const noexcept;
+
+private:
+    explicit Type(Kind k) : kind_(k) {}
+
+    Kind kind_;
+    TypePtr pointee_;
+    int array_len_ = 0;
+    std::vector<TypePtr> params_;
+};
+
+} // namespace swsec::cc

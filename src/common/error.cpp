@@ -1,0 +1,8 @@
+#include "common/error.hpp"
+
+// Error types are header-only; this translation unit anchors the vtables.
+namespace swsec {
+namespace {
+[[maybe_unused]] const Error* anchor = nullptr;
+} // namespace
+} // namespace swsec

@@ -1,0 +1,45 @@
+// Common error type for the swsec library.
+//
+// All recoverable failures in the library are reported by throwing
+// swsec::Error (or a subclass); programming errors are caught with
+// SWSEC_ASSERT which throws swsec::InternalError so that tests can
+// observe them deterministically.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace swsec {
+
+/// Base class for all errors raised by the swsec library.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an internal invariant is violated (a bug in the library).
+class InternalError : public Error {
+public:
+    explicit InternalError(const std::string& what) : Error("internal error: " + what) {}
+};
+
+/// Raised on malformed user input (bad assembly, bad MiniC source, ...).
+class ParseError : public Error {
+public:
+    ParseError(const std::string& what, int line)
+        : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
+    [[nodiscard]] int line() const noexcept { return line_; }
+
+private:
+    int line_;
+};
+
+} // namespace swsec
+
+#define SWSEC_ASSERT(cond, msg)                                                                    \
+    do {                                                                                           \
+        if (!(cond)) {                                                                             \
+            throw ::swsec::InternalError(std::string(msg) + " (" #cond ") at " __FILE__ ":" +      \
+                                         std::to_string(__LINE__));                               \
+        }                                                                                          \
+    } while (false)

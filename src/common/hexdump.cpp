@@ -1,0 +1,61 @@
+#include "common/hexdump.hpp"
+
+#include <array>
+
+namespace swsec {
+
+namespace {
+constexpr std::array<char, 16> kDigits = {'0', '1', '2', '3', '4', '5', '6', '7',
+                                          '8', '9', 'a', 'b', 'c', 'd', 'e', 'f'};
+} // namespace
+
+std::string hex32(std::uint32_t v) {
+    std::string out = "0x";
+    for (int shift = 28; shift >= 0; shift -= 4) {
+        out.push_back(kDigits[(v >> shift) & 0xf]);
+    }
+    return out;
+}
+
+std::string hex8(std::uint8_t v) {
+    std::string out = "0x";
+    out.push_back(kDigits[v >> 4]);
+    out.push_back(kDigits[v & 0xf]);
+    return out;
+}
+
+std::string hex_bytes(std::span<const std::uint8_t> bytes) {
+    std::string out;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        if (i != 0) {
+            out.push_back(' ');
+        }
+        out.push_back(kDigits[bytes[i] >> 4]);
+        out.push_back(kDigits[bytes[i] & 0xf]);
+    }
+    return out;
+}
+
+std::string hexdump(std::uint32_t base, std::span<const std::uint8_t> bytes) {
+    std::string out;
+    for (std::size_t row = 0; row < bytes.size(); row += 16) {
+        out += hex32(base + static_cast<std::uint32_t>(row));
+        out += "  ";
+        std::string ascii;
+        for (std::size_t i = row; i < row + 16; ++i) {
+            if (i < bytes.size()) {
+                out.push_back(kDigits[bytes[i] >> 4]);
+                out.push_back(kDigits[bytes[i] & 0xf]);
+                out.push_back(' ');
+                const char c = static_cast<char>(bytes[i]);
+                ascii.push_back((c >= 0x20 && c < 0x7f) ? c : '.');
+            } else {
+                out += "   ";
+            }
+        }
+        out += " |" + ascii + "|\n";
+    }
+    return out;
+}
+
+} // namespace swsec

@@ -1,0 +1,24 @@
+// Formatting helpers shared across the library: hexadecimal rendering of
+// words and byte ranges, used by the disassembler, the Fig. 1 snapshot
+// renderer and diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace swsec {
+
+/// "0x08048424"-style rendering of a 32-bit word.
+[[nodiscard]] std::string hex32(std::uint32_t v);
+
+/// "0xab"-style rendering of a byte.
+[[nodiscard]] std::string hex8(std::uint8_t v);
+
+/// Space-separated hex bytes: "55 89 e5".
+[[nodiscard]] std::string hex_bytes(std::span<const std::uint8_t> bytes);
+
+/// Classic 16-bytes-per-row hexdump with an address column and ASCII gutter.
+[[nodiscard]] std::string hexdump(std::uint32_t base, std::span<const std::uint8_t> bytes);
+
+} // namespace swsec

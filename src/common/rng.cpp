@@ -1,0 +1,43 @@
+#include "common/rng.hpp"
+
+namespace swsec {
+
+std::uint64_t Rng::next_u64() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint32_t Rng::below(std::uint32_t bound) noexcept {
+    if (bound == 0) {
+        return 0;
+    }
+    // Rejection sampling to avoid modulo bias.
+    const std::uint32_t limit = 0xffffffffU - (0xffffffffU % bound + 1U) % bound;
+    for (;;) {
+        const std::uint32_t v = next_u32();
+        if (v <= limit) {
+            return v % bound;
+        }
+    }
+}
+
+std::int32_t Rng::between(std::int32_t lo, std::int32_t hi) noexcept {
+    const auto span = static_cast<std::uint32_t>(hi - lo);
+    return lo + static_cast<std::int32_t>(below(span + 1U));
+}
+
+void Rng::fill(std::span<std::uint8_t> out) noexcept {
+    std::size_t i = 0;
+    while (i < out.size()) {
+        std::uint64_t v = next_u64();
+        for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+            out[i] = static_cast<std::uint8_t>(v & 0xff);
+            v >>= 8;
+        }
+    }
+}
+
+} // namespace swsec

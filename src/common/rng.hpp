@@ -1,0 +1,38 @@
+// Deterministic random number generation.
+//
+// Every source of randomness in the library (ASLR offsets, stack canaries,
+// platform keys, workload generators) draws from a seeded Rng so that each
+// experiment is exactly reproducible.  The generator is xoshiro-style
+// splitmix64: small, fast and statistically adequate for simulation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace swsec {
+
+/// Deterministic 64-bit PRNG (splitmix64).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+    /// Next 64 pseudo-random bits.
+    [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+    /// Next 32 pseudo-random bits.
+    [[nodiscard]] std::uint32_t next_u32() noexcept { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+    /// Uniform value in [0, bound). bound must be > 0.
+    [[nodiscard]] std::uint32_t below(std::uint32_t bound) noexcept;
+
+    /// Uniform value in [lo, hi] inclusive.
+    [[nodiscard]] std::int32_t between(std::int32_t lo, std::int32_t hi) noexcept;
+
+    /// Fill a buffer with pseudo-random bytes.
+    void fill(std::span<std::uint8_t> out) noexcept;
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace swsec

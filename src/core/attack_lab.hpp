@@ -1,0 +1,55 @@
+// The attack laboratory: every attack technique of Section III-B, runnable
+// against every Defense of Section III-C, reporting success or the trap
+// that stopped it.
+//
+// Attacker model discipline: the attacker interacts with the victim only
+// through its I/O channels.  Reconnaissance happens on the attacker's own
+// copy of the binary (the "probe" process, seeded with the *attacker's*
+// seed) — under ASLR the victim's layout differs, which is exactly the
+// protection ASLR provides.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/defense.hpp"
+#include "vm/trap.hpp"
+
+namespace swsec::core {
+
+enum class AttackKind : std::uint8_t {
+    StackSmashInject,  // classic stack smashing + direct code injection [1]
+    CodePtrHijack,     // overwrite a function pointer with a function entry
+    CodePtrHijackMidFn, // ... with a mid-function address (caught by coarse CFI)
+    CodeCorruption,    // patch the program's text through an arbitrary write
+    Ret2Libc,          // return-to-libc: divert control to grant_shell()
+    Rop,               // return-oriented chain exfiltrating a data-segment key
+    DataOnly,          // flip the adjacent isAdmin flag; no pointers involved
+    InfoLeakBypass,    // leak canary+addresses, then smash with correct canary [5]
+    UseAfterFree,      // temporal: stale pointer reads attacker-filled chunk
+    HeapMetadata,      // heap overflow corrupts free-list metadata ->
+                       // write-what-where -> flip isAdmin (beats canary+DEP)
+};
+
+[[nodiscard]] std::string attack_name(AttackKind k);
+[[nodiscard]] const std::vector<AttackKind>& all_attacks();
+
+struct AttackOutcome {
+    bool succeeded = false;
+    vm::Trap trap;     // final trap of the victim process
+    std::string note;  // what the attacker achieved / what stopped it
+
+    [[nodiscard]] std::string verdict() const {
+        return succeeded ? "ATTACK SUCCEEDED" : "blocked: " + vm::trap_name(trap.kind);
+    }
+};
+
+/// Run one attack against one defense.  Deterministic given the seeds; under
+/// ASLR the attacker's probe (attacker_seed) and the victim (victim_seed)
+/// get different layouts.
+[[nodiscard]] AttackOutcome run_attack(AttackKind kind, const Defense& defense,
+                                       std::uint64_t victim_seed = 1001,
+                                       std::uint64_t attacker_seed = 2002);
+
+} // namespace swsec::core

@@ -1,0 +1,82 @@
+#include "core/defense.hpp"
+
+namespace swsec::core {
+
+Defense Defense::none() { return Defense{"none", {}, {}}; }
+
+Defense Defense::canary() {
+    Defense d{"canary", {}, {}};
+    d.copts.stack_canaries = true;
+    return d;
+}
+
+Defense Defense::dep() {
+    Defense d{"dep", {}, {}};
+    d.profile.dep = true;
+    return d;
+}
+
+Defense Defense::aslr(std::uint32_t entropy_bits) {
+    Defense d{"aslr", {}, {}};
+    d.profile.aslr = true;
+    d.profile.aslr_entropy_bits = entropy_bits;
+    return d;
+}
+
+Defense Defense::standard_hardening() {
+    Defense d{"canary+dep+aslr", {}, {}};
+    d.copts.stack_canaries = true;
+    d.profile.dep = true;
+    d.profile.aslr = true;
+    return d;
+}
+
+Defense Defense::shadow_stack() {
+    Defense d{"shadow-stack", {}, {}};
+    d.profile.shadow_stack = true;
+    return d;
+}
+
+Defense Defense::coarse_cfi() {
+    Defense d{"coarse-cfi", {}, {}};
+    d.profile.coarse_cfi = true;
+    return d;
+}
+
+Defense Defense::all_exploit_mitigations() {
+    Defense d{"all-mitigations", {}, {}};
+    d.copts.stack_canaries = true;
+    d.profile.dep = true;
+    d.profile.aslr = true;
+    d.profile.shadow_stack = true;
+    d.profile.coarse_cfi = true;
+    return d;
+}
+
+Defense Defense::safe_language() {
+    Defense d{"safe-language", {}, {}};
+    d.copts.stack_canaries = false;
+    d.copts.bounds_checks = true;
+    d.copts.fortify_reads = true;
+    return d;
+}
+
+Defense Defense::memcheck() {
+    Defense d{"memcheck", {}, {}};
+    d.copts.memcheck = true;
+    d.profile.memcheck = true;
+    return d;
+}
+
+const std::vector<Defense>& standard_defenses() {
+    static const std::vector<Defense> all = {
+        Defense::none(),          Defense::canary(),       Defense::dep(),
+        Defense::aslr(),          Defense::standard_hardening(),
+        Defense::shadow_stack(),  Defense::coarse_cfi(),
+        Defense::all_exploit_mitigations(),
+        Defense::safe_language(), Defense::memcheck(),
+    };
+    return all;
+}
+
+} // namespace swsec::core

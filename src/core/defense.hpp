@@ -1,0 +1,38 @@
+// Deployed-countermeasure configurations (Section III-C).
+//
+// A Defense bundles the compiler-inserted countermeasures (CompilerOptions)
+// with the platform-enforced ones (SecurityProfile).  standard_defenses()
+// returns the configurations the paper discusses, from "no protection" to
+// the combination widely deployed today, plus the vulnerability-prevention
+// modes of Section III-C2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cc/compiler.hpp"
+#include "os/process.hpp"
+
+namespace swsec::core {
+
+struct Defense {
+    std::string name;
+    cc::CompilerOptions copts;
+    os::SecurityProfile profile;
+
+    [[nodiscard]] static Defense none();
+    [[nodiscard]] static Defense canary();
+    [[nodiscard]] static Defense dep();
+    [[nodiscard]] static Defense aslr(std::uint32_t entropy_bits = 12);
+    [[nodiscard]] static Defense standard_hardening(); // canary + DEP + ASLR
+    [[nodiscard]] static Defense shadow_stack();
+    [[nodiscard]] static Defense coarse_cfi();
+    [[nodiscard]] static Defense all_exploit_mitigations();
+    [[nodiscard]] static Defense safe_language(); // bounds checks + fortify
+    [[nodiscard]] static Defense memcheck();      // run-time checker (testing mode)
+};
+
+/// The configurations reported in the attack/defense matrix experiment.
+[[nodiscard]] const std::vector<Defense>& standard_defenses();
+
+} // namespace swsec::core

@@ -1,0 +1,137 @@
+#include "core/fig1.hpp"
+
+#include "cc/compiler.hpp"
+#include "common/hexdump.hpp"
+#include "core/scenarios.hpp"
+#include "isa/disasm.hpp"
+#include "os/process.hpp"
+#include "vm/syscalls.hpp"
+
+namespace swsec::core {
+
+namespace {
+
+constexpr std::uint64_t kMaxSteps = 1'000'000;
+
+/// Step until the read() syscall has been serviced (buf is filled), i.e.
+/// the moment panel (c) depicts.
+void run_until_request_read(os::Process& p) {
+    std::uint64_t steps = 0;
+    while (!p.machine().trap().is_set() && steps++ < kMaxSteps) {
+        p.machine().step();
+        for (const auto& rec : p.kernel().syscall_trace()) {
+            if (rec.number == vm::sys_num(vm::Sys::Read)) {
+                return;
+            }
+        }
+    }
+}
+
+} // namespace
+
+Fig1Snapshot make_fig1_snapshot(const std::string& input, std::uint64_t seed) {
+    Fig1Snapshot snap;
+    snap.source = scenarios::fig1_server(16); // the *correct* program
+
+    const auto img = cc::compile_program({snap.source}, cc::CompilerOptions::none());
+    os::Process p(img, os::SecurityProfile::none(), seed);
+    p.feed_input(input);
+    run_until_request_read(p);
+
+    snap.layout = p.layout();
+    snap.process_addr = p.addr_of("process");
+    snap.get_request_addr = p.addr_of("get_request");
+    snap.buf_contents = input;
+
+    auto& mem = p.machine().memory();
+
+    // Panel (b): disassemble process() up to and including its ret.
+    {
+        std::vector<std::uint8_t> window;
+        std::uint32_t a = snap.process_addr;
+        for (;;) {
+            const std::uint8_t b = mem.raw_read8(a++);
+            window.push_back(b);
+            if (b == 0xc3 && window.size() > 4) { // ret
+                break;
+            }
+            if (window.size() > 256) {
+                break;
+            }
+        }
+        snap.listing = "Machine code for process() (cf. Fig. 1(b)):\n" +
+                       isa::format_listing(isa::disassemble(window, snap.process_addr));
+    }
+
+    // Panel (c): the stack.  At the snapshot the machine is inside
+    // get_request(); its frame and process()'s frame are live.
+    const std::uint32_t gr_bp = p.machine().reg(isa::Reg::Bp); // get_request's bp
+    std::uint32_t proc_bp = 0;
+    (void)proc_bp;
+    const std::uint32_t proc_bp_val = mem.raw_read32(gr_bp); // saved bp -> process()'s bp
+    snap.buf_addr = proc_bp_val - 16;                        // buf is process()'s only local
+    snap.ret_slot_addr = proc_bp_val + 4;
+    snap.ret_value = mem.raw_read32(snap.ret_slot_addr);
+
+    // Annotations per address.
+    const auto annotation = [&](std::uint32_t addr) -> std::string {
+        if (addr == gr_bp + 4) {
+            return "saved return address (into process())";
+        }
+        if (addr == gr_bp) {
+            return "saved base pointer (process()'s bp)";
+        }
+        if (addr == gr_bp + 8) {
+            return "fd parameter of get_request()";
+        }
+        if (addr == gr_bp + 12) {
+            return "buf parameter of get_request()";
+        }
+        if (addr >= snap.buf_addr && addr < snap.buf_addr + 16) {
+            const std::uint32_t i = addr - snap.buf_addr;
+            return "buf[" + std::to_string(i) + ".." + std::to_string(i + 3) + "]";
+        }
+        if (addr == snap.ret_slot_addr) {
+            return "saved return address (into main())";
+        }
+        if (addr == proc_bp_val) {
+            return "saved base pointer (main()'s bp)";
+        }
+        if (addr == proc_bp_val + 8) {
+            return "fd parameter of process()";
+        }
+        return "";
+    };
+
+    std::string dump;
+    dump += "Run-time stack snapshot, just after get_request() read the request\n";
+    dump += "(cf. Fig. 1(c); stack grows towards lower addresses):\n\n";
+    dump += "  ADDRESS       CONTENTS     ANNOTATION\n";
+    const std::uint32_t sp = p.machine().sp();
+    const std::uint32_t top = proc_bp_val + 16; // a little past process()'s frame
+    for (std::uint32_t addr = top; addr >= sp && addr <= top; addr -= 4) {
+        const std::uint32_t word = mem.raw_read32(addr);
+        dump += "  " + hex32(addr) + "    " + hex32(word);
+        const std::string note = annotation(addr);
+        if (!note.empty()) {
+            dump += "   ; " + note;
+        }
+        if (addr == sp) {
+            dump += "   <-- SP";
+        }
+        dump += "\n";
+        if (addr < 4) {
+            break;
+        }
+    }
+    dump += "\n  IP = " + hex32(p.machine().ip()) + " (inside get_request at " +
+            hex32(snap.get_request_addr) + ")\n";
+    snap.stack_dump = dump;
+
+    snap.full_report = "=== Fig. 1(a): source code ===\n" + snap.source +
+                       "\n=== Fig. 1(b): compiled process() ===\n" + snap.listing +
+                       "\n=== Fig. 1(c): run-time machine state ===\n" + snap.stack_dump;
+    return snap;
+}
+
+} // namespace swsec::core

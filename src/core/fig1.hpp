@@ -1,0 +1,37 @@
+// Fig. 1 regeneration: source code -> machine code -> run-time state.
+//
+// Compiles the paper's process()/get_request() server, runs it to the
+// moment the request has just been read inside get_request(), and renders
+// the three panels of Fig. 1: the MiniC source, the two-column machine-code
+// listing of process(), and the annotated run-time stack snapshot with the
+// activation records, saved base pointers and saved return addresses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "os/layout.hpp"
+
+namespace swsec::core {
+
+struct Fig1Snapshot {
+    std::string source;       // panel (a)
+    std::string listing;      // panel (b): machine code of process()
+    std::string stack_dump;   // panel (c): annotated stack
+    std::string full_report;  // all three panels concatenated
+
+    os::ProcessLayout layout;
+    std::uint32_t process_addr = 0;
+    std::uint32_t get_request_addr = 0;
+    std::uint32_t buf_addr = 0;        // the 16-byte buffer in process()'s frame
+    std::uint32_t ret_slot_addr = 0;   // where process()'s return address lives
+    std::uint32_t ret_value = 0;       // the saved return address itself
+    std::string buf_contents;          // what the "network" put into buf
+};
+
+/// Build the snapshot.  `input` is the request on the connection (the
+/// figure uses "ABCDEFGHIJKLMNO").
+[[nodiscard]] Fig1Snapshot make_fig1_snapshot(const std::string& input = "ABCDEFGHIJKLMNO",
+                                              std::uint64_t seed = 1);
+
+} // namespace swsec::core

@@ -1,0 +1,73 @@
+#include "core/matrix.hpp"
+
+#include <algorithm>
+
+namespace swsec::core {
+
+std::vector<MatrixCell> run_matrix(std::uint64_t victim_seed, std::uint64_t attacker_seed) {
+    std::vector<MatrixCell> cells;
+    for (const AttackKind kind : all_attacks()) {
+        for (const Defense& d : standard_defenses()) {
+            MatrixCell cell;
+            cell.attack = kind;
+            cell.defense = d.name;
+            cell.outcome = run_attack(kind, d, victim_seed, attacker_seed);
+            cells.push_back(std::move(cell));
+        }
+    }
+    return cells;
+}
+
+std::string format_matrix(const std::vector<MatrixCell>& cells) {
+    // Column per defense, row per attack.
+    std::vector<std::string> defenses;
+    std::vector<AttackKind> attacks;
+    for (const auto& c : cells) {
+        if (std::find(defenses.begin(), defenses.end(), c.defense) == defenses.end()) {
+            defenses.push_back(c.defense);
+        }
+        if (std::find(attacks.begin(), attacks.end(), c.attack) == attacks.end()) {
+            attacks.push_back(c.attack);
+        }
+    }
+    const auto cell_text = [&](AttackKind a, const std::string& d) -> std::string {
+        for (const auto& c : cells) {
+            if (c.attack == a && c.defense == d) {
+                return c.outcome.succeeded ? "YES" : vm::trap_name(c.outcome.trap.kind);
+            }
+        }
+        return "-";
+    };
+
+    std::size_t row_w = 0;
+    for (const AttackKind a : attacks) {
+        row_w = std::max(row_w, attack_name(a).size());
+    }
+    std::vector<std::size_t> col_w;
+    for (const auto& d : defenses) {
+        std::size_t w = d.size();
+        for (const AttackKind a : attacks) {
+            w = std::max(w, cell_text(a, d).size());
+        }
+        col_w.push_back(w);
+    }
+
+    std::string out;
+    out += std::string(row_w, ' ');
+    for (std::size_t j = 0; j < defenses.size(); ++j) {
+        out += "  " + defenses[j] + std::string(col_w[j] - defenses[j].size(), ' ');
+    }
+    out += "\n";
+    for (const AttackKind a : attacks) {
+        const std::string name = attack_name(a);
+        out += name + std::string(row_w - name.size(), ' ');
+        for (std::size_t j = 0; j < defenses.size(); ++j) {
+            const std::string t = cell_text(a, defenses[j]);
+            out += "  " + t + std::string(col_w[j] - t.size(), ' ');
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace swsec::core

@@ -1,0 +1,31 @@
+// The attack/defense matrix — the paper's central claims as one experiment.
+//
+// For every attack technique of Section III-B and every countermeasure
+// configuration of Section III-C, run the attack and record whether it
+// succeeded or which trap stopped it.  bench/bench_attack_matrix.cpp prints
+// this table; tests/test_matrix.cpp pins every cell to the paper's claims.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/attack_lab.hpp"
+#include "core/defense.hpp"
+
+namespace swsec::core {
+
+struct MatrixCell {
+    AttackKind attack;
+    std::string defense;
+    AttackOutcome outcome;
+};
+
+/// Run the full matrix.  Deterministic given the seeds.
+[[nodiscard]] std::vector<MatrixCell> run_matrix(std::uint64_t victim_seed = 1001,
+                                                 std::uint64_t attacker_seed = 2002);
+
+/// Render as an aligned text table ("yes" = attack succeeded, otherwise the
+/// trap that stopped it).
+[[nodiscard]] std::string format_matrix(const std::vector<MatrixCell>& cells);
+
+} // namespace swsec::core

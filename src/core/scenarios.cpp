@@ -1,0 +1,157 @@
+#include "core/scenarios.hpp"
+
+namespace swsec::core::scenarios {
+
+std::string fig1_server(int read_len) {
+    return R"(
+        void get_request(int fd, char* buf) {
+          read(fd, buf, )" + std::to_string(read_len) + R"();
+        }
+        void process(int fd) {
+          char buf[16];
+          get_request(fd, buf);
+          /* Process the request (elided, as in the paper) */
+        }
+        int main() {
+          int fd = 0;
+          process(fd);
+          write(1, "request handled\n", 16);
+          return 0;
+        }
+    )";
+}
+
+std::string rop_server() {
+    return R"(
+        char api_key[16] = "S3CR3T-API-KEY!";
+
+        void handle() {
+          char buf[16];
+          read(0, buf, 64);    /* BUG: 64 bytes into a 16-byte buffer */
+        }
+        int main() {
+          handle();
+          write(1, "bye\n", 4);
+          return 0;
+        }
+    )";
+}
+
+std::string fnptr_server() {
+    return R"(
+        int deny(char* pin) { return 0; }   /* default validator: always deny */
+
+        int main() {
+          int (*validate)(char*) = deny;
+          char buf[16];
+          read(0, buf, 24);    /* BUG: overflow reaches the function pointer */
+          if (validate(buf)) {
+            grant_shell();
+            return 1;
+          }
+          write(1, "denied\n", 7);
+          return 0;
+        }
+    )";
+}
+
+std::string arbwrite_server() {
+    return R"(
+        int check_auth() { return 0; }      /* permanently unauthorized */
+
+        int main() {
+          char buf[8];
+          read(0, buf, 8);                  /* request: [addr][value] */
+          int* w = (int*)*(int*)&buf[0];
+          int v = *(int*)&buf[4];
+          *w = v;                           /* BUG: arbitrary word write */
+          if (check_auth()) {
+            grant_shell();
+            return 1;
+          }
+          write(1, "denied\n", 7);
+          return 0;
+        }
+    )";
+}
+
+std::string dataonly_server() {
+    return R"(
+        int main() {
+          int isAdmin = 0;
+          char buf[16];
+          read(0, buf, 20);    /* BUG: 4 bytes of overflow — exactly isAdmin */
+          if (isAdmin) {
+            write(1, "admin: access granted\n", 22);
+            return 1;
+          }
+          write(1, "guest\n", 6);
+          return 0;
+        }
+    )";
+}
+
+std::string leak_server() {
+    return R"(
+        void serve() {
+          char buf[16];
+          read(0, buf, 15);
+          int len = atoi(buf);
+          write(1, buf, len);  /* BUG: attacker-controlled echo length */
+          read(0, buf, 64);    /* BUG: second-round overflow */
+        }
+        int main() {
+          serve();
+          write(1, "bye\n", 4);
+          return 0;
+        }
+    )";
+}
+
+std::string uaf_server() {
+    return R"(
+        int main() {
+          char* session = malloc(8);
+          int* s = (int*)session;
+          s[0] = 0;            /* is_admin */
+          s[1] = 7;            /* user id */
+          free(session);       /* BUG: session used below (temporal) */
+          char* req = malloc(8);
+          read(0, req, 8);     /* allocator reuse: attacker fills the chunk */
+          if (s[0]) {
+            write(1, "admin: access granted\n", 22);
+            return 1;
+          }
+          write(1, "guest\n", 6);
+          return 0;
+        }
+    )";
+}
+
+std::string heap_server() {
+    return R"(
+        int pad = 9999;      /* sits 8 bytes below isAdmin: a plausible    */
+        int pad2 = 0;        /* "chunk header" when the allocator is lured */
+        int isAdmin = 0;
+
+        int main() {
+          char* a = malloc(16);
+          char* b = malloc(16);
+          free(b);             /* b sits on the free list behind a */
+          read(0, a, 40);      /* BUG: 40 bytes into a 16-byte chunk —
+                                  reaches b's [size][next] header */
+          char* c = malloc(16);   /* pops the corrupted b */
+          char* d = malloc(16);   /* follows the forged next pointer */
+          read(0, d, 4);          /* write-what-where */
+          if (c == d) { }         /* keep the allocations live */
+          if (isAdmin) {
+            write(1, "admin: access granted\n", 22);
+            return 1;
+          }
+          write(1, "guest\n", 6);
+          return 0;
+        }
+    )";
+}
+
+} // namespace swsec::core::scenarios

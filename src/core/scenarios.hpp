@@ -1,0 +1,51 @@
+// The vulnerable programs of the paper, as MiniC sources.
+//
+// Each scenario is a tiny server in the Fig. 1 mould: it reads a request
+// from fd 0, does some processing, writes to fd 1.  Each contains exactly
+// one of the memory-safety vulnerability patterns of Section III-A; the
+// attack lab (core/attack_lab.hpp) exploits them with each technique of
+// Section III-B under every Defense.
+#pragma once
+
+#include <string>
+
+namespace swsec::core::scenarios {
+
+/// Fig. 1's server: process()/get_request() with a stack buffer.  The paper
+/// introduces the bug by replacing read's length 16 with 32; `read_len`
+/// reproduces exactly that: 16 = correct program, >16 = spatial
+/// vulnerability (buffer overflow).
+[[nodiscard]] std::string fig1_server(int read_len);
+
+/// Larger overflow window (64 bytes) for code-reuse chains, plus a secret
+/// API key in the data segment that ROP attacks exfiltrate.
+[[nodiscard]] std::string rop_server();
+
+/// Function-pointer-on-stack scenario (code-pointer overwrite target other
+/// than a return address): a validation callback sits above the buffer.
+[[nodiscard]] std::string fnptr_server();
+
+/// Arbitrary-word-write bug (attacker supplies address and value), guarding
+/// a privileged action behind check_auth() — the code-corruption target.
+[[nodiscard]] std::string arbwrite_server();
+
+/// isAdmin flag adjacent to the buffer: the data-only attack target.
+[[nodiscard]] std::string dataonly_server();
+
+/// Two-round server with a Heartbleed-style over-read (attacker-controlled
+/// echo length), then a second read that can smash the stack: the
+/// leak-then-bypass scenario of [5].
+[[nodiscard]] std::string leak_server();
+
+/// Use-after-free scenario: a session object is freed but still used; heap
+/// reuse lets attacker data masquerade as the session (temporal
+/// vulnerability, Section III-A).
+[[nodiscard]] std::string uaf_server();
+
+/// Heap overflow into allocator metadata: overflowing a heap chunk corrupts
+/// the freed neighbour's free-list header, turning the next two mallocs
+/// into a write-what-where primitive (the classic heap-metadata attack; a
+/// data-only variant that defeats canaries and DEP).
+[[nodiscard]] std::string heap_server();
+
+} // namespace swsec::core::scenarios

@@ -1,0 +1,44 @@
+#include "crypto/hmac.hpp"
+
+namespace swsec::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message) {
+    std::array<std::uint8_t, 64> k{};
+    if (key.size() > 64) {
+        const Digest kd = Sha256::hash(key);
+        std::copy(kd.begin(), kd.end(), k.begin());
+    } else {
+        std::copy(key.begin(), key.end(), k.begin());
+    }
+    std::array<std::uint8_t, 64> ipad{};
+    std::array<std::uint8_t, 64> opad{};
+    for (int i = 0; i < 64; ++i) {
+        ipad[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(k[static_cast<std::size_t>(i)] ^ 0x36);
+        opad[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(k[static_cast<std::size_t>(i)] ^ 0x5c);
+    }
+    Sha256 inner;
+    inner.update(ipad);
+    inner.update(message);
+    const Digest ih = inner.finish();
+    Sha256 outer;
+    outer.update(opad);
+    outer.update(ih);
+    return outer.finish();
+}
+
+Key derive_key(std::span<const std::uint8_t> master, std::span<const std::uint8_t> context) {
+    return hmac_sha256(master, context);
+}
+
+bool constant_time_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) noexcept {
+    if (a.size() != b.size()) {
+        return false;
+    }
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+    }
+    return acc == 0;
+}
+
+} // namespace swsec::crypto

@@ -1,0 +1,34 @@
+// HMAC-SHA256, HKDF-style key derivation and constant-time comparison.
+//
+// HMAC is the MAC of the remote-attestation protocol; the KDF is how the
+// platform derives a module-private key from the platform master key and
+// the module's code measurement (Sancus-style, Section IV-C).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "crypto/sha256.hpp"
+
+namespace swsec::crypto {
+
+using Key = std::array<std::uint8_t, 32>;
+
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> message);
+
+/// KDF(master, context): HMAC(master, context) — the Sancus-style
+/// derivation K_module = KDF(K_platform, hash(code) || layout).
+[[nodiscard]] Key derive_key(std::span<const std::uint8_t> master,
+                             std::span<const std::uint8_t> context);
+
+/// Timing-safe equality (always scans the full length).
+[[nodiscard]] bool constant_time_equal(std::span<const std::uint8_t> a,
+                                       std::span<const std::uint8_t> b) noexcept;
+
+/// Helpers for std::string contexts.
+[[nodiscard]] inline std::span<const std::uint8_t> as_bytes(const std::string& s) noexcept {
+    return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+} // namespace swsec::crypto

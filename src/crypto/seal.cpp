@@ -1,0 +1,72 @@
+#include "crypto/seal.hpp"
+
+namespace swsec::crypto {
+
+namespace {
+
+constexpr std::size_t kNonceLen = 12;
+constexpr std::size_t kMacLen = 32;
+
+Key subkey(const Key& key, std::uint8_t purpose) {
+    const std::array<std::uint8_t, 1> ctx = {purpose};
+    return derive_key(key, ctx);
+}
+
+void xor_keystream(const Key& enc_key, std::span<const std::uint8_t> nonce,
+                   std::span<std::uint8_t> data) {
+    std::uint32_t counter = 0;
+    std::size_t off = 0;
+    while (off < data.size()) {
+        Sha256 h;
+        h.update(enc_key);
+        h.update(nonce);
+        const std::array<std::uint8_t, 4> ctr = {
+            static_cast<std::uint8_t>(counter >> 24), static_cast<std::uint8_t>(counter >> 16),
+            static_cast<std::uint8_t>(counter >> 8), static_cast<std::uint8_t>(counter)};
+        h.update(ctr);
+        const Digest ks = h.finish();
+        for (std::size_t i = 0; i < ks.size() && off < data.size(); ++i, ++off) {
+            data[off] ^= ks[i];
+        }
+        ++counter;
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t> seal(const Key& key, std::span<const std::uint8_t, 12> nonce,
+                               std::span<const std::uint8_t> plaintext) {
+    const Key enc_key = subkey(key, 0x01);
+    const Key mac_key = subkey(key, 0x02);
+
+    std::vector<std::uint8_t> out;
+    out.reserve(kNonceLen + plaintext.size() + kMacLen);
+    out.insert(out.end(), nonce.begin(), nonce.end());
+    out.insert(out.end(), plaintext.begin(), plaintext.end());
+    xor_keystream(enc_key, nonce, std::span<std::uint8_t>(out).subspan(kNonceLen));
+
+    const Digest mac = hmac_sha256(mac_key, out);
+    out.insert(out.end(), mac.begin(), mac.end());
+    return out;
+}
+
+std::optional<std::vector<std::uint8_t>> unseal(const Key& key,
+                                                std::span<const std::uint8_t> blob) {
+    if (blob.size() < kNonceLen + kMacLen) {
+        return std::nullopt;
+    }
+    const Key enc_key = subkey(key, 0x01);
+    const Key mac_key = subkey(key, 0x02);
+
+    const auto body = blob.first(blob.size() - kMacLen);
+    const auto mac = blob.last(kMacLen);
+    const Digest expect = hmac_sha256(mac_key, body);
+    if (!constant_time_equal(expect, mac)) {
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> plain(body.begin() + kNonceLen, body.end());
+    xor_keystream(enc_key, body.first(kNonceLen), plain);
+    return plain;
+}
+
+} // namespace swsec::crypto

@@ -1,0 +1,32 @@
+// Authenticated sealing (encrypt-then-MAC).
+//
+// Sealed storage is the substrate of state continuity (Section IV-C): a
+// protected module's persistent state must be confidentiality- and
+// integrity-protected under a module-private key.  The cipher is SHA-256 in
+// counter mode (keystream = SHA256(key || nonce || counter)), MACed with
+// HMAC-SHA256 under a separate derived key.  Format:
+//
+//   [12-byte nonce][ciphertext][32-byte MAC over nonce||ciphertext]
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+
+namespace swsec::crypto {
+
+/// Seal `plaintext` under `key` using the caller-supplied unique `nonce`
+/// (96 bits).  Nonce reuse leaks keystream, as with any stream cipher.
+[[nodiscard]] std::vector<std::uint8_t> seal(const Key& key,
+                                             std::span<const std::uint8_t, 12> nonce,
+                                             std::span<const std::uint8_t> plaintext);
+
+/// Verify and decrypt.  Returns nullopt when the MAC check fails (tampered
+/// or truncated blob).
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> unseal(const Key& key,
+                                                              std::span<const std::uint8_t> blob);
+
+} // namespace swsec::crypto

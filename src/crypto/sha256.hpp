@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4) — the hash underlying module measurement, module-key
+// derivation (remote attestation, Section IV-C) and sealed storage.
+// Implemented from the specification; validated against the standard test
+// vectors in tests/test_crypto.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace swsec::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256.
+class Sha256 {
+public:
+    Sha256() { reset(); }
+
+    void reset();
+    void update(std::span<const std::uint8_t> data);
+    void update(const std::string& s);
+    [[nodiscard]] Digest finish();
+
+    /// One-shot convenience.
+    [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data);
+    [[nodiscard]] static Digest hash(const std::string& s);
+
+private:
+    void process_block(const std::uint8_t* block);
+
+    std::array<std::uint32_t, 8> state_{};
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t buffered_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/// Lowercase hex rendering of a digest.
+[[nodiscard]] std::string to_hex(const Digest& d);
+
+} // namespace swsec::crypto

@@ -1,0 +1,39 @@
+#include "isa/disasm.hpp"
+
+#include "common/hexdump.hpp"
+
+namespace swsec::isa {
+
+std::vector<DisasmLine> disassemble(std::span<const std::uint8_t> code, std::uint32_t base) {
+    std::vector<DisasmLine> lines;
+    std::size_t off = 0;
+    while (off < code.size()) {
+        DisasmLine line;
+        line.addr = base + static_cast<std::uint32_t>(off);
+        if (auto insn = decode(code.subspan(off))) {
+            line.insn = *insn;
+            line.bytes_hex = hex_bytes(code.subspan(off, insn->length));
+            line.text = to_string(*insn, line.addr);
+            off += insn->length;
+        } else {
+            line.insn = Insn{Op::Halt, Reg::R0, Reg::R0, 0, 1};
+            line.bytes_hex = hex_bytes(code.subspan(off, 1));
+            line.text = ".byte " + hex8(code[off]);
+            off += 1;
+        }
+        lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+std::string format_listing(const std::vector<DisasmLine>& lines) {
+    std::string out;
+    for (const auto& line : lines) {
+        std::string bytes = line.bytes_hex;
+        bytes.resize(20, ' '); // widest encoding is 6 bytes = 17 chars
+        out += hex32(line.addr) + ":  " + bytes + " " + line.text + "\n";
+    }
+    return out;
+}
+
+} // namespace swsec::isa

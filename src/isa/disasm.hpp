@@ -1,0 +1,34 @@
+// Linear-sweep disassembler.
+//
+// Renders machine code in the two-column style of Fig. 1(b): hex bytes on
+// the left, assembly on the right.  Also exposes instruction-boundary
+// discovery used by tests and by the SFI verifier.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace swsec::isa {
+
+/// One disassembled line.
+struct DisasmLine {
+    std::uint32_t addr = 0;
+    Insn insn;
+    std::string bytes_hex; // "55" / "89 e5" / ...
+    std::string text;      // "push bp"
+};
+
+/// Disassemble `code` assuming it starts at virtual address `base`.
+/// Undecodable bytes become ".byte 0x??" lines of length 1, mirroring how a
+/// real linear-sweep disassembler resynchronises.
+[[nodiscard]] std::vector<DisasmLine> disassemble(std::span<const std::uint8_t> code,
+                                                  std::uint32_t base);
+
+/// Render the classic two-column listing of Fig. 1(b).
+[[nodiscard]] std::string format_listing(const std::vector<DisasmLine>& lines);
+
+} // namespace swsec::isa

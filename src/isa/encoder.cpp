@@ -1,0 +1,102 @@
+#include "isa/encoder.hpp"
+
+#include "common/error.hpp"
+
+namespace swsec::isa {
+
+namespace {
+std::uint8_t opbyte(Op op) { return static_cast<std::uint8_t>(op); }
+std::uint8_t regbyte(Reg r) { return static_cast<std::uint8_t>(r); }
+} // namespace
+
+void Encoder::word(std::int32_t v) {
+    const auto u = static_cast<std::uint32_t>(v);
+    byte(static_cast<std::uint8_t>(u & 0xff));
+    byte(static_cast<std::uint8_t>((u >> 8) & 0xff));
+    byte(static_cast<std::uint8_t>((u >> 16) & 0xff));
+    byte(static_cast<std::uint8_t>((u >> 24) & 0xff));
+}
+
+std::uint32_t Encoder::none(Op op) {
+    const std::uint32_t at = size();
+    byte(opbyte(op));
+    return at;
+}
+
+std::uint32_t Encoder::reg(Op op, Reg r) {
+    const std::uint32_t at = size();
+    byte(opbyte(op));
+    byte(regbyte(r));
+    return at;
+}
+
+std::uint32_t Encoder::reg_reg(Op op, Reg a, Reg b) {
+    const std::uint32_t at = size();
+    byte(opbyte(op));
+    byte(static_cast<std::uint8_t>((regbyte(a) << 4) | regbyte(b)));
+    return at;
+}
+
+std::uint32_t Encoder::reg_imm32(Op op, Reg r, std::int32_t v) {
+    const std::uint32_t at = size();
+    byte(opbyte(op));
+    byte(regbyte(r));
+    word(v);
+    return at;
+}
+
+std::uint32_t Encoder::imm32(Op op, std::int32_t v) {
+    const std::uint32_t at = size();
+    byte(opbyte(op));
+    word(v);
+    return at;
+}
+
+std::uint32_t Encoder::reg_mem(Op op, Reg r, Reg base, std::int32_t disp) {
+    const std::uint32_t at = size();
+    byte(opbyte(op));
+    byte(static_cast<std::uint8_t>((regbyte(r) << 4) | regbyte(base)));
+    word(disp);
+    return at;
+}
+
+std::uint32_t Encoder::reg_imm8(Op op, Reg r, std::uint8_t v) {
+    const std::uint32_t at = size();
+    byte(opbyte(op));
+    byte(regbyte(r));
+    byte(v);
+    return at;
+}
+
+std::uint32_t Encoder::rel32(Op op, std::int32_t rel) {
+    const std::uint32_t at = size();
+    byte(opbyte(op));
+    word(rel);
+    return at;
+}
+
+std::uint32_t Encoder::imm8(Op op, std::uint8_t v) {
+    const std::uint32_t at = size();
+    byte(opbyte(op));
+    byte(v);
+    return at;
+}
+
+void Encoder::patch_rel32(std::uint32_t insn_offset, std::uint32_t target_offset) {
+    const OpInfo* info = op_info(bytes_.at(insn_offset));
+    SWSEC_ASSERT(info != nullptr && info->operands == OperandKind::Rel32,
+                 "patch_rel32 target must be a rel32 instruction");
+    const std::int32_t rel = static_cast<std::int32_t>(target_offset) -
+                             static_cast<std::int32_t>(insn_offset + info->length);
+    const auto u = static_cast<std::uint32_t>(rel);
+    bytes_.at(insn_offset + 1) = static_cast<std::uint8_t>(u & 0xff);
+    bytes_.at(insn_offset + 2) = static_cast<std::uint8_t>((u >> 8) & 0xff);
+    bytes_.at(insn_offset + 3) = static_cast<std::uint8_t>((u >> 16) & 0xff);
+    bytes_.at(insn_offset + 4) = static_cast<std::uint8_t>((u >> 24) & 0xff);
+}
+
+void Encoder::raw(std::span<const std::uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+} // namespace swsec::isa

@@ -1,0 +1,49 @@
+// Binary encoder for swsec instructions.
+//
+// Used by the assembler, the MiniC code generator, the SFI rewriter and the
+// attack payload builders (shellcode is just encoded instructions delivered
+// as input data).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace swsec::isa {
+
+/// Appends encoded instructions to a growing byte buffer.  Each emit_*
+/// method returns the offset of the emitted instruction within the buffer,
+/// which callers use to record relocations and patch jump targets.
+class Encoder {
+public:
+    [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+    [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(bytes_); }
+    [[nodiscard]] std::uint32_t size() const noexcept { return static_cast<std::uint32_t>(bytes_.size()); }
+
+    std::uint32_t none(Op op);                              // halt/nop/ret/leave
+    std::uint32_t reg(Op op, Reg r);                        // push/pop/callr/jmpr/not/neg
+    std::uint32_t reg_reg(Op op, Reg a, Reg b);             // ALU / mov / cmp
+    std::uint32_t reg_imm32(Op op, Reg r, std::int32_t v);  // movi/addi/...
+    std::uint32_t imm32(Op op, std::int32_t v);             // pushi
+    std::uint32_t reg_mem(Op op, Reg r, Reg base, std::int32_t disp); // load/store/lea
+    std::uint32_t reg_imm8(Op op, Reg r, std::uint8_t v);   // shifts
+    std::uint32_t rel32(Op op, std::int32_t rel);           // jumps/call
+    std::uint32_t imm8(Op op, std::uint8_t v);              // sys
+
+    /// Patch the rel32 field of a jump/call emitted at `insn_offset` so that
+    /// it targets `target_offset` (both offsets within this buffer).
+    void patch_rel32(std::uint32_t insn_offset, std::uint32_t target_offset);
+
+    /// Append raw bytes (data islands, attacker-controlled filler).
+    void raw(std::span<const std::uint8_t> data);
+
+private:
+    void byte(std::uint8_t b) { bytes_.push_back(b); }
+    void word(std::int32_t v);
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+} // namespace swsec::isa

@@ -1,0 +1,137 @@
+#include "os/kernel.hpp"
+
+#include "common/error.hpp"
+
+namespace swsec::os {
+
+using isa::Reg;
+using vm::Sys;
+using vm::TrapKind;
+
+void Kernel::feed_input(int fd, std::span<const std::uint8_t> bytes) {
+    auto& ch = channels_[fd];
+    ch.input.insert(ch.input.end(), bytes.begin(), bytes.end());
+}
+
+void Kernel::feed_input(int fd, const std::string& text) {
+    auto& ch = channels_[fd];
+    for (const char c : text) {
+        ch.input.push_back(static_cast<std::uint8_t>(c));
+    }
+}
+
+const std::vector<std::uint8_t>& Kernel::output(int fd) { return channels_[fd].output; }
+
+std::string Kernel::output_string(int fd) {
+    const auto& out = channels_[fd].output;
+    return std::string(out.begin(), out.end());
+}
+
+bool Kernel::sys_read(vm::Machine& m) {
+    const int fd = static_cast<std::int32_t>(m.reg(Reg::R0));
+    const std::uint32_t buf = m.reg(Reg::R1);
+    const std::uint32_t len = m.reg(Reg::R2);
+    auto& ch = channels_[fd];
+    std::uint32_t n = 0;
+    while (n < len && !ch.input.empty()) {
+        const std::uint8_t b = ch.input.front();
+        // Stores go through the machine's checked path: reads into protected
+        // or unmapped memory fault exactly as a kernel copy-to-user would.
+        if (!m.store8(buf + n, b)) {
+            return true; // trap already set by the machine
+        }
+        ch.input.pop_front();
+        ++n;
+    }
+    m.set_reg(Reg::R0, n);
+    return true;
+}
+
+bool Kernel::sys_write(vm::Machine& m) {
+    const int fd = static_cast<std::int32_t>(m.reg(Reg::R0));
+    const std::uint32_t buf = m.reg(Reg::R1);
+    const std::uint32_t len = m.reg(Reg::R2);
+    auto& ch = channels_[fd];
+    for (std::uint32_t i = 0; i < len; ++i) {
+        std::uint8_t b = 0;
+        if (!m.load8(buf + i, b)) {
+            return true; // trap set (e.g. read past mapped memory)
+        }
+        ch.output.push_back(b);
+    }
+    m.set_reg(Reg::R0, len);
+    return true;
+}
+
+bool Kernel::sys_sbrk(vm::Machine& m) {
+    if (layout_ == nullptr) {
+        return false;
+    }
+    const auto delta = static_cast<std::int32_t>(m.reg(Reg::R0));
+    const std::uint32_t old_brk = layout_->brk;
+    if (delta > 0) {
+        const std::uint32_t new_brk = old_brk + static_cast<std::uint32_t>(delta);
+        if (new_brk > kHeapLimit) {
+            m.set_reg(Reg::R0, 0xffffffff); // ENOMEM
+            return true;
+        }
+        m.memory().map(old_brk, static_cast<std::uint32_t>(delta), vm::Perm::RW);
+        layout_->brk = new_brk;
+    } else if (delta < 0) {
+        layout_->brk = old_brk + static_cast<std::uint32_t>(delta);
+    }
+    m.set_reg(Reg::R0, old_brk);
+    return true;
+}
+
+bool Kernel::sys_getrandom(vm::Machine& m) {
+    const std::uint32_t buf = m.reg(Reg::R0);
+    const std::uint32_t len = m.reg(Reg::R1);
+    for (std::uint32_t i = 0; i < len; ++i) {
+        if (!m.store8(buf + i, static_cast<std::uint8_t>(rng_.next_u32() & 0xff))) {
+            return true;
+        }
+    }
+    return true;
+}
+
+bool Kernel::handle_syscall(vm::Machine& m, std::uint8_t number) {
+    trace_.push_back(SyscallRecord{
+        number, {m.reg(Reg::R0), m.reg(Reg::R1), m.reg(Reg::R2)}});
+    switch (static_cast<Sys>(number)) {
+    case Sys::Exit:
+        m.set_exit(static_cast<std::int32_t>(m.reg(Reg::R0)));
+        return true;
+    case Sys::Read:
+        return sys_read(m);
+    case Sys::Write:
+        return sys_write(m);
+    case Sys::Sbrk:
+        return sys_sbrk(m);
+    case Sys::GetRandom:
+        return sys_getrandom(m);
+    case Sys::Abort:
+        m.set_trap(TrapKind::Abort, 0, "program aborted (countermeasure check failed)");
+        return true;
+    case Sys::Poison:
+        if (m.options().memcheck) {
+            m.memory().poison(m.reg(Reg::R0), m.reg(Reg::R1));
+        }
+        return true;
+    case Sys::Unpoison:
+        if (m.options().memcheck) {
+            m.memory().unpoison(m.reg(Reg::R0), m.reg(Reg::R1));
+        }
+        return true;
+    case Sys::MemcheckActive:
+        m.set_reg(Reg::R0, m.options().memcheck ? 1 : 0);
+        return true;
+    default:
+        if (extension_ != nullptr) {
+            return extension_->handle_syscall(m, number);
+        }
+        return false;
+    }
+}
+
+} // namespace swsec::os

@@ -1,0 +1,83 @@
+// The OS kernel substrate: syscall handling and I/O channels.
+//
+// The I/O attacker model of Section III *is* this interface: the attacker
+// chooses the bytes queued on the input channels and observes the bytes the
+// program writes to the output channels — nothing else.
+//
+// The kernel implements the base syscalls (exit/read/write/sbrk/getrandom/
+// abort/poison); "hardware" extensions (remote attestation, sealed storage,
+// monotonic counters) register as a fallback handler so the attestation and
+// state-continuity modules can plug in without the kernel knowing them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "os/layout.hpp"
+#include "vm/machine.hpp"
+#include "vm/syscalls.hpp"
+
+namespace swsec::os {
+
+/// One byte-stream endpoint pair (what the program reads / what it wrote).
+struct Channel {
+    std::deque<std::uint8_t> input;
+    std::vector<std::uint8_t> output;
+};
+
+class Kernel : public vm::SyscallHandler {
+public:
+    explicit Kernel(std::uint64_t seed) : rng_(seed) {}
+
+    /// The layout is owned by the Process; the kernel needs it for sbrk.
+    void attach_layout(ProcessLayout* layout) noexcept { layout_ = layout; }
+
+    /// Chain a hardware extension consulted for syscalls the kernel does not
+    /// implement (attestation, sealing, counters).  Non-owning.
+    void set_extension(vm::SyscallHandler* ext) noexcept { extension_ = ext; }
+
+    // --- I/O attacker interface ------------------------------------------
+    /// Queue bytes the program will see on its next SYS read from `fd`.
+    void feed_input(int fd, std::span<const std::uint8_t> bytes);
+    void feed_input(int fd, const std::string& text);
+    /// Everything the program has written to `fd` so far.
+    [[nodiscard]] const std::vector<std::uint8_t>& output(int fd);
+    [[nodiscard]] std::string output_string(int fd);
+    void clear_io() { channels_.clear(); }
+
+    bool handle_syscall(vm::Machine& m, std::uint8_t number) override;
+
+    [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+    /// Trace of every syscall (number + r0..r2 at entry).  Attack harnesses
+    /// use a probe run's trace to learn run-time addresses (e.g. the buffer
+    /// address passed to read()), standing in for the reconnaissance a real
+    /// attacker performs on a copy of the target system.
+    struct SyscallRecord {
+        std::uint8_t number = 0;
+        std::array<std::uint32_t, 3> args{};
+    };
+    [[nodiscard]] const std::vector<SyscallRecord>& syscall_trace() const noexcept {
+        return trace_;
+    }
+
+private:
+    bool sys_read(vm::Machine& m);
+    bool sys_write(vm::Machine& m);
+    bool sys_sbrk(vm::Machine& m);
+    bool sys_getrandom(vm::Machine& m);
+
+    std::map<int, Channel> channels_;
+    std::vector<SyscallRecord> trace_;
+    Rng rng_;
+    ProcessLayout* layout_ = nullptr;       // non-owning
+    vm::SyscallHandler* extension_ = nullptr; // non-owning
+};
+
+} // namespace swsec::os

@@ -1,0 +1,38 @@
+// Address-space layout of a loaded process (Fig. 1(c)).
+//
+// Default (non-ASLR) bases mirror the figure: text at 0x08048000, the stack
+// just below 0xc0000000 growing down, kernel segments above.  The heap sits
+// between data and stack and grows upward via SYS sbrk.
+#pragma once
+
+#include <cstdint>
+
+namespace swsec::os {
+
+inline constexpr std::uint32_t kDefaultTextBase = 0x08048000;
+inline constexpr std::uint32_t kDefaultDataBase = 0x08100000;
+inline constexpr std::uint32_t kDefaultHeapBase = 0x09000000;
+inline constexpr std::uint32_t kDefaultStackTop = 0xbffff000;
+inline constexpr std::uint32_t kDefaultStackSize = 0x40000; // 256 KiB
+inline constexpr std::uint32_t kHeapLimit = 0x10000000;     // heap may grow to here
+
+/// Where the loader placed each segment of a process.
+struct ProcessLayout {
+    std::uint32_t text_base = 0;
+    std::uint32_t text_size = 0;
+    std::uint32_t data_base = 0;
+    std::uint32_t data_size = 0; // initialised data + bss
+    std::uint32_t heap_base = 0;
+    std::uint32_t brk = 0;        // current program break
+    std::uint32_t stack_low = 0;  // lowest mapped stack address
+    std::uint32_t stack_high = 0; // initial stack pointer
+
+    [[nodiscard]] bool in_text(std::uint32_t a) const noexcept {
+        return a >= text_base && a - text_base < text_size;
+    }
+    [[nodiscard]] bool in_stack(std::uint32_t a) const noexcept {
+        return a >= stack_low && a < stack_high;
+    }
+};
+
+} // namespace swsec::os

@@ -1,0 +1,114 @@
+#include "os/loader.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace swsec::os {
+
+using objfmt::Image;
+using objfmt::RelocKind;
+using objfmt::SectionKind;
+
+namespace {
+
+std::uint32_t section_base(const ProcessLayout& layout, SectionKind s) noexcept {
+    return s == SectionKind::Text ? layout.text_base : layout.data_base;
+}
+
+std::uint32_t randomized(std::uint32_t base, std::uint32_t entropy_bits, Rng& rng,
+                         bool downward = false) {
+    const std::uint32_t pages = 1U << entropy_bits;
+    const std::uint32_t shift = rng.below(pages) * vm::kPageSize;
+    return downward ? base - shift : base + shift;
+}
+
+} // namespace
+
+ProcessLayout load_image(vm::Machine& machine, const Image& image, const LoadOptions& opts,
+                         Rng& rng, const std::string& entry_symbol) {
+    ProcessLayout layout;
+    layout.text_base = opts.aslr ? randomized(kDefaultTextBase, opts.aslr_entropy_bits, rng)
+                                 : kDefaultTextBase;
+    layout.text_size = static_cast<std::uint32_t>(image.text.size());
+    layout.data_base = opts.aslr ? randomized(kDefaultDataBase, opts.aslr_entropy_bits, rng)
+                                 : kDefaultDataBase;
+    layout.data_size = image.data_total_size();
+    layout.heap_base = opts.aslr ? randomized(kDefaultHeapBase, opts.aslr_entropy_bits, rng)
+                                 : kDefaultHeapBase;
+    layout.brk = layout.heap_base;
+    layout.stack_high = opts.aslr
+                            ? randomized(kDefaultStackTop, opts.aslr_entropy_bits, rng,
+                                         /*downward=*/true)
+                            : kDefaultStackTop;
+    layout.stack_low = layout.stack_high - opts.stack_size;
+
+    auto& mem = machine.memory();
+    // Map with permissive RW first so relocation patching can use raw writes,
+    // then tighten to the profile's final permissions.
+    mem.map(layout.text_base, std::max<std::uint32_t>(layout.text_size, 1), vm::Perm::RW);
+    mem.map(layout.data_base, std::max<std::uint32_t>(layout.data_size, 1), vm::Perm::RW);
+    mem.map(layout.stack_low, opts.stack_size, vm::Perm::RW);
+
+    mem.raw_write(layout.text_base, image.text);
+    mem.raw_write(layout.data_base, image.data);
+    // bss is the zero-filled tail of the data segment: pages are fresh, so
+    // nothing to write.
+
+    // Apply relocations at the final addresses.
+    for (const auto& rel : image.relocs) {
+        const std::uint32_t site = section_base(layout, rel.section) + rel.offset;
+        const std::uint32_t target = section_base(layout, rel.target_section) + rel.target_offset;
+        if (rel.kind == RelocKind::Abs32) {
+            mem.raw_write32(site, target);
+        } else {
+            mem.raw_write32(site, target - (site + 4));
+        }
+    }
+
+    // Final page permissions define the security profile.
+    if (opts.dep) {
+        mem.protect(layout.text_base, std::max<std::uint32_t>(layout.text_size, 1), vm::Perm::RX);
+        mem.protect(layout.data_base, std::max<std::uint32_t>(layout.data_size, 1), vm::Perm::RW);
+        mem.protect(layout.stack_low, opts.stack_size, vm::Perm::RW);
+        machine.options().enforce_nx = true;
+    } else {
+        // Classic unprotected platform: everything readable, writable and
+        // executable (the machine does not check X when enforce_nx is off,
+        // but writable text is what enables code-corruption attacks).
+        mem.protect(layout.text_base, std::max<std::uint32_t>(layout.text_size, 1), vm::Perm::RWX);
+        mem.protect(layout.data_base, std::max<std::uint32_t>(layout.data_size, 1), vm::Perm::RWX);
+        mem.protect(layout.stack_low, opts.stack_size, vm::Perm::RWX);
+        machine.options().enforce_nx = false;
+    }
+
+    if (opts.install_cfi_targets) {
+        std::vector<std::uint32_t> targets;
+        targets.reserve(image.func_offsets.size());
+        for (const std::uint32_t off : image.func_offsets) {
+            targets.push_back(layout.text_base + off);
+        }
+        machine.set_cfi_targets(std::move(targets));
+    }
+
+    // Initial register state.
+    const auto entry = image.try_symbol(entry_symbol);
+    if (!entry || entry->section != SectionKind::Text) {
+        throw Error("entry symbol '" + entry_symbol + "' not found in image text");
+    }
+    // Real processes keep argv/env strings above the initial stack pointer;
+    // reserve the same gap so reads past a top-frame buffer stay mapped.
+    const std::uint32_t initial_sp = layout.stack_high - 256;
+    machine.set_ip(layout.text_base + entry->offset);
+    machine.set_sp(initial_sp);
+    machine.set_reg(isa::Reg::Bp, initial_sp);
+    return layout;
+}
+
+std::uint32_t symbol_address(const Image& image, const ProcessLayout& layout,
+                             const std::string& name) {
+    const auto& sym = image.symbol(name);
+    return section_base(layout, sym.section) + sym.offset;
+}
+
+} // namespace swsec::os

@@ -1,0 +1,45 @@
+// Program loader.
+//
+// Places a linked Image into a machine's address space, applies relocations
+// at the final addresses, sets page permissions according to the security
+// profile, and prepares the initial register state.
+//
+// Countermeasure knobs (Section III-C1):
+//  * `dep`          — W^X: text pages R|X, all data pages non-executable.
+//                      When off, the process is the classic unprotected
+//                      platform: the stack/data are executable and the text
+//                      segment is writable (enabling direct code injection
+//                      and code-corruption attacks).
+//  * `aslr`         — randomise text/data/stack bases with
+//                      `aslr_entropy_bits` bits of page-granular entropy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "assembler/object.hpp"
+#include "common/rng.hpp"
+#include "os/layout.hpp"
+#include "vm/machine.hpp"
+
+namespace swsec::os {
+
+struct LoadOptions {
+    bool dep = false;
+    bool aslr = false;
+    std::uint32_t aslr_entropy_bits = 12; // page-granular entropy per segment
+    std::uint32_t stack_size = kDefaultStackSize;
+    bool install_cfi_targets = true; // publish function starts to the machine
+};
+
+/// Load `image` into `machine`.  Returns the resulting layout.  The entry
+/// symbol (normally "_start") must exist in the image.
+ProcessLayout load_image(vm::Machine& machine, const objfmt::Image& image,
+                         const LoadOptions& opts, Rng& rng,
+                         const std::string& entry_symbol = "_start");
+
+/// Absolute address of a symbol under a given layout.
+[[nodiscard]] std::uint32_t symbol_address(const objfmt::Image& image, const ProcessLayout& layout,
+                                           const std::string& name);
+
+} // namespace swsec::os

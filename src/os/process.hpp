@@ -1,0 +1,84 @@
+// A loaded process: machine + kernel + image, wired together.
+//
+// This is the main convenience entry point for examples, tests, benches and
+// attack harnesses: build an Image (assembler/linker or MiniC compiler),
+// construct a Process with the desired security profile, feed attacker
+// input, run, observe output and the final trap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "assembler/object.hpp"
+#include "os/kernel.hpp"
+#include "os/loader.hpp"
+#include "vm/machine.hpp"
+
+namespace swsec::os {
+
+/// Per-process security configuration: the hardware/OS/loader knobs that
+/// correspond to the deployed countermeasures of Section III-C1.
+struct SecurityProfile {
+    bool dep = false;
+    bool aslr = false;
+    std::uint32_t aslr_entropy_bits = 12;
+    bool shadow_stack = false; // hardware return-address protection
+    bool coarse_cfi = false;   // indirect-branch target restriction
+    bool memcheck = false;     // ASan-style run-time checker (testing mode)
+
+    [[nodiscard]] static SecurityProfile none() noexcept { return {}; }
+    [[nodiscard]] static SecurityProfile hardened() noexcept {
+        SecurityProfile p;
+        p.dep = true;
+        p.aslr = true;
+        return p;
+    }
+};
+
+class Process {
+public:
+    /// Load `image` with the given profile.  `seed` drives every random
+    /// choice (ASLR layout, canary value, getrandom) deterministically.
+    Process(objfmt::Image image, const SecurityProfile& profile, std::uint64_t seed,
+            const std::string& entry_symbol = "_start");
+
+    // The kernel holds a pointer to the layout and the machine a pointer to
+    // the kernel; the object is pinned in place.  (Factory functions relying
+    // on guaranteed copy elision of prvalues still work.)
+    Process(const Process&) = delete;
+    Process& operator=(const Process&) = delete;
+    Process(Process&&) = delete;
+    Process& operator=(Process&&) = delete;
+
+    [[nodiscard]] vm::Machine& machine() noexcept { return machine_; }
+    [[nodiscard]] const vm::Machine& machine() const noexcept { return machine_; }
+    [[nodiscard]] Kernel& kernel() noexcept { return kernel_; }
+    [[nodiscard]] const ProcessLayout& layout() const noexcept { return layout_; }
+    [[nodiscard]] const objfmt::Image& image() const noexcept { return image_; }
+
+    /// Absolute run-time address of a linked symbol.
+    [[nodiscard]] std::uint32_t addr_of(const std::string& symbol) const;
+
+    // I/O attacker interface (forwarders to the kernel).
+    void feed_input(const std::string& text, int fd = 0) { kernel_.feed_input(fd, text); }
+    void feed_input(std::span<const std::uint8_t> bytes, int fd = 0) {
+        kernel_.feed_input(fd, bytes);
+    }
+    [[nodiscard]] std::string output(int fd = 1) { return kernel_.output_string(fd); }
+    [[nodiscard]] const std::vector<std::uint8_t>& output_bytes(int fd = 1) {
+        return kernel_.output(fd);
+    }
+
+    /// Run to completion (trap) or until the step budget is exhausted.
+    vm::RunResult run(std::uint64_t max_steps = 10'000'000);
+
+private:
+    objfmt::Image image_;
+    Rng rng_;
+    vm::Machine machine_;
+    Kernel kernel_;
+    ProcessLayout layout_;
+};
+
+} // namespace swsec::os

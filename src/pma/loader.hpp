@@ -1,0 +1,54 @@
+// Protected-module loading, measurement and host-side import stubs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assembler/object.hpp"
+#include "crypto/sha256.hpp"
+#include "vm/machine.hpp"
+
+namespace swsec::pma {
+
+/// Where a module is placed in the host address space.  Fixed, well-known
+/// bases by default (module placement is public knowledge in the PMA model;
+/// confidentiality comes from access control, not secrecy of location).
+struct ModulePlacement {
+    std::uint32_t code_base = 0x40000000;
+    std::uint32_t data_base = 0x48000000;
+};
+
+/// Result of loading a module.
+struct LoadedModule {
+    std::string name;
+    int machine_index = vm::kNoModule; // index in the machine's PMA registers
+    vm::ProtectedModule descriptor;
+    crypto::Digest measurement; // hash(code || layout || entry points)
+    objfmt::Image image;        // retained for symbol lookup
+
+    /// Absolute run-time address of a module symbol.
+    [[nodiscard]] std::uint32_t addr_of(const std::string& symbol) const;
+};
+
+/// Measure a module image as the attestation hardware would at load time:
+/// SHA-256 over the code bytes, the layout words and the entry offsets.
+[[nodiscard]] crypto::Digest measure_module(const objfmt::Image& image,
+                                            const ModulePlacement& place);
+
+/// Place `image` into the machine's memory, apply relocations, and (when
+/// `install_protection`) register the PMA descriptor so the three access
+/// rules are enforced.  Without protection the module is just ordinary code
+/// at a known address — the baseline the memory-scraping attack works on.
+LoadedModule load_module(vm::Machine& machine, const objfmt::Image& image,
+                         const ModulePlacement& place, const std::string& name,
+                         bool install_protection = true);
+
+/// Host-side import stubs: a tiny object file defining each exported name as
+/// `name: mov r7, <absolute entry>; jmp r7`, so host MiniC code can call the
+/// module like any other function.  Link it into the host program.
+[[nodiscard]] objfmt::ObjectFile make_import_stubs(const objfmt::Image& module_image,
+                                                   const ModulePlacement& place,
+                                                   const std::vector<std::string>& names);
+
+} // namespace swsec::pma

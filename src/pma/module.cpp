@@ -1,0 +1,123 @@
+#include "pma/module.hpp"
+
+#include "assembler/assembler.hpp"
+#include "assembler/linker.hpp"
+#include "common/error.hpp"
+
+namespace swsec::pma {
+
+namespace {
+
+/// Module runtime: text-start marker, the private stack, the stack-pointer
+/// bookkeeping cells and the trusted-hardware intrinsic wrappers.  Linked
+/// *first* so __pma_text_start sits at text offset 0.
+const std::string& module_crt_asm() {
+    static const std::string src = R"(
+; Protected-module runtime (linked first).
+.text
+__pma_text_start:
+
+.func __attest
+__attest:              ; void __attest(char* nonce16, char* out_mac32)
+  load r0, [sp+4]
+  load r1, [sp+8]
+  sys 8
+  ret
+
+.func __seal
+__seal:                ; int __seal(char* in, int n, char* out)
+  load r0, [sp+4]
+  load r1, [sp+8]
+  load r2, [sp+12]
+  sys 9
+  ret
+
+.func __unseal
+__unseal:              ; int __unseal(char* in, int n, char* out)
+  load r0, [sp+4]
+  load r1, [sp+8]
+  load r2, [sp+12]
+  sys 10
+  ret
+
+.func __ctr_inc
+__ctr_inc:             ; int __ctr_inc(void)
+  sys 11
+  ret
+
+.func __ctr_read
+__ctr_read:            ; int __ctr_read(void)
+  sys 12
+  ret
+
+.func __nv_write
+__nv_write:            ; void __nv_write(int slot, char* buf, int n)
+  load r0, [sp+4]
+  load r1, [sp+8]
+  load r2, [sp+12]
+  sys 13
+  ret
+
+.func __nv_read
+__nv_read:             ; int __nv_read(int slot, char* buf, int cap)
+  load r0, [sp+4]
+  load r1, [sp+8]
+  load r2, [sp+12]
+  sys 14
+  ret
+
+.data
+.align 4
+__pma_stack: .space 2048
+__pma_stack_end:
+__pma_priv_sp: .word __pma_stack_end
+__pma_out_sp: .word 0
+; Canary cell so modules can be compiled with stack_canaries layered on.
+; No crt0 runs inside the module, so it keeps a fixed (but in-module,
+; unreadable from outside) value.
+__stack_chk_guard: .word 0x7a3c19e5
+)";
+    return src;
+}
+
+/// Text-end marker (linked last).
+const std::string& module_end_asm() {
+    static const std::string src = ".text\n__pma_text_end:\n  halt\n";
+    return src;
+}
+
+} // namespace
+
+const cc::ExternEnv& module_externs() {
+    static const cc::ExternEnv env = [] {
+        using cc::Type;
+        cc::ExternEnv e;
+        const auto i = Type::int_type();
+        const auto v = Type::void_type();
+        const auto cp = Type::ptr_to(Type::char_type());
+        e["__attest"] = Type::func(v, {cp, cp});
+        e["__seal"] = Type::func(i, {cp, i, cp});
+        e["__unseal"] = Type::func(i, {cp, i, cp});
+        e["__ctr_inc"] = Type::func(i, {});
+        e["__ctr_read"] = Type::func(i, {});
+        e["__nv_write"] = Type::func(v, {i, cp, i});
+        e["__nv_read"] = Type::func(i, {i, cp, i});
+        e["__stack_chk_guard"] = i;
+        return e;
+    }();
+    return env;
+}
+
+objfmt::Image build_module(const std::string& minic_source, ModuleSecurity security,
+                           const std::string& module_name, const cc::CompilerOptions& extra) {
+    cc::CompilerOptions opts = extra;
+    opts.pma_mode = (security == ModuleSecurity::Secure) ? cc::PmaMode::SecureModule
+                                                         : cc::PmaMode::InsecureModule;
+    std::vector<objfmt::ObjectFile> objects;
+    objects.push_back(assembler::assemble(module_crt_asm(), module_name + "$crt"));
+    objects.push_back(cc::compile(minic_source, opts, module_name, module_externs()));
+    objects.push_back(assembler::assemble(module_end_asm(), module_name + "$end"));
+    return assembler::link(objects);
+}
+
+} // namespace swsec::pma

@@ -1,0 +1,38 @@
+// Protected-module building (Section IV, Figs. 2-4).
+//
+// A protected module is compiled and linked *separately* from the host
+// program into its own relocatable Image, then placed into the host's
+// address space by pma::load_module, which registers the memory ranges and
+// entry points with the machine's PMA "hardware".
+//
+// Two compilation modes exist so the Fig. 4 experiment can show both sides:
+//  * Insecure  — PmaMode::InsecureModule: each exported function is an entry
+//                point, frames live on the shared stack, no checks.
+//  * Secure    — PmaMode::SecureModule: entry stubs + private stack +
+//                register scrubbing + function-pointer sanitisation +
+//                re-entry points (Agten et al. / Patrignani et al.).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assembler/object.hpp"
+#include "cc/compiler.hpp"
+
+namespace swsec::pma {
+
+enum class ModuleSecurity : std::uint8_t { Insecure, Secure };
+
+/// Compile a single MiniC unit into a self-contained protected-module image.
+/// The module may only reference the PMA intrinsics (__attest, __seal,
+/// __unseal, __ctr_inc, __ctr_read, __nv_write, __nv_read) — it has no libc.
+/// Extra hardening options (canaries, bounds checks) may be layered on top
+/// via `extra`.
+[[nodiscard]] objfmt::Image build_module(const std::string& minic_source, ModuleSecurity security,
+                                         const std::string& module_name,
+                                         const cc::CompilerOptions& extra = {});
+
+/// Extern environment available to module code (the intrinsics above).
+[[nodiscard]] const cc::ExternEnv& module_externs();
+
+} // namespace swsec::pma

@@ -1,0 +1,198 @@
+#include "sfi/sfi.hpp"
+
+#include <cctype>
+
+#include "assembler/assembler.hpp"
+#include "assembler/linker.hpp"
+#include "cc/compiler.hpp"
+#include "cc/parser.hpp"
+#include "common/error.hpp"
+#include "isa/isa.hpp"
+
+namespace swsec::sfi {
+
+namespace {
+
+std::string trim(const std::string& s) {
+    std::size_t a = 0;
+    std::size_t b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a])) != 0) {
+        ++a;
+    }
+    while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])) != 0) {
+        --b;
+    }
+    return s.substr(a, b - a);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+    return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace
+
+std::string rewrite_asm(const std::string& module_asm, const SandboxPolicy& policy) {
+    std::string out;
+    std::size_t pos = 0;
+    bool in_text = true;
+    const std::string mask = std::to_string(policy.offset_mask());
+    const std::string base = std::to_string(policy.data_base);
+    while (pos <= module_asm.size()) {
+        const std::size_t nl = module_asm.find('\n', pos);
+        const std::string raw =
+            module_asm.substr(pos, nl == std::string::npos ? std::string::npos : nl - pos);
+        pos = (nl == std::string::npos) ? module_asm.size() + 1 : nl + 1;
+        const std::string line = trim(raw);
+        if (line == ".data") {
+            in_text = false;
+        } else if (line == ".text") {
+            in_text = true;
+        }
+        const bool is_store = starts_with(line, "store ") || starts_with(line, "store8 ");
+        const bool is_load =
+            policy.mask_loads && (starts_with(line, "load ") || starts_with(line, "load8 "));
+        if (!in_text || (!is_store && !is_load)) {
+            out += raw + "\n";
+            continue;
+        }
+        // "store [base+disp], src"  or  "load rd, [base+disp]"
+        const std::size_t lb = line.find('[');
+        const std::size_t rb = line.find(']');
+        if (lb == std::string::npos || rb == std::string::npos) {
+            throw Error("sfi rewriter: malformed memory operand in '" + line + "'");
+        }
+        const std::string mem = line.substr(lb, rb - lb + 1);
+        std::string rewritten = line;
+        rewritten.replace(lb, rb - lb + 1, "[r7+0]");
+        // Mask the effective address into the sandbox via the dedicated
+        // sandbox register r7 (classic SFI address sandboxing).
+        out += "  lea r7, " + mem + "\n";
+        out += "  and r7, " + mask + "\n";
+        out += "  or r7, " + base + "\n";
+        out += "  " + rewritten + "\n";
+    }
+    return out;
+}
+
+VerifyResult verify_object(const objfmt::ObjectFile& obj, const SandboxPolicy& policy) {
+    using isa::Op;
+    VerifyResult result;
+    auto flag = [&](std::uint32_t off, const std::string& what) {
+        result.ok = false;
+        result.violations.push_back("text+" + std::to_string(off) + ": " + what);
+    };
+    // Track the two previously decoded instructions to check mask pairing.
+    isa::Insn prev1{};
+    isa::Insn prev2{};
+    bool have1 = false;
+    bool have2 = false;
+    std::size_t off = 0;
+    const std::span<const std::uint8_t> text(obj.text);
+    while (off < text.size()) {
+        const auto insn = isa::decode(text.subspan(off));
+        if (!insn) {
+            flag(static_cast<std::uint32_t>(off), "undecodable byte");
+            break;
+        }
+        switch (insn->op) {
+        case Op::Sys:
+            flag(static_cast<std::uint32_t>(off), "syscall in sandboxed module");
+            break;
+        case Op::CallR:
+        case Op::JmpR:
+            flag(static_cast<std::uint32_t>(off), "indirect branch in sandboxed module");
+            break;
+        case Op::Store:
+        case Op::Store8: {
+            const bool masked = insn->r1 == isa::Reg::R7 && insn->imm == 0 && have1 && have2 &&
+                                prev1.op == Op::OrI && prev1.r1 == isa::Reg::R7 &&
+                                static_cast<std::uint32_t>(prev1.imm) == policy.data_base &&
+                                prev2.op == Op::AndI && prev2.r1 == isa::Reg::R7 &&
+                                static_cast<std::uint32_t>(prev2.imm) == policy.offset_mask();
+            if (!masked) {
+                flag(static_cast<std::uint32_t>(off), "unmasked store");
+            }
+            break;
+        }
+        case Op::Load:
+        case Op::Load8:
+            if (policy.mask_loads) {
+                const bool masked = insn->r2 == isa::Reg::R7 && insn->imm == 0 && have1 &&
+                                    have2 && prev1.op == Op::OrI && prev2.op == Op::AndI;
+                if (!masked) {
+                    flag(static_cast<std::uint32_t>(off), "unmasked load");
+                }
+            }
+            break;
+        default:
+            break;
+        }
+        prev2 = prev1;
+        have2 = have1;
+        prev1 = *insn;
+        have1 = true;
+        off += insn->length;
+    }
+    return result;
+}
+
+objfmt::ObjectFile sandbox_minic_unit(const std::string& minic_source,
+                                      const SandboxPolicy& policy,
+                                      const std::string& unit_name) {
+    // Untrusted modules get no runtime: no syscalls, no libc.
+    cc::CompilerOptions copts;
+    copts.emit_comments = false;
+    const std::string raw_asm = cc::compile_to_asm(minic_source, copts, unit_name, {});
+    const std::string rewritten = rewrite_asm(raw_asm, policy);
+
+    // The rewritten body must verify on its own.
+    const auto body_probe = assembler::assemble(rewritten, unit_name + "$body");
+    const auto v = verify_object(body_probe, policy);
+    if (!v.ok) {
+        std::string msg = "sfi rewriting produced an unverifiable module:";
+        for (const auto& viol : v.violations) {
+            msg += "\n  " + viol;
+        }
+        throw Error(msg);
+    }
+
+    // Trusted entry stubs (added after verification, like NaCl trampolines):
+    // switch to the in-sandbox stack, copy arguments, run the body.
+    const cc::Program prog = cc::parse(minic_source);
+    const std::uint32_t stack_top = policy.data_base + policy.offset_mask() + 1;
+    std::string stubs = "\n.text\n";
+    for (const auto& fn : prog.funcs) {
+        if (!fn.body || fn.is_static) {
+            continue;
+        }
+        const int n = static_cast<int>(fn.params.size());
+        const std::string stub = "sfi_" + fn.name;
+        stubs += ".global " + stub + "\n.func " + stub + "\n" + stub + ":\n";
+        stubs += "  mov r5, sp\n";
+        stubs += "  mov sp, " + std::to_string(stack_top) + "\n";
+        stubs += "  push r5\n";
+        for (int i = n - 1; i >= 0; --i) {
+            stubs += "  load r4, [r5+" + std::to_string(4 + 4 * i) + "]\n";
+            stubs += "  push r4\n";
+        }
+        stubs += "  call " + fn.name + "\n";
+        if (n > 0) {
+            stubs += "  add sp, " + std::to_string(4 * n) + "\n";
+        }
+        stubs += "  pop r5\n";
+        stubs += "  mov sp, r5\n";
+        stubs += "  ret\n";
+    }
+    // Reserve the whole sandbox data region (globals at the bottom, the
+    // private stack growing down from the top).
+    const auto data_used = static_cast<std::uint32_t>(body_probe.data.size());
+    if (data_used + 256 > policy.offset_mask() + 1) {
+        throw Error("module data does not fit in the sandbox");
+    }
+    const std::uint32_t reserve = policy.offset_mask() + 1 - data_used;
+    stubs += ".data\n.space " + std::to_string(reserve) + "\n";
+
+    return assembler::assemble(rewritten + stubs, unit_name);
+}
+
+} // namespace swsec::sfi

@@ -1,0 +1,60 @@
+#include "statecont/nv.hpp"
+
+namespace swsec::statecont {
+
+void NvStore::tick() {
+    ++ops_;
+    if (crash_armed_) {
+        if (crash_in_ == 0) {
+            crash_armed_ = false;
+            throw PowerCut();
+        }
+        --crash_in_;
+    }
+}
+
+void NvStore::write(int slot, Blob data) {
+    tick();
+    slots_[slot] = std::move(data);
+}
+
+std::optional<Blob> NvStore::read(int slot) {
+    tick();
+    const auto it = slots_.find(slot);
+    if (it == slots_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+std::optional<Blob> NvStore::attacker_read(int slot) const {
+    const auto it = slots_.find(slot);
+    if (it == slots_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+void NvStore::attacker_write(int slot, Blob data) { slots_[slot] = std::move(data); }
+
+std::uint64_t NvStore::counter_read() {
+    tick();
+    return counter_;
+}
+
+std::uint64_t NvStore::counter_increment() {
+    tick();
+    return ++counter_;
+}
+
+void NvStore::guard_write(const GuardCell& cell) {
+    tick();
+    guard_ = cell; // modelled as atomic: the cell is a handful of bytes
+}
+
+GuardCell NvStore::guard_read() {
+    tick();
+    return guard_;
+}
+
+} // namespace swsec::statecont

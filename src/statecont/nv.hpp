@@ -1,0 +1,83 @@
+// Simulated persistent hardware for state continuity (Section IV-C).
+//
+// Threat and fault model, following Memoir [36] and Ice [37]:
+//  * ordinary NV slots are under OS control — the rollback attacker can
+//    read, replace and replay them at will;
+//  * the monotonic counter is tamper-proof: it can only ever be read or
+//    incremented (the Memoir-style resource);
+//  * the small guarded cell is tamper-proof and atomically writable, but
+//    only through the protocol (the Ice-style resource);
+//  * a power cut can hit between any two device operations — CrashInjector
+//    arms a crash after N operations so tests can sweep every window.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace swsec::statecont {
+
+/// Thrown when an armed crash fires: the "process" dies mid-protocol and a
+/// fresh protocol instance recovers from whatever the devices hold.
+class PowerCut : public Error {
+public:
+    PowerCut() : Error("power cut (injected crash)") {}
+};
+
+using Blob = std::vector<std::uint8_t>;
+
+/// A small tamper-proof, atomically-writable record (Ice-style guarded
+/// NVRAM): freshness digest + which slot holds the current blob.
+struct GuardCell {
+    std::array<std::uint8_t, 32> digest{};
+    std::uint32_t slot = 0;
+    bool valid = false;
+};
+
+class NvStore {
+public:
+    // --- crash injection ---------------------------------------------------
+    /// Arm a power cut after `ops` more device operations (0 = immediately
+    /// before the next one).  Disarmed after firing.
+    void arm_crash_after(int ops) noexcept {
+        crash_armed_ = true;
+        crash_in_ = ops;
+    }
+    void disarm() noexcept { crash_armed_ = false; }
+
+    // --- ordinary NV slots (attacker-controlled) -----------------------------
+    void write(int slot, Blob data);
+    [[nodiscard]] std::optional<Blob> read(int slot);
+
+    /// The rollback attacker's primitives: copy out / splice in blobs
+    /// without going through the protocol (no crash accounting — the
+    /// attacker's own accesses cannot crash the victim).
+    [[nodiscard]] std::optional<Blob> attacker_read(int slot) const;
+    void attacker_write(int slot, Blob data);
+
+    // --- monotonic counter (tamper-proof) -------------------------------------
+    [[nodiscard]] std::uint64_t counter_read();
+    std::uint64_t counter_increment();
+
+    // --- guarded cell (tamper-proof, atomic) ----------------------------------
+    void guard_write(const GuardCell& cell);
+    [[nodiscard]] GuardCell guard_read();
+
+    [[nodiscard]] std::uint64_t ops_performed() const noexcept { return ops_; }
+
+private:
+    void tick();
+
+    std::map<int, Blob> slots_;
+    std::uint64_t counter_ = 0;
+    GuardCell guard_{};
+    std::uint64_t ops_ = 0;
+    bool crash_armed_ = false;
+    int crash_in_ = 0;
+};
+
+} // namespace swsec::statecont

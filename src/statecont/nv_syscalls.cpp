@@ -1,0 +1,53 @@
+#include "statecont/nv_syscalls.hpp"
+
+#include "vm/syscalls.hpp"
+
+namespace swsec::statecont {
+
+using isa::Reg;
+using vm::Sys;
+
+bool NvSyscalls::handle_syscall(vm::Machine& m, std::uint8_t number) {
+    switch (static_cast<Sys>(number)) {
+    case Sys::CtrInc:
+        m.set_reg(Reg::R0, static_cast<std::uint32_t>(nv_.counter_increment()));
+        return true;
+    case Sys::CtrRead:
+        m.set_reg(Reg::R0, static_cast<std::uint32_t>(nv_.counter_read()));
+        return true;
+    case Sys::NvWrite: {
+        const int slot = static_cast<std::int32_t>(m.reg(Reg::R0));
+        const std::uint32_t buf = m.reg(Reg::R1);
+        const std::uint32_t len = m.reg(Reg::R2);
+        Blob data(len);
+        for (std::uint32_t i = 0; i < len; ++i) {
+            if (!m.load8(buf + i, data[i])) {
+                return true;
+            }
+        }
+        nv_.write(slot, std::move(data));
+        return true;
+    }
+    case Sys::NvRead: {
+        const int slot = static_cast<std::int32_t>(m.reg(Reg::R0));
+        const std::uint32_t buf = m.reg(Reg::R1);
+        const std::uint32_t cap = m.reg(Reg::R2);
+        const auto data = nv_.read(slot);
+        if (!data || data->size() > cap) {
+            m.set_reg(Reg::R0, 0xffffffff);
+            return true;
+        }
+        for (std::size_t i = 0; i < data->size(); ++i) {
+            if (!m.store8(buf + static_cast<std::uint32_t>(i), (*data)[i])) {
+                return true;
+            }
+        }
+        m.set_reg(Reg::R0, static_cast<std::uint32_t>(data->size()));
+        return true;
+    }
+    default:
+        return next_ != nullptr && next_->handle_syscall(m, number);
+    }
+}
+
+} // namespace swsec::statecont

@@ -1,0 +1,24 @@
+// Syscall bridge exposing the NV hardware to protected modules running in
+// the VM (SYS ctr_inc / ctr_read / nv_write / nv_read).  Chains after the
+// attestation engine in the kernel's extension list.
+#pragma once
+
+#include "statecont/nv.hpp"
+#include "vm/machine.hpp"
+
+namespace swsec::statecont {
+
+class NvSyscalls : public vm::SyscallHandler {
+public:
+    explicit NvSyscalls(NvStore& nv) : nv_(nv) {}
+
+    void set_next(vm::SyscallHandler* next) noexcept { next_ = next; }
+
+    bool handle_syscall(vm::Machine& m, std::uint8_t number) override;
+
+private:
+    NvStore& nv_;
+    vm::SyscallHandler* next_ = nullptr; // non-owning
+};
+
+} // namespace swsec::statecont

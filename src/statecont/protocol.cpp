@@ -1,0 +1,136 @@
+#include "statecont/protocol.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace swsec::statecont {
+
+namespace {
+
+std::array<std::uint8_t, 12> fresh_nonce(Rng& rng) {
+    std::array<std::uint8_t, 12> n{};
+    rng.fill(n);
+    return n;
+}
+
+Blob with_counter(std::uint64_t ctr, const Blob& state) {
+    Blob out;
+    out.reserve(8 + state.size());
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::uint8_t>((ctr >> (8 * i)) & 0xff));
+    }
+    out.insert(out.end(), state.begin(), state.end());
+    return out;
+}
+
+std::uint64_t embedded_counter(const Blob& payload) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+        v = (v << 8) | payload[static_cast<std::size_t>(i)];
+    }
+    return v;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------------
+// Naive sealing: authentic and confidential, but freshness-free.
+// --------------------------------------------------------------------------
+
+void NaiveSealedState::save(const Blob& state) {
+    const auto nonce = fresh_nonce(rng_);
+    nv_.write(kSlot, crypto::seal(key_, nonce, state));
+}
+
+LoadResult NaiveSealedState::load() {
+    const auto blob = nv_.read(kSlot);
+    if (!blob) {
+        return {LoadStatus::Empty, {}};
+    }
+    auto plain = crypto::unseal(key_, *blob);
+    if (!plain) {
+        return {LoadStatus::Tampered, {}};
+    }
+    // Any authentic blob is accepted — including stale ones.  This is the
+    // rollback hole the paper's tries_left example falls into.
+    return {LoadStatus::Ok, std::move(*plain)};
+}
+
+// --------------------------------------------------------------------------
+// Memoir-style: blob bound to a tamper-proof monotonic counter.
+// --------------------------------------------------------------------------
+
+void CounterState::save(const Blob& state) {
+    const std::uint64_t ctr = nv_.counter_read();
+    const auto nonce = fresh_nonce(rng_);
+    // Write first, increment second: a crash between the two leaves a blob
+    // that is one ahead of the counter, which load() below accepts and
+    // resynchronises — this ordering is what gives crash liveness.
+    nv_.write(kSlot, crypto::seal(key_, nonce, with_counter(ctr + 1, state)));
+    (void)nv_.counter_increment();
+}
+
+LoadResult CounterState::load() {
+    const auto blob = nv_.read(kSlot);
+    if (!blob) {
+        return {LoadStatus::Empty, {}};
+    }
+    auto plain = crypto::unseal(key_, *blob);
+    if (!plain || plain->size() < 8) {
+        return {LoadStatus::Tampered, {}};
+    }
+    const std::uint64_t embedded = embedded_counter(*plain);
+    const std::uint64_t ctr = nv_.counter_read();
+    if (embedded == ctr + 1) {
+        // Crash window: the save's increment never happened.  Resync.
+        (void)nv_.counter_increment();
+    } else if (embedded != ctr) {
+        return {LoadStatus::Rollback, {}}; // authentic but stale
+    }
+    return {LoadStatus::Ok, Blob(plain->begin() + 8, plain->end())};
+}
+
+// --------------------------------------------------------------------------
+// Ice-style: two alternating slots + an atomically-updated guarded digest.
+// --------------------------------------------------------------------------
+
+void GuardedState::save(const Blob& state) {
+    GuardCell guard = nv_.guard_read();
+    const int next_slot =
+        (guard.valid && guard.slot == static_cast<std::uint32_t>(kSlotA)) ? kSlotB : kSlotA;
+    const auto nonce = fresh_nonce(rng_);
+    Blob blob = crypto::seal(key_, nonce, state);
+    const crypto::Digest digest = crypto::Sha256::hash(blob);
+    nv_.write(next_slot, std::move(blob));
+    // The guard update commits the save; until it lands, load() recovers the
+    // previous state from the other slot (crash liveness).
+    GuardCell next;
+    next.digest = digest;
+    next.slot = static_cast<std::uint32_t>(next_slot);
+    next.valid = true;
+    nv_.guard_write(next);
+}
+
+LoadResult GuardedState::load() {
+    const GuardCell guard = nv_.guard_read();
+    if (!guard.valid) {
+        return {LoadStatus::Empty, {}};
+    }
+    const auto blob = nv_.read(static_cast<int>(guard.slot));
+    if (!blob) {
+        return {LoadStatus::Tampered, {}};
+    }
+    const crypto::Digest digest = crypto::Sha256::hash(*blob);
+    if (!crypto::constant_time_equal(digest, guard.digest)) {
+        // The slot does not hold what the guard committed.  If it is an
+        // authentic old blob this is a rollback attempt; otherwise plain
+        // tampering.
+        return {crypto::unseal(key_, *blob) ? LoadStatus::Rollback : LoadStatus::Tampered, {}};
+    }
+    auto plain = crypto::unseal(key_, *blob);
+    if (!plain) {
+        return {LoadStatus::Tampered, {}};
+    }
+    return {LoadStatus::Ok, std::move(*plain)};
+}
+
+} // namespace swsec::statecont

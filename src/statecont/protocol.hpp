@@ -1,0 +1,104 @@
+// State-continuity protocols (Section IV-C).
+//
+// A protected module must persist state (e.g. the PIN module's tries_left)
+// across restarts such that
+//   (rollback protection) an attacker who controls ordinary storage cannot
+//       make the module accept a *stale* state — the paper's example is
+//       resetting tries_left by replaying the initial sealed state;
+//   (liveness) a power cut at any point must not leave the module unable
+//       to recover *some* accepted state.
+//
+// Three protocols over the simulated hardware of nv.hpp:
+//  * NaiveSealedState — sealing alone: confidential and authentic, but any
+//    old blob verifies.  Rollback succeeds (the broken baseline).
+//  * CounterState (Memoir-style [36]) — the sealed blob embeds a counter
+//    value checked against a tamper-proof monotonic counter.  Saves write
+//    the blob *before* incrementing, so a crash between the two leaves a
+//    blob one ahead of the counter; load accepts ctr or ctr+1 and resyncs.
+//  * GuardedState (Ice-style [37]) — two alternating NV slots plus a small
+//    atomically-written guarded cell holding the digest of the current
+//    blob.  No counter writes per save; freshness comes from the guard.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "crypto/seal.hpp"
+#include "statecont/nv.hpp"
+
+namespace swsec::statecont {
+
+/// Result of a load: the recovered state, or why none was accepted.
+enum class LoadStatus : std::uint8_t {
+    Ok,
+    Empty,      // nothing stored yet (first boot)
+    Tampered,   // blob failed authentication
+    Rollback,   // authentic but stale: freshness check failed
+};
+
+struct LoadResult {
+    LoadStatus status = LoadStatus::Empty;
+    Blob state;
+};
+
+/// Common interface so tests and benches sweep all three protocols.
+class StateProtocol {
+public:
+    virtual ~StateProtocol() = default;
+    /// Persist `state`; throws PowerCut if an injected crash fires.
+    virtual void save(const Blob& state) = 0;
+    /// Recover the freshest acceptable state.
+    virtual LoadResult load() = 0;
+    [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+class NaiveSealedState final : public StateProtocol {
+public:
+    NaiveSealedState(crypto::Key key, NvStore& nv, std::uint64_t nonce_seed)
+        : key_(key), nv_(nv), rng_(nonce_seed) {}
+    void save(const Blob& state) override;
+    LoadResult load() override;
+    [[nodiscard]] const char* name() const noexcept override { return "naive-sealed"; }
+
+    static constexpr int kSlot = 0;
+
+private:
+    crypto::Key key_;
+    NvStore& nv_;
+    Rng rng_;
+};
+
+class CounterState final : public StateProtocol {
+public:
+    CounterState(crypto::Key key, NvStore& nv, std::uint64_t nonce_seed)
+        : key_(key), nv_(nv), rng_(nonce_seed) {}
+    void save(const Blob& state) override;
+    LoadResult load() override;
+    [[nodiscard]] const char* name() const noexcept override { return "memoir-counter"; }
+
+    static constexpr int kSlot = 1;
+
+private:
+    crypto::Key key_;
+    NvStore& nv_;
+    Rng rng_;
+};
+
+class GuardedState final : public StateProtocol {
+public:
+    GuardedState(crypto::Key key, NvStore& nv, std::uint64_t nonce_seed)
+        : key_(key), nv_(nv), rng_(nonce_seed) {}
+    void save(const Blob& state) override;
+    LoadResult load() override;
+    [[nodiscard]] const char* name() const noexcept override { return "ice-guarded"; }
+
+    static constexpr int kSlotA = 2;
+    static constexpr int kSlotB = 3;
+
+private:
+    crypto::Key key_;
+    NvStore& nv_;
+    Rng rng_;
+};
+
+} // namespace swsec::statecont

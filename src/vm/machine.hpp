@@ -1,0 +1,208 @@
+// The swsec virtual machine.
+//
+// A 32-bit little-endian von Neumann machine: ten registers (r0-r7, sp, bp),
+// an instruction pointer, three comparison flags, and a sparse paged memory
+// in which code and data coexist (Fig. 1).  The machine is deliberately
+// configurable along every axis the paper's countermeasures need:
+//
+//  * MachineOptions::enforce_nx      — DEP / W^X (fetch requires X pages)
+//  * MachineOptions::hardware_shadow_stack — return-address protection
+//  * MachineOptions::coarse_cfi     — indirect branches restricted to the
+//                                      approved target set
+//  * MachineOptions::memcheck        — poison-map checking on data access
+//  * protected modules               — the PMA of Section IV (pma_model.hpp)
+//
+// All of these default to *off*: the base machine is exactly the unprotected
+// platform the classic attacks of Section III assume.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "vm/memory.hpp"
+#include "vm/pma_model.hpp"
+#include "vm/trap.hpp"
+
+namespace swsec::vm {
+
+class Machine;
+
+/// Interface the machine calls on SYS instructions.  Implemented by the OS
+/// kernel substrate (os::Kernel) and extended by the attestation and
+/// state-continuity "hardware".
+class SyscallHandler {
+public:
+    virtual ~SyscallHandler() = default;
+    /// Handle syscall `number`; may read/write registers and memory and may
+    /// set a trap (e.g. Exit).  Return false for unknown numbers, which the
+    /// machine converts into TrapKind::BadSyscall.
+    virtual bool handle_syscall(Machine& m, std::uint8_t number) = 0;
+};
+
+/// Hardware configuration switches (countermeasure substrate).
+struct MachineOptions {
+    bool enforce_nx = false;          // DEP: fetch requires X permission
+    bool hardware_shadow_stack = false;
+    bool coarse_cfi = false;          // indirect branch target checking
+    bool memcheck = false;            // honour the poison map on data access
+    bool capability_mode = false;     // enable the CHERI-style cap opcodes
+    bool pure_capability = false;     // pure-cap mode: plain memory ops trap
+                                      // (integers can never act as pointers)
+};
+
+/// A CHERI-style capability (Section IV-A, [21]): an unforgeable pointer to
+/// a memory segment with permissions.  Machine code can only use and shrink
+/// the capabilities it was granted — it cannot mint new ones.
+struct Capability {
+    std::uint32_t base = 0;
+    std::uint32_t length = 0;
+    Perm perms = Perm::None;
+    bool tag = false; // valid (set only by the privileged grantor)
+
+    [[nodiscard]] bool covers(std::uint32_t offset, std::uint32_t size) const noexcept {
+        return tag && offset <= length && length - offset >= size;
+    }
+};
+
+/// Result of Machine::run().
+struct RunResult {
+    Trap trap;
+    std::uint64_t steps = 0;
+
+    [[nodiscard]] bool exited(std::int32_t code) const noexcept {
+        return trap.kind == TrapKind::Exit && trap.code == code;
+    }
+};
+
+class Machine {
+public:
+    explicit Machine(MachineOptions opts = {}) : opts_(opts) {}
+
+    // --- configuration ---------------------------------------------------
+    [[nodiscard]] MachineOptions& options() noexcept { return opts_; }
+    [[nodiscard]] const MachineOptions& options() const noexcept { return opts_; }
+
+    [[nodiscard]] Memory& memory() noexcept { return mem_; }
+    [[nodiscard]] const Memory& memory() const noexcept { return mem_; }
+
+    /// Register the approved indirect-branch targets for coarse CFI
+    /// (normally every function entry in the loaded image).
+    void set_cfi_targets(std::vector<std::uint32_t> targets);
+    void add_cfi_target(std::uint32_t target) { cfi_targets_.insert(target); }
+
+    /// Install a protected module descriptor (PMA "hardware" register).
+    /// Returns the module index.
+    int add_protected_module(ProtectedModule module);
+    [[nodiscard]] const std::vector<ProtectedModule>& protected_modules() const noexcept {
+        return modules_;
+    }
+    /// Index of the module whose code or data contains `addr`, or kNoModule.
+    [[nodiscard]] int module_containing(std::uint32_t addr) const noexcept;
+    /// Index of the module currently executing (derived from the IP), or kNoModule.
+    [[nodiscard]] int current_module() const noexcept { return current_module_; }
+
+    // --- register file -----------------------------------------------------
+    [[nodiscard]] std::uint32_t reg(isa::Reg r) const noexcept {
+        return regs_[static_cast<std::size_t>(r)];
+    }
+    void set_reg(isa::Reg r, std::uint32_t v) noexcept { regs_[static_cast<std::size_t>(r)] = v; }
+    [[nodiscard]] std::uint32_t ip() const noexcept { return ip_; }
+    void set_ip(std::uint32_t ip) noexcept { ip_ = ip; }
+    [[nodiscard]] std::uint32_t sp() const noexcept { return reg(isa::Reg::Sp); }
+    void set_sp(std::uint32_t v) noexcept { set_reg(isa::Reg::Sp, v); }
+
+    /// Wipe registers, flags, trap, shadow stack and module state (memory is
+    /// left intact; the loader owns memory contents).
+    void reset();
+
+    // --- capability registers (capability machine extension) ---------------
+    static constexpr int kNumCaps = 8;
+    /// Grant a capability (privileged: only the host/loader mints tags).
+    void set_capability(int index, const Capability& cap);
+    [[nodiscard]] const Capability& capability(int index) const;
+
+    // --- execution ---------------------------------------------------------
+    /// Execute one instruction.  On a fault the trap record is set and the
+    /// machine stops making progress.
+    void step();
+
+    /// Run until trap or until `max_steps` instructions executed.
+    RunResult run(std::uint64_t max_steps = 10'000'000);
+
+    [[nodiscard]] const Trap& trap() const noexcept { return trap_; }
+    void set_trap(TrapKind kind, std::uint32_t addr = 0, std::string detail = {});
+    void set_exit(std::int32_t code);
+    void clear_trap() noexcept { trap_ = Trap{}; }
+
+    void set_syscall_handler(SyscallHandler* handler) noexcept { syscalls_ = handler; }
+
+    // --- machine-level data access (used by executing instructions and by
+    //     the kernel substrate when copying syscall buffers) ---------------
+    // These honour page permissions, poison (when memcheck) and the PMA
+    // rules relative to the *currently executing* module, and set the trap
+    // on failure (returning false).
+    [[nodiscard]] bool load32(std::uint32_t addr, std::uint32_t& out);
+    [[nodiscard]] bool load8(std::uint32_t addr, std::uint8_t& out);
+    [[nodiscard]] bool store32(std::uint32_t addr, std::uint32_t v);
+    [[nodiscard]] bool store8(std::uint32_t addr, std::uint8_t v);
+
+    // --- kernel-privilege access (machine-code attacker in the OS) --------
+    // Bypasses page permissions (the kernel can map anything) but is still
+    // subject to the PMA rules with "IP outside every module" semantics:
+    // this is precisely the protection the paper claims PMAs give against
+    // kernel-level malware.  Returns false (no trap) when PMA-denied.
+    [[nodiscard]] bool kernel_read8(std::uint32_t addr, std::uint8_t& out) const noexcept;
+    [[nodiscard]] bool kernel_read32(std::uint32_t addr, std::uint32_t& out) const noexcept;
+    [[nodiscard]] bool kernel_write8(std::uint32_t addr, std::uint8_t v) noexcept;
+    [[nodiscard]] bool kernel_write32(std::uint32_t addr, std::uint32_t v) noexcept;
+
+    // --- statistics --------------------------------------------------------
+    [[nodiscard]] std::uint64_t steps_executed() const noexcept { return steps_; }
+    /// Shadow stack depth (tests use this to validate call/return pairing).
+    [[nodiscard]] std::size_t shadow_stack_depth() const noexcept { return shadow_stack_.size(); }
+
+private:
+    struct Flags {
+        bool z = false;  // equal
+        bool lt = false; // signed less-than
+        bool b = false;  // unsigned below
+    };
+
+    [[nodiscard]] bool fetch(isa::Insn& out);
+    void execute(const isa::Insn& insn);
+    [[nodiscard]] bool push32(std::uint32_t v);
+    [[nodiscard]] bool pop32(std::uint32_t& out);
+    void branch_to(std::uint32_t target) noexcept { ip_ = target; }
+    [[nodiscard]] bool check_indirect_target(std::uint32_t target);
+    void execute_capability(const isa::Insn& insn, std::uint32_t next);
+    void do_call(std::uint32_t target, std::uint32_t return_addr);
+    void do_ret();
+    void do_sys(std::uint8_t number);
+
+    /// PMA access-control decision for a data access from the current module.
+    [[nodiscard]] bool pma_allows_data(std::uint32_t addr, bool write) const noexcept;
+    /// PMA decision for executing at `addr` given the previously executing
+    /// module; also reports whether this is a legal entry-point transition.
+    [[nodiscard]] bool pma_allows_fetch(std::uint32_t addr) const noexcept;
+
+    Memory mem_;
+    std::array<std::uint32_t, isa::kNumRegs> regs_{};
+    std::uint32_t ip_ = 0;
+    Flags flags_;
+    Trap trap_;
+    MachineOptions opts_;
+    SyscallHandler* syscalls_ = nullptr; // non-owning; must outlive run()
+
+    std::array<Capability, kNumCaps> caps_{};
+    std::vector<std::uint32_t> shadow_stack_;
+    std::unordered_set<std::uint32_t> cfi_targets_;
+    std::vector<ProtectedModule> modules_;
+    int current_module_ = kNoModule;
+
+    std::uint64_t steps_ = 0;
+};
+
+} // namespace swsec::vm

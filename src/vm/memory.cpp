@@ -1,0 +1,218 @@
+#include "vm/memory.hpp"
+
+#include "common/error.hpp"
+#include "common/hexdump.hpp"
+
+#include <algorithm>
+
+namespace swsec::vm {
+
+namespace {
+constexpr std::uint32_t page_index(std::uint32_t addr) noexcept { return addr >> kPageShift; }
+constexpr std::uint32_t page_offset(std::uint32_t addr) noexcept { return addr & (kPageSize - 1); }
+} // namespace
+
+Memory::Page* Memory::page_at(std::uint32_t addr) noexcept {
+    const std::uint32_t idx = page_index(addr);
+    if (idx == cached_index_) {
+        return cached_page_;
+    }
+    const auto it = pages_.find(idx);
+    Page* p = (it == pages_.end()) ? nullptr : it->second.get();
+    cached_index_ = idx;
+    cached_page_ = p;
+    return p;
+}
+
+const Memory::Page* Memory::page_at(std::uint32_t addr) const noexcept {
+    return const_cast<Memory*>(this)->page_at(addr);
+}
+
+Memory::Page& Memory::page_or_throw(std::uint32_t addr) {
+    Page* p = page_at(addr);
+    if (p == nullptr) {
+        throw Error("access to unmapped memory at " + hex32(addr));
+    }
+    return *p;
+}
+
+const Memory::Page& Memory::page_or_throw(std::uint32_t addr) const {
+    return const_cast<Memory*>(this)->page_or_throw(addr);
+}
+
+void Memory::map(std::uint32_t addr, std::uint32_t size, Perm perms) {
+    if (size == 0) {
+        return;
+    }
+    const std::uint32_t first = page_index(addr);
+    const std::uint32_t last = page_index(addr + size - 1);
+    for (std::uint32_t idx = first;; ++idx) {
+        auto& slot = pages_[idx];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+        }
+        slot->perms = perms;
+        if (idx == last) {
+            break;
+        }
+    }
+    cached_index_ = 0xffffffff;
+    cached_page_ = nullptr;
+}
+
+void Memory::protect(std::uint32_t addr, std::uint32_t size, Perm perms) {
+    if (size == 0) {
+        return;
+    }
+    const std::uint32_t first = page_index(addr);
+    const std::uint32_t last = page_index(addr + size - 1);
+    for (std::uint32_t idx = first;; ++idx) {
+        const auto it = pages_.find(idx);
+        if (it == pages_.end()) {
+            throw Error("protect of unmapped page at " + hex32(idx << kPageShift));
+        }
+        it->second->perms = perms;
+        if (idx == last) {
+            break;
+        }
+    }
+}
+
+void Memory::unmap(std::uint32_t addr, std::uint32_t size) {
+    if (size == 0) {
+        return;
+    }
+    const std::uint32_t first = page_index(addr);
+    const std::uint32_t last = page_index(addr + size - 1);
+    for (std::uint32_t idx = first;; ++idx) {
+        pages_.erase(idx);
+        if (idx == last) {
+            break;
+        }
+    }
+    cached_index_ = 0xffffffff;
+    cached_page_ = nullptr;
+}
+
+bool Memory::is_mapped(std::uint32_t addr) const noexcept { return page_at(addr) != nullptr; }
+
+Perm Memory::perms_at(std::uint32_t addr) const noexcept {
+    const Page* p = page_at(addr);
+    return p ? p->perms : Perm::None;
+}
+
+AccessFault Memory::check(std::uint32_t addr, std::uint32_t size, Perm need,
+                          bool honour_poison) const noexcept {
+    for (std::uint32_t i = 0; i < size; ++i) {
+        const std::uint32_t a = addr + i;
+        const Page* p = page_at(a);
+        if (p == nullptr) {
+            return AccessFault::Unmapped;
+        }
+        if ((static_cast<std::uint8_t>(p->perms) & static_cast<std::uint8_t>(need)) !=
+            static_cast<std::uint8_t>(need)) {
+            return AccessFault::Permission;
+        }
+        if (honour_poison && p->poison && p->poison->test(page_offset(a))) {
+            return AccessFault::Poisoned;
+        }
+    }
+    return AccessFault::None;
+}
+
+std::uint8_t Memory::read8(std::uint32_t addr) const noexcept {
+    const Page* p = page_at(addr);
+    return p->data[page_offset(addr)];
+}
+
+std::uint32_t Memory::read32(std::uint32_t addr) const noexcept {
+    // Little-endian assembly from bytes; the address may straddle pages.
+    return static_cast<std::uint32_t>(read8(addr)) |
+           (static_cast<std::uint32_t>(read8(addr + 1)) << 8) |
+           (static_cast<std::uint32_t>(read8(addr + 2)) << 16) |
+           (static_cast<std::uint32_t>(read8(addr + 3)) << 24);
+}
+
+void Memory::write8(std::uint32_t addr, std::uint8_t v) noexcept {
+    Page* p = page_at(addr);
+    p->data[page_offset(addr)] = v;
+}
+
+void Memory::write32(std::uint32_t addr, std::uint32_t v) noexcept {
+    write8(addr, static_cast<std::uint8_t>(v & 0xff));
+    write8(addr + 1, static_cast<std::uint8_t>((v >> 8) & 0xff));
+    write8(addr + 2, static_cast<std::uint8_t>((v >> 16) & 0xff));
+    write8(addr + 3, static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+void Memory::poison(std::uint32_t addr, std::uint32_t size) {
+    for (std::uint32_t i = 0; i < size; ++i) {
+        Page& p = page_or_throw(addr + i);
+        if (!p.poison) {
+            p.poison = std::make_unique<std::bitset<kPageSize>>();
+        }
+        p.poison->set(page_offset(addr + i));
+    }
+}
+
+void Memory::unpoison(std::uint32_t addr, std::uint32_t size) {
+    for (std::uint32_t i = 0; i < size; ++i) {
+        Page& p = page_or_throw(addr + i);
+        if (p.poison) {
+            p.poison->reset(page_offset(addr + i));
+        }
+    }
+}
+
+bool Memory::is_poisoned(std::uint32_t addr) const noexcept {
+    const Page* p = page_at(addr);
+    return p != nullptr && p->poison && p->poison->test(page_offset(addr));
+}
+
+std::uint8_t Memory::raw_read8(std::uint32_t addr) const {
+    return page_or_throw(addr).data[page_offset(addr)];
+}
+
+std::uint32_t Memory::raw_read32(std::uint32_t addr) const {
+    return static_cast<std::uint32_t>(raw_read8(addr)) |
+           (static_cast<std::uint32_t>(raw_read8(addr + 1)) << 8) |
+           (static_cast<std::uint32_t>(raw_read8(addr + 2)) << 16) |
+           (static_cast<std::uint32_t>(raw_read8(addr + 3)) << 24);
+}
+
+void Memory::raw_write8(std::uint32_t addr, std::uint8_t v) {
+    page_or_throw(addr).data[page_offset(addr)] = v;
+}
+
+void Memory::raw_write32(std::uint32_t addr, std::uint32_t v) {
+    raw_write8(addr, static_cast<std::uint8_t>(v & 0xff));
+    raw_write8(addr + 1, static_cast<std::uint8_t>((v >> 8) & 0xff));
+    raw_write8(addr + 2, static_cast<std::uint8_t>((v >> 16) & 0xff));
+    raw_write8(addr + 3, static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+void Memory::raw_write(std::uint32_t addr, std::span<const std::uint8_t> data) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        raw_write8(addr + static_cast<std::uint32_t>(i), data[i]);
+    }
+}
+
+std::vector<std::uint8_t> Memory::raw_read(std::uint32_t addr, std::uint32_t len) const {
+    std::vector<std::uint8_t> out(len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+        out[i] = raw_read8(addr + i);
+    }
+    return out;
+}
+
+std::vector<std::uint32_t> Memory::mapped_pages() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(pages_.size());
+    for (const auto& [idx, page] : pages_) {
+        out.push_back(idx << kPageShift);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace swsec::vm

@@ -1,0 +1,118 @@
+// Sparse paged memory with per-page permissions and a per-byte poison map.
+//
+// This models the 32-bit virtual address space of Fig. 1(c): a flat array of
+// 2^32 bytes, realised sparsely as 4 KiB pages allocated on demand by the
+// loader.  Page permissions (R/W/X) are the substrate for the DEP / W^X
+// countermeasure (Section III-C1); the poison map is the substrate for the
+// ASan-style run-time checker of Section III-C2.
+//
+// Two access levels exist:
+//  * checked accessors (used by the Machine) honour permissions and poison
+//    and report failures via AccessFault so the machine can trap;
+//  * raw accessors model *hardware-level* access (the loader writing the
+//    process image, the attestation hardware hashing module code).  They
+//    throw swsec::Error only for unmapped addresses.
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace swsec::vm {
+
+/// Page permission bits (combinable).
+enum class Perm : std::uint8_t {
+    None = 0,
+    R = 1,
+    W = 2,
+    X = 4,
+    RW = R | W,
+    RX = R | X,
+    RWX = R | W | X,
+};
+
+[[nodiscard]] constexpr Perm operator|(Perm a, Perm b) noexcept {
+    return static_cast<Perm>(static_cast<std::uint8_t>(a) | static_cast<std::uint8_t>(b));
+}
+[[nodiscard]] constexpr bool has_perm(Perm set, Perm bit) noexcept {
+    return (static_cast<std::uint8_t>(set) & static_cast<std::uint8_t>(bit)) != 0;
+}
+
+/// Why a checked access failed.
+enum class AccessFault : std::uint8_t {
+    None,
+    Unmapped,   // no page at this address
+    Permission, // page mapped but lacks the needed permission bit
+    Poisoned,   // memcheck poison byte touched (red zone / freed memory)
+};
+
+inline constexpr std::uint32_t kPageSize = 4096;
+inline constexpr std::uint32_t kPageShift = 12;
+
+/// Sparse paged physical memory.
+class Memory {
+public:
+    /// Map [addr, addr+size) with the given permissions, rounding outward to
+    /// page boundaries.  Remapping an existing page just updates permissions.
+    void map(std::uint32_t addr, std::uint32_t size, Perm perms);
+
+    /// Change permissions of already-mapped pages (mprotect analogue).
+    void protect(std::uint32_t addr, std::uint32_t size, Perm perms);
+
+    /// Remove pages overlapping [addr, addr+size).
+    void unmap(std::uint32_t addr, std::uint32_t size);
+
+    [[nodiscard]] bool is_mapped(std::uint32_t addr) const noexcept;
+    [[nodiscard]] Perm perms_at(std::uint32_t addr) const noexcept;
+
+    // --- checked access (machine level) -------------------------------
+    [[nodiscard]] AccessFault check(std::uint32_t addr, std::uint32_t size, Perm need,
+                                    bool honour_poison) const noexcept;
+    // The read/write helpers assume check() already passed.
+    [[nodiscard]] std::uint8_t read8(std::uint32_t addr) const noexcept;
+    [[nodiscard]] std::uint32_t read32(std::uint32_t addr) const noexcept;
+    void write8(std::uint32_t addr, std::uint8_t v) noexcept;
+    void write32(std::uint32_t addr, std::uint32_t v) noexcept;
+
+    // --- poison map (memcheck substrate) ------------------------------
+    void poison(std::uint32_t addr, std::uint32_t size);
+    void unpoison(std::uint32_t addr, std::uint32_t size);
+    [[nodiscard]] bool is_poisoned(std::uint32_t addr) const noexcept;
+
+    // --- raw hardware-level access -------------------------------------
+    /// Throws swsec::Error when the range touches unmapped memory.
+    [[nodiscard]] std::uint8_t raw_read8(std::uint32_t addr) const;
+    [[nodiscard]] std::uint32_t raw_read32(std::uint32_t addr) const;
+    void raw_write8(std::uint32_t addr, std::uint8_t v);
+    void raw_write32(std::uint32_t addr, std::uint32_t v);
+    void raw_write(std::uint32_t addr, std::span<const std::uint8_t> data);
+    [[nodiscard]] std::vector<std::uint8_t> raw_read(std::uint32_t addr, std::uint32_t len) const;
+
+    /// Addresses of all mapped pages in increasing order (used by the
+    /// memory-scraping attacker, which scans whatever exists).
+    [[nodiscard]] std::vector<std::uint32_t> mapped_pages() const;
+
+private:
+    struct Page {
+        std::array<std::uint8_t, kPageSize> data{};
+        Perm perms = Perm::None;
+        std::unique_ptr<std::bitset<kPageSize>> poison; // lazily allocated
+    };
+
+    [[nodiscard]] Page* page_at(std::uint32_t addr) noexcept;
+    [[nodiscard]] const Page* page_at(std::uint32_t addr) const noexcept;
+    Page& page_or_throw(std::uint32_t addr);
+    [[nodiscard]] const Page& page_or_throw(std::uint32_t addr) const;
+
+    std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
+    // One-entry lookup cache: page indices are dense in practice.
+    mutable std::uint32_t cached_index_ = 0xffffffff;
+    mutable Page* cached_page_ = nullptr;
+};
+
+} // namespace swsec::vm

@@ -1,0 +1,60 @@
+// Hardware model of a Protected Module Architecture (Section IV-A, Fig. 3).
+//
+// A protected module is a segment of memory subdivided into a code part and
+// a data part, plus one or more entry points into the code part.  The
+// machine enforces the paper's three access-control rules on every fetch,
+// load and store:
+//
+//   1. When the instruction pointer is outside the module, access to memory
+//      in the module is prohibited.
+//   2. When the IP is inside the module, data memory can be read and
+//      written, and code memory can be executed (code is execute-only, so
+//      even the module itself cannot read or overwrite its own code).
+//   3. The only way for the IP to enter the module is by jumping to one of
+//      the designated entry points.
+//
+// These rules also bind *kernel-level* software: the machine-code attacker
+// with OS privileges goes through Machine::kernel_read/kernel_write, which
+// apply rule 1 with "outside" semantics.  Only hardware-level access
+// (Memory::raw_*, used by the loader before protection is enabled and by
+// the attestation engine) bypasses them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swsec::vm {
+
+/// Descriptor of one protected module as seen by the hardware.
+struct ProtectedModule {
+    std::string name;
+    std::uint32_t code_base = 0;
+    std::uint32_t code_size = 0;
+    std::uint32_t data_base = 0;
+    std::uint32_t data_size = 0;
+    std::vector<std::uint32_t> entry_points; // absolute addresses in [code_base, code_base+code_size)
+
+    [[nodiscard]] bool in_code(std::uint32_t addr) const noexcept {
+        return addr >= code_base && addr - code_base < code_size;
+    }
+    [[nodiscard]] bool in_data(std::uint32_t addr) const noexcept {
+        return addr >= data_base && addr - data_base < data_size;
+    }
+    [[nodiscard]] bool contains(std::uint32_t addr) const noexcept {
+        return in_code(addr) || in_data(addr);
+    }
+    [[nodiscard]] bool is_entry(std::uint32_t addr) const noexcept {
+        for (const std::uint32_t e : entry_points) {
+            if (e == addr) {
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+/// Module index type: kNoModule means "unprotected memory".
+inline constexpr int kNoModule = -1;
+
+} // namespace swsec::vm

@@ -1,0 +1,30 @@
+// System call numbers shared between the machine, the OS kernel substrate,
+// the MiniC runtime library and the attack payload builders.
+#pragma once
+
+#include <cstdint>
+
+namespace swsec::vm {
+
+enum class Sys : std::uint8_t {
+    Exit = 0,      // r0 = exit code
+    Read = 1,      // r0 = fd, r1 = buf, r2 = len -> r0 = bytes read
+    Write = 2,     // r0 = fd, r1 = buf, r2 = len -> r0 = bytes written
+    Sbrk = 3,      // r0 = delta -> r0 = old program break
+    GetRandom = 4, // r0 = buf, r1 = len
+    Abort = 5,     // countermeasure failure; terminates with TrapKind::Abort
+    Poison = 6,    // r0 = addr, r1 = len (memcheck red zones)
+    Unpoison = 7,  // r0 = addr, r1 = len
+    Attest = 8,    // r0 = nonce ptr (16B), r1 = out MAC ptr (32B) — module key of the *calling* module
+    Seal = 9,      // r0 = in ptr, r1 = in len, r2 = out ptr -> r0 = sealed len (or -1)
+    Unseal = 10,   // r0 = in ptr, r1 = in len, r2 = out ptr -> r0 = plain len (or -1)
+    CtrInc = 11,   // -> r0 = new monotonic counter value
+    CtrRead = 12,  // -> r0 = current monotonic counter value
+    NvWrite = 13,  // r0 = slot, r1 = buf, r2 = len
+    NvRead = 14,   // r0 = slot, r1 = buf, r2 = cap -> r0 = len (or -1)
+    MemcheckActive = 15, // -> r0 = 1 when the run-time checker is active
+};
+
+inline constexpr std::uint8_t sys_num(Sys s) noexcept { return static_cast<std::uint8_t>(s); }
+
+} // namespace swsec::vm

@@ -1,0 +1,59 @@
+#include "vm/trap.hpp"
+
+#include "common/hexdump.hpp"
+
+namespace swsec::vm {
+
+std::string trap_name(TrapKind k) {
+    switch (k) {
+    case TrapKind::None:
+        return "none";
+    case TrapKind::Exit:
+        return "exit";
+    case TrapKind::Halted:
+        return "halted";
+    case TrapKind::Abort:
+        return "abort";
+    case TrapKind::SegvRead:
+        return "segv-read";
+    case TrapKind::SegvWrite:
+        return "segv-write";
+    case TrapKind::SegvExec:
+        return "segv-exec";
+    case TrapKind::PoisonedAccess:
+        return "poisoned-access";
+    case TrapKind::PmaViolation:
+        return "pma-violation";
+    case TrapKind::InvalidInstruction:
+        return "invalid-instruction";
+    case TrapKind::DivByZero:
+        return "div-by-zero";
+    case TrapKind::ShadowStackViolation:
+        return "shadow-stack-violation";
+    case TrapKind::CfiViolation:
+        return "cfi-violation";
+    case TrapKind::OutOfGas:
+        return "out-of-gas";
+    case TrapKind::BadSyscall:
+        return "bad-syscall";
+    case TrapKind::CapViolation:
+        return "cap-violation";
+    }
+    return "unknown";
+}
+
+std::string Trap::to_string() const {
+    std::string out = trap_name(kind) + " at ip=" + hex32(ip);
+    if (kind == TrapKind::Exit) {
+        out += " code=" + std::to_string(code);
+    }
+    if (addr != 0) {
+        out += " addr=" + hex32(addr);
+    }
+    if (!detail.empty()) {
+        out += " (" + detail + ")";
+    }
+    return out;
+}
+
+} // namespace swsec::vm

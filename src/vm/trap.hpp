@@ -1,0 +1,43 @@
+// Trap model of the swsec machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace swsec::vm {
+
+/// Why the machine stopped (or why an instruction faulted).
+enum class TrapKind : std::uint8_t {
+    None,                 // still running
+    Exit,                 // SYS exit — normal termination, code in Trap::code
+    Halted,               // HALT instruction
+    Abort,                // SYS abort — countermeasure fired (canary, bounds, CFI check)
+    SegvRead,             // read of unmapped / non-readable memory
+    SegvWrite,            // write of unmapped / non-writable memory
+    SegvExec,             // fetch from unmapped / non-executable memory (DEP)
+    PoisonedAccess,       // memcheck: touched a red zone or freed memory
+    PmaViolation,         // protected-module access-control rule violated
+    InvalidInstruction,   // undecodable bytes reached the instruction pointer
+    DivByZero,            // DIVS/REMS with zero divisor
+    ShadowStackViolation, // hardware shadow stack mismatch on RET
+    CfiViolation,         // indirect branch to a non-approved target
+    OutOfGas,             // step budget exhausted (runaway/looping program)
+    BadSyscall,           // unknown syscall number or bad syscall arguments
+    CapViolation,         // capability machine: access outside a capability
+};
+
+[[nodiscard]] std::string trap_name(TrapKind k);
+
+/// Full trap record: kind plus the faulting context.
+struct Trap {
+    TrapKind kind = TrapKind::None;
+    std::uint32_t ip = 0;      // instruction pointer at the faulting instruction
+    std::uint32_t addr = 0;    // faulting memory address (when applicable)
+    std::int32_t code = 0;     // exit code for TrapKind::Exit
+    std::string detail;        // human-readable context
+
+    [[nodiscard]] bool is_set() const noexcept { return kind != TrapKind::None; }
+    [[nodiscard]] std::string to_string() const;
+};
+
+} // namespace swsec::vm

@@ -1,0 +1,160 @@
+// Static analyzer tests (Section III-C2): true positives on every
+// vulnerable scenario, plus demonstrations of the false positives and
+// false negatives the paper says are characteristic of such tools [13].
+#include <gtest/gtest.h>
+
+#include "cc/analyzer.hpp"
+#include "core/scenarios.hpp"
+
+namespace {
+
+using namespace swsec::cc;
+
+bool has(const std::vector<Finding>& fs, FindingKind k) {
+    for (const auto& f : fs) {
+        if (f.kind == k) {
+            return true;
+        }
+    }
+    return false;
+}
+
+TEST(Analyzer, FindsTheFig1Bug) {
+    const auto fs = analyze_source(R"(
+        void get_request(int fd) {
+          char buf[16];
+          read(fd, buf, 32);
+        }
+    )");
+    ASSERT_TRUE(has(fs, FindingKind::BufferLength)) << format_findings(fs);
+    EXPECT_EQ(fs[0].function, "get_request");
+}
+
+TEST(Analyzer, CorrectFig1ServerIsClean) {
+    const auto fs = analyze_source(swsec::core::scenarios::fig1_server(16));
+    EXPECT_FALSE(has(fs, FindingKind::BufferLength)) << format_findings(fs);
+}
+
+TEST(Analyzer, FlagsEveryVulnerableScenario) {
+    // Each attack scenario contains at least one detectable pattern.
+    EXPECT_FALSE(analyze_source(swsec::core::scenarios::rop_server()).empty());
+    EXPECT_FALSE(analyze_source(swsec::core::scenarios::dataonly_server()).empty());
+    EXPECT_FALSE(analyze_source(swsec::core::scenarios::fnptr_server()).empty());
+    const auto leak = analyze_source(swsec::core::scenarios::leak_server());
+    EXPECT_TRUE(has(leak, FindingKind::BufferLength) ||
+                has(leak, FindingKind::BufferLengthUnvalidated))
+        << format_findings(leak);
+}
+
+TEST(Analyzer, FindsUseAfterFree) {
+    const auto fs = analyze_source(R"(
+        int main() {
+          char* session = malloc(8);
+          if (session == 0) { return 1; }
+          free(session);
+          return session[0];
+        }
+    )");
+    EXPECT_TRUE(has(fs, FindingKind::StalePointer)) << format_findings(fs);
+}
+
+TEST(Analyzer, ReassignmentClearsStaleMark) {
+    const auto fs = analyze_source(R"(
+        int main() {
+          char* p = malloc(8);
+          if (p == 0) { return 1; }
+          free(p);
+          p = malloc(8);
+          if (p == 0) { return 1; }
+          return p[0];
+        }
+    )");
+    EXPECT_FALSE(has(fs, FindingKind::StalePointer)) << format_findings(fs);
+}
+
+TEST(Analyzer, FindsConstantIndexOutOfRange) {
+    const auto fs = analyze_source("int main() { int a[4]; a[4] = 1; return a[0]; }");
+    EXPECT_TRUE(has(fs, FindingKind::IndexRange)) << format_findings(fs);
+}
+
+TEST(Analyzer, FindsStrcpyOverflow) {
+    const auto fs =
+        analyze_source(R"(int main() { char b[4]; strcpy(b, "too long"); return 0; })");
+    EXPECT_TRUE(has(fs, FindingKind::StringCopyOverflow)) << format_findings(fs);
+}
+
+TEST(Analyzer, FindsUncheckedMalloc) {
+    const auto fs = analyze_source("int main() { char* p = malloc(8); p[0] = 1; return 0; }");
+    EXPECT_TRUE(has(fs, FindingKind::UncheckedAlloc)) << format_findings(fs);
+}
+
+TEST(Analyzer, NullCheckSilencesAllocFinding) {
+    const auto fs = analyze_source(R"(
+        int main() {
+          char* p = malloc(8);
+          if (p == 0) { return 1; }
+          p[0] = 1;
+          return 0;
+        }
+    )");
+    EXPECT_FALSE(has(fs, FindingKind::UncheckedAlloc)) << format_findings(fs);
+}
+
+// --- the paper's point: such tools are imprecise [13] -----------------------
+
+TEST(Analyzer, FalsePositive_ValidatedButFlaggedPattern) {
+    // The index is fully safe (masked to 0..3), but the tool has no value
+    // tracking: it only looks for comparisons.  False positive.
+    const auto fs = analyze_source(R"(
+        int main() {
+          int a[4];
+          int i = 7;
+          i = i & 3;       /* always in range */
+          a[i] = 1;
+          return a[0];
+        }
+    )");
+    EXPECT_TRUE(has(fs, FindingKind::IndexUnvalidated))
+        << "expected the documented false positive; tool became smarter than advertised";
+}
+
+TEST(Analyzer, FalseNegative_IndirectionDefeatsTheTool) {
+    // The same Fig. 1 bug, but the buffer reaches read() through a pointer
+    // parameter: the flow-insensitive tool loses the size.  False negative.
+    const auto fs = analyze_source(R"(
+        void do_read(char* p) { read(0, p, 32); }
+        int main() {
+          char buf[16];
+          do_read(buf);
+          return 0;
+        }
+    )");
+    EXPECT_FALSE(has(fs, FindingKind::BufferLength))
+        << "expected the documented false negative";
+}
+
+TEST(Analyzer, FalseNegative_ValidatedWrongly) {
+    // The length is "validated" — against the wrong bound.  The heuristic
+    // (any comparison counts) is satisfied; the bug remains.
+    const auto fs = analyze_source(R"(
+        int main() {
+          char buf[16];
+          int n = atoi("99");
+          if (n < 1000) { read(0, buf, n); }
+          return 0;
+        }
+    )");
+    EXPECT_FALSE(has(fs, FindingKind::BufferLengthUnvalidated))
+        << "expected the documented false negative";
+}
+
+TEST(Analyzer, ReportFormatting) {
+    const auto fs = analyze_source("int main() { char b[4]; read(0, b, 9); return 0; }");
+    ASSERT_FALSE(fs.empty());
+    const std::string report = format_findings(fs);
+    EXPECT_NE(report.find("buffer-length"), std::string::npos);
+    EXPECT_NE(report.find("main"), std::string::npos);
+    EXPECT_EQ(format_findings({}), "no findings\n");
+}
+
+} // namespace

@@ -1,0 +1,229 @@
+// Attack-toolkit tests: payload construction, shellcode, gadget scanning,
+// and the in-process memory-scraping module of Section IV.
+#include <gtest/gtest.h>
+
+#include "attacks/gadgets.hpp"
+#include "attacks/payload.hpp"
+#include "attacks/scraper.hpp"
+#include "attacks/shellcode.hpp"
+#include "cc/compiler.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoder.hpp"
+#include "os/process.hpp"
+#include "pma/loader.hpp"
+#include "pma/module.hpp"
+#include "vm/machine.hpp"
+
+namespace {
+
+using namespace swsec;
+using attacks::GadgetScanner;
+using attacks::PayloadBuilder;
+
+TEST(Payload, BuilderComposes) {
+    PayloadBuilder pb;
+    pb.fill(4, 'A').word(0x08048424).fill(2, 'B');
+    const auto& bytes = pb.bytes();
+    ASSERT_EQ(bytes.size(), 10u);
+    EXPECT_EQ(bytes[0], 'A');
+    EXPECT_EQ(bytes[4], 0x24); // little-endian word
+    EXPECT_EQ(bytes[7], 0x08);
+    EXPECT_EQ(bytes[8], 'B');
+}
+
+TEST(Shellcode, ExitShellcodeRuns) {
+    // Shellcode is just machine code: execute it directly on a bare machine.
+    const auto code = attacks::sc_exit(1234);
+    EXPECT_EQ(code.size(), 8u); // fits the tail of a 32-byte overflow
+    vm::Machine m;
+    m.memory().map(0x5000, 0x1000, vm::Perm::RWX);
+    m.memory().raw_write(0x5000, code);
+    m.set_ip(0x5000);
+    os::Kernel kernel(1);
+    m.set_syscall_handler(&kernel);
+    EXPECT_TRUE(m.run(100).exited(1234));
+}
+
+TEST(Shellcode, PrintShellcodeEmitsMessage) {
+    const std::uint32_t base = 0x5000;
+    const auto code = attacks::sc_print_exit(1, "PWNED", base, 7);
+    vm::Machine m;
+    m.memory().map(base, 0x1000, vm::Perm::RWX);
+    m.memory().raw_write(base, code);
+    m.set_ip(base);
+    os::Kernel kernel(1);
+    m.set_syscall_handler(&kernel);
+    EXPECT_TRUE(m.run(100).exited(7));
+    EXPECT_EQ(kernel.output_string(1), "PWNED");
+}
+
+TEST(Shellcode, CallShellcodeInvokesTarget) {
+    // Target function: movi r5, 77; ret
+    isa::Encoder target;
+    target.reg_imm32(isa::Op::MovI, isa::Reg::R5, 77);
+    target.none(isa::Op::Ret);
+    vm::Machine m;
+    m.memory().map(0x5000, 0x2000, vm::Perm::RWX);
+    m.memory().map(0xf000, 0x1000, vm::Perm::RW);
+    m.set_sp(0xff00);
+    m.memory().raw_write(0x6000, target.bytes());
+    const auto code = attacks::sc_call_exit(0x6000, 3);
+    m.memory().raw_write(0x5000, code);
+    m.set_ip(0x5000);
+    os::Kernel kernel(1);
+    m.set_syscall_handler(&kernel);
+    EXPECT_TRUE(m.run(100).exited(3));
+    EXPECT_EQ(m.reg(isa::Reg::R5), 77u);
+}
+
+TEST(Gadgets, FindsIntendedRets) {
+    // Every compiled function ends in ret: the scanner must find them all.
+    const auto img = cc::compile_program({"int f(int x){return x;} int main(){return f(1);}"},
+                                         cc::CompilerOptions::none());
+    GadgetScanner scanner(img.text, 0);
+    EXPECT_FALSE(scanner.gadgets().empty());
+    EXPECT_TRUE(scanner.find_ret().has_value());
+}
+
+TEST(Gadgets, FindsPlantedUnintendedGadget) {
+    // A constant containing "pop r0; ret" bytes becomes a gadget even though
+    // no instruction stream ever intended it.
+    isa::Encoder e;
+    e.reg_imm32(isa::Op::MovI, isa::Reg::R1, 0x00c30058); // hides 58 00 c3
+    e.none(isa::Op::Halt);
+    GadgetScanner scanner(e.bytes(), 0x1000);
+    const auto pop = scanner.find_pop_ret(isa::Reg::R0);
+    ASSERT_TRUE(pop.has_value());
+    EXPECT_EQ(*pop, 0x1002u); // inside the movi immediate
+    EXPECT_GT(scanner.unintended_count(), 0u);
+}
+
+TEST(Gadgets, ControlFlowTerminatesGadgets) {
+    // A call/jmp before the ret makes the window unusable.
+    isa::Encoder e;
+    e.rel32(isa::Op::Call, 0);
+    e.none(isa::Op::Ret);
+    GadgetScanner scanner(e.bytes(), 0);
+    for (const auto& g : scanner.gadgets()) {
+        for (const auto& insn : g.insns) {
+            EXPECT_NE(insn.op, isa::Op::Call);
+        }
+    }
+}
+
+TEST(Gadgets, GadgetToStringMentionsUnintended) {
+    isa::Encoder e;
+    e.reg_imm32(isa::Op::MovI, isa::Reg::R1, 0x00c30058);
+    GadgetScanner scanner(e.bytes(), 0);
+    bool saw_unintended = false;
+    for (const auto& g : scanner.gadgets()) {
+        if (!g.intended) {
+            EXPECT_NE(g.to_string().find("[unintended]"), std::string::npos);
+            saw_unintended = true;
+        }
+    }
+    EXPECT_TRUE(saw_unintended);
+}
+
+// --- the in-process machine-code attacker (Section IV) -----------------------
+
+struct ScraperRig {
+    swsec::objfmt::Image module_img;
+    pma::ModulePlacement place;
+    os::Process process;
+    pma::LoadedModule module;
+
+    explicit ScraperRig(bool protect)
+        : module_img(pma::build_module(R"(
+              static int tries_left = 3;
+              static int PIN = 4242;
+              static int secret = 99;
+              int get_secret(int p) { if (p == PIN) { return secret; } return 0; }
+          )",
+                                       pma::ModuleSecurity::Insecure, "secret")),
+          process(host_image(module_img, place), os::SecurityProfile::none(), 31),
+          module(pma::load_module(process.machine(), module_img, place, "secret", protect)) {}
+
+    static swsec::objfmt::Image host_image(const swsec::objfmt::Image& module_img,
+                                           const pma::ModulePlacement& place) {
+        // The victim links a malicious third-party "library": the scraper.
+        cc::ExternEnv ext;
+        const auto i = cc::Type::int_type();
+        ext["scrape"] = cc::Type::func(i, {i, i, i});
+        const std::string host = R"(
+            int main() {
+              /* the evil library scans the module's data range for the PIN */
+              int hit = scrape()" +
+                                 std::to_string(place.data_base) + ", " +
+                                 std::to_string(place.data_base + 0x1000) + R"(, 4242);
+              if (hit != 0) { write(1, "PIN FOUND\n", 10); return 1; }
+              write(1, "nothing\n", 8);
+              return 0;
+            }
+        )";
+        return cc::compile_program_with_objects(
+            {host}, cc::CompilerOptions::none(),
+            {attacks::make_scraper_object(),
+             pma::make_import_stubs(module_img, place, {"get_secret"})},
+            ext);
+    }
+};
+
+TEST(Scraper, InProcessScraperFindsPinWithoutPma) {
+    ScraperRig rig(/*protect=*/false);
+    const auto r = rig.process.run();
+    EXPECT_TRUE(r.exited(1)) << r.trap.to_string();
+    EXPECT_EQ(rig.process.output(), "PIN FOUND\n");
+}
+
+TEST(Scraper, PmaStopsInProcessScraper) {
+    ScraperRig rig(/*protect=*/true);
+    const auto r = rig.process.run();
+    // The scraper's very first load of module memory traps.
+    EXPECT_EQ(r.trap.kind, vm::TrapKind::PmaViolation) << r.trap.to_string();
+}
+
+TEST(Scraper, KernelScrapeRespectsPma) {
+    {
+        ScraperRig rig(/*protect=*/false);
+        const auto hits = attacks::kernel_scrape(rig.process.machine(), 4242);
+        bool found_in_module = false;
+        for (const std::uint32_t hit : hits) {
+            found_in_module = found_in_module ||
+                              rig.module.descriptor.in_data(hit);
+        }
+        EXPECT_TRUE(found_in_module) << "without PMA the module's PIN cell is scrapable";
+    }
+    {
+        // The PIN's value also appears as an immediate in the host's own
+        // text (the call site), which the kernel may legitimately read;
+        // the property is that no hit lies inside the protected module.
+        ScraperRig rig(/*protect=*/true);
+        const auto hits = attacks::kernel_scrape(rig.process.machine(), 4242);
+        for (const std::uint32_t hit : hits) {
+            EXPECT_EQ(rig.process.machine().module_containing(hit), swsec::vm::kNoModule)
+                << "scraper read inside the protected module";
+        }
+    }
+}
+
+TEST(Scraper, DumperExfiltratesUnprotectedMemory) {
+    // The dumper module writes a host data range to the attacker's channel.
+    cc::ExternEnv ext;
+    const auto i = cc::Type::int_type();
+    ext["dump"] = cc::Type::func(cc::Type::void_type(), {i, i, i});
+    const char* host = R"(
+        char key[8] = "hunter2";
+        int main() {
+          dump((int)key, 7, 2);   /* exfiltrate to fd 2 */
+          return 0;
+        }
+    )";
+    os::Process p(cc::compile_program_with_objects({host}, cc::CompilerOptions::none(),
+                                                   {attacks::make_dumper_object()}, ext),
+                  os::SecurityProfile::none(), 5);
+    EXPECT_TRUE(p.run().exited(0));
+    EXPECT_EQ(p.output(2), "hunter2");
+}
+
+} // namespace

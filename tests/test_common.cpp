@@ -1,0 +1,116 @@
+// Common-utility tests: deterministic RNG, hex formatting, error types.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/hexdump.hpp"
+#include "common/rng.hpp"
+#include "vm/trap.hpp"
+
+namespace {
+
+using namespace swsec;
+
+TEST(Rng, DeterministicPerSeed) {
+    Rng a(42);
+    Rng b(42);
+    Rng c(43);
+    bool all_equal = true;
+    bool any_diff_from_c = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next_u64();
+        const auto vb = b.next_u64();
+        const auto vc = c.next_u64();
+        all_equal = all_equal && (va == vb);
+        any_diff_from_c = any_diff_from_c || (va != vc);
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_from_c);
+}
+
+TEST(Rng, BelowStaysInRange) {
+    Rng rng(7);
+    for (const std::uint32_t bound : {1u, 2u, 3u, 10u, 4096u, 1u << 31}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.below(bound), bound);
+        }
+    }
+    EXPECT_EQ(rng.below(0), 0u);
+    EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive) {
+    Rng rng(9);
+    std::set<std::int32_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const auto v = rng.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit over 500 draws
+}
+
+TEST(Rng, FillCoversBuffer) {
+    Rng rng(11);
+    std::vector<std::uint8_t> buf(1000, 0);
+    rng.fill(buf);
+    std::set<std::uint8_t> distinct(buf.begin(), buf.end());
+    EXPECT_GT(distinct.size(), 100u); // byte values well spread
+}
+
+TEST(Hex, Formatting) {
+    EXPECT_EQ(hex32(0x08048424), "0x08048424");
+    EXPECT_EQ(hex32(0), "0x00000000");
+    EXPECT_EQ(hex32(0xffffffff), "0xffffffff");
+    EXPECT_EQ(hex8(0x0a), "0x0a");
+    const std::vector<std::uint8_t> bytes = {0x55, 0x89, 0xe5};
+    EXPECT_EQ(hex_bytes(bytes), "55 89 e5");
+    EXPECT_EQ(hex_bytes({}), "");
+}
+
+TEST(Hex, HexdumpShape) {
+    std::vector<std::uint8_t> data;
+    for (int i = 0; i < 20; ++i) {
+        data.push_back(static_cast<std::uint8_t>('A' + i));
+    }
+    const std::string dump = hexdump(0x1000, data);
+    EXPECT_NE(dump.find("0x00001000"), std::string::npos);
+    EXPECT_NE(dump.find("0x00001010"), std::string::npos); // second row
+    EXPECT_NE(dump.find("|ABCDEFGHIJKLMNOP|"), std::string::npos);
+}
+
+TEST(Errors, ParseErrorCarriesLine) {
+    const ParseError e("bad thing", 17);
+    EXPECT_EQ(e.line(), 17);
+    EXPECT_NE(std::string(e.what()).find("line 17"), std::string::npos);
+}
+
+TEST(Errors, AssertMacroThrowsInternalError) {
+    EXPECT_THROW(SWSEC_ASSERT(1 == 2, "must fail"), InternalError);
+    EXPECT_NO_THROW(SWSEC_ASSERT(1 == 1, "fine"));
+}
+
+TEST(Traps, EveryKindHasAName) {
+    for (int k = 0; k <= static_cast<int>(vm::TrapKind::CapViolation); ++k) {
+        const std::string name = vm::trap_name(static_cast<vm::TrapKind>(k));
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "unknown") << k;
+    }
+}
+
+TEST(Traps, ToStringIncludesContext) {
+    vm::Trap t;
+    t.kind = vm::TrapKind::SegvWrite;
+    t.ip = 0x1234;
+    t.addr = 0x5678;
+    t.detail = "test";
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("segv-write"), std::string::npos);
+    EXPECT_NE(s.find("0x00001234"), std::string::npos);
+    EXPECT_NE(s.find("0x00005678"), std::string::npos);
+    EXPECT_NE(s.find("test"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,173 @@
+// Crypto substrate tests: SHA-256 against the FIPS 180-4 vectors, HMAC
+// against RFC 4231, sealing round-trips and tamper detection.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/seal.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+using namespace swsec::crypto;
+
+TEST(Sha256, Fips180Vectors) {
+    EXPECT_EQ(to_hex(Sha256::hash(std::string{})),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(to_hex(Sha256::hash(std::string{"abc"})),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(to_hex(Sha256::hash(
+                  std::string{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+    Sha256 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) {
+        h.update(chunk);
+    }
+    EXPECT_EQ(to_hex(h.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+    // Property: arbitrary chunkings produce the same digest.
+    swsec::Rng rng(7);
+    std::vector<std::uint8_t> data(4097);
+    rng.fill(data);
+    const Digest expect = Sha256::hash(data);
+    for (const std::size_t chunk : {1UL, 3UL, 63UL, 64UL, 65UL, 1000UL}) {
+        Sha256 h;
+        std::size_t off = 0;
+        while (off < data.size()) {
+            const std::size_t n = std::min(chunk, data.size() - off);
+            h.update(std::span<const std::uint8_t>(data).subspan(off, n));
+            off += n;
+        }
+        EXPECT_EQ(h.finish(), expect) << "chunk size " << chunk;
+    }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+    // Lengths straddling the 55/56/64-byte padding boundaries must all work.
+    for (const std::size_t len : {54UL, 55UL, 56UL, 57UL, 63UL, 64UL, 65UL, 119UL, 120UL}) {
+        const std::string msg(len, 'x');
+        Sha256 h;
+        h.update(msg);
+        const Digest d1 = h.finish();
+        EXPECT_EQ(d1, Sha256::hash(msg)) << len;
+        // Distinct from neighbouring lengths.
+        EXPECT_NE(d1, Sha256::hash(msg + "x")) << len;
+    }
+}
+
+TEST(Hmac, Rfc4231Vector1) {
+    const std::vector<std::uint8_t> key(20, 0x0b);
+    const std::string msg = "Hi There";
+    EXPECT_EQ(to_hex(hmac_sha256(key, as_bytes(msg))),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Vector2) {
+    const std::string key = "Jefe";
+    const std::string msg = "what do ya want for nothing?";
+    EXPECT_EQ(to_hex(hmac_sha256(as_bytes(key), as_bytes(msg))),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231LongKey) {
+    // Keys longer than the block size are hashed first.
+    const std::vector<std::uint8_t> key(131, 0xaa);
+    const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+    EXPECT_EQ(to_hex(hmac_sha256(key, as_bytes(msg))),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeySeparation) {
+    const std::string msg = "same message";
+    std::vector<std::uint8_t> k1(32, 1);
+    std::vector<std::uint8_t> k2(32, 2);
+    EXPECT_NE(hmac_sha256(k1, as_bytes(msg)), hmac_sha256(k2, as_bytes(msg)));
+}
+
+TEST(ConstantTimeEqual, Behaviour) {
+    const std::vector<std::uint8_t> a = {1, 2, 3};
+    const std::vector<std::uint8_t> b = {1, 2, 3};
+    const std::vector<std::uint8_t> c = {1, 2, 4};
+    const std::vector<std::uint8_t> d = {1, 2};
+    EXPECT_TRUE(constant_time_equal(a, b));
+    EXPECT_FALSE(constant_time_equal(a, c));
+    EXPECT_FALSE(constant_time_equal(a, d));
+}
+
+class SealRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SealRoundTrip, EncryptsAndRestores) {
+    swsec::Rng rng(GetParam() + 99);
+    Key key{};
+    rng.fill(key);
+    std::array<std::uint8_t, 12> nonce{};
+    rng.fill(nonce);
+    std::vector<std::uint8_t> plain(GetParam());
+    rng.fill(plain);
+
+    const auto blob = seal(key, nonce, plain);
+    ASSERT_EQ(blob.size(), 12 + plain.size() + 32);
+    // Ciphertext differs from plaintext (except the trivial empty case).
+    if (!plain.empty()) {
+        EXPECT_NE(std::vector<std::uint8_t>(blob.begin() + 12, blob.begin() + 12 +
+                                            static_cast<std::ptrdiff_t>(plain.size())),
+                  plain);
+    }
+    const auto out = unseal(key, blob);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SealRoundTrip,
+                         ::testing::Values(0, 1, 11, 12, 13, 31, 32, 33, 100, 1000, 4096));
+
+TEST(Seal, TamperDetection) {
+    swsec::Rng rng(5);
+    Key key{};
+    rng.fill(key);
+    std::array<std::uint8_t, 12> nonce{};
+    rng.fill(nonce);
+    std::vector<std::uint8_t> plain(64, 0x41);
+    auto blob = seal(key, nonce, plain);
+
+    // Every single-byte flip must be rejected.
+    for (std::size_t i = 0; i < blob.size(); ++i) {
+        auto tampered = blob;
+        tampered[i] ^= 0x01;
+        EXPECT_FALSE(unseal(key, tampered).has_value()) << "byte " << i;
+    }
+    // Truncation rejected.
+    EXPECT_FALSE(unseal(key, std::span<const std::uint8_t>(blob).first(blob.size() - 1)));
+    EXPECT_FALSE(unseal(key, std::span<const std::uint8_t>(blob).first(10)));
+    // Wrong key rejected.
+    Key other{};
+    rng.fill(other);
+    EXPECT_FALSE(unseal(other, blob).has_value());
+}
+
+TEST(Seal, NonceChangesCiphertext) {
+    Key key{};
+    std::vector<std::uint8_t> plain(32, 0x5a);
+    std::array<std::uint8_t, 12> n1{};
+    std::array<std::uint8_t, 12> n2{};
+    n2[0] = 1;
+    EXPECT_NE(seal(key, n1, plain), seal(key, n2, plain));
+}
+
+TEST(DeriveKey, MeasurementBindsKey) {
+    Key master{};
+    master[0] = 0x42;
+    std::vector<std::uint8_t> m1(32, 0);
+    std::vector<std::uint8_t> m2(32, 0);
+    m2[31] = 1; // one bit of code difference
+    EXPECT_NE(derive_key(master, m1), derive_key(master, m2));
+}
+
+} // namespace

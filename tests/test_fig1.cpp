@@ -1,0 +1,70 @@
+// Fig. 1 regeneration tests: the snapshot must reproduce the structures the
+// paper's figure shows, bit for bit where the figure fixes them.
+#include <gtest/gtest.h>
+
+#include "core/fig1.hpp"
+
+namespace {
+
+using swsec::core::Fig1Snapshot;
+using swsec::core::make_fig1_snapshot;
+
+TEST(Fig1, BufContainsLittleEndianInput) {
+    const Fig1Snapshot s = make_fig1_snapshot("ABCDEFGHIJKLMNO");
+    // The exact words of Fig. 1(c).
+    EXPECT_NE(s.stack_dump.find("0x44434241"), std::string::npos) << s.stack_dump; // "ABCD"
+    EXPECT_NE(s.stack_dump.find("0x48474645"), std::string::npos);                 // "EFGH"
+    EXPECT_NE(s.stack_dump.find("0x4c4b4a49"), std::string::npos);                 // "IJKL"
+    EXPECT_NE(s.stack_dump.find("0x004f4e4d"), std::string::npos);                 // "MNO\0"
+}
+
+TEST(Fig1, StackStructureIsAnnotated) {
+    const Fig1Snapshot s = make_fig1_snapshot();
+    EXPECT_NE(s.stack_dump.find("saved return address (into process())"), std::string::npos);
+    EXPECT_NE(s.stack_dump.find("saved return address (into main())"), std::string::npos);
+    EXPECT_NE(s.stack_dump.find("saved base pointer"), std::string::npos);
+    EXPECT_NE(s.stack_dump.find("buf parameter of get_request()"), std::string::npos);
+    EXPECT_NE(s.stack_dump.find("fd parameter"), std::string::npos);
+}
+
+TEST(Fig1, ListingHasTheFiguresShape) {
+    const Fig1Snapshot s = make_fig1_snapshot();
+    // Fig. 1(b): push bp; mov bp,sp; allocate; lea buf; push args; call;
+    // leave; ret.
+    const std::size_t push_bp = s.listing.find("push bp");
+    const std::size_t mov = s.listing.find("mov bp, sp");
+    const std::size_t sub = s.listing.find("subi sp,");
+    const std::size_t lea = s.listing.find("lea r0, [bp-16]");
+    const std::size_t call = s.listing.find("call");
+    const std::size_t leave = s.listing.find("leave");
+    const std::size_t ret = s.listing.find("ret");
+    EXPECT_NE(push_bp, std::string::npos);
+    EXPECT_LT(push_bp, mov);
+    EXPECT_LT(mov, sub);
+    EXPECT_LT(sub, lea);
+    EXPECT_LT(lea, call);
+    EXPECT_LT(call, leave);
+    EXPECT_LT(leave, ret);
+}
+
+TEST(Fig1, SavedReturnAddressPointsIntoText) {
+    const Fig1Snapshot s = make_fig1_snapshot();
+    EXPECT_TRUE(s.layout.in_text(s.ret_value))
+        << "the saved return address must point into the text segment";
+    // And specifically *after* the call to process() in main.
+    EXPECT_GT(s.ret_value, s.process_addr);
+}
+
+TEST(Fig1, BufSitsSixteenBytesBelowProcessFrame) {
+    const Fig1Snapshot s = make_fig1_snapshot();
+    // buf occupies [bp-16, bp); the saved return address sits at bp+4.
+    EXPECT_EQ(s.ret_slot_addr - s.buf_addr, 20u);
+    EXPECT_TRUE(s.layout.in_stack(s.buf_addr));
+}
+
+TEST(Fig1, DifferentInputDifferentBuf) {
+    const Fig1Snapshot s = make_fig1_snapshot("xyzw");
+    EXPECT_NE(s.stack_dump.find("0x777a7978"), std::string::npos) << s.stack_dump; // "xyzw"
+}
+
+} // namespace

@@ -1,0 +1,237 @@
+// Cross-subsystem integration: the full Section IV stack running together
+// inside the VM — a protected module persists its lockout state through
+// sealed storage (attestation engine) and the NV hardware (state
+// continuity), across process restarts, against an NV-level rollback
+// attacker.  Also: two mutually-distrustful secure modules in one process.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attest/attestation.hpp"
+#include "cc/compiler.hpp"
+#include "os/process.hpp"
+#include "pma/loader.hpp"
+#include "pma/module.hpp"
+#include "statecont/nv.hpp"
+#include "statecont/nv_syscalls.hpp"
+
+namespace {
+
+using namespace swsec;
+using cc::Type;
+
+// A persistent PIN vault as a protected module.  State = [tries, ctr+1],
+// sealed under the module key, stored in NV slot 0; the tamper-proof
+// monotonic counter provides freshness (Memoir-style, write-then-inc).
+const char* kPersistentVault = R"(
+    static int PIN = 1234;
+    static int secret = 666;
+    static char blob[128];
+    static char state[16];
+
+    /* returns: secret on success, 0 on wrong pin, -1 locked, -2 tampered,
+       -3 rollback detected */
+    int vault_try(int candidate) {
+      int tries = 3;
+      int n = __nv_read(0, blob, 128);
+      if (n > 0) {
+        int m = __unseal(blob, n, state);
+        if (m < 0) { return -2; }
+        int* s = (int*)state;
+        int ctr = __ctr_read();
+        if (s[1] == ctr + 1) {
+          /* crash window: a save wrote the blob but never incremented */
+          __ctr_inc();
+          ctr = ctr + 1;
+        }
+        if (s[1] != ctr) { return -3; }
+        tries = s[0];
+      }
+      if (tries <= 0) { return -1; }
+      int result = 0;
+      if (candidate == PIN) { tries = 3; result = secret; }
+      else { tries = tries - 1; }
+      int* s = (int*)state;
+      s[0] = tries;
+      s[1] = __ctr_read() + 1;
+      int n2 = __seal(state, 8, blob);
+      __nv_write(0, blob, n2);
+      __ctr_inc();
+      return result;
+    }
+)";
+
+struct VaultBoot {
+    pma::ModulePlacement place;
+    std::unique_ptr<os::Process> process;
+    std::unique_ptr<statecont::NvSyscalls> nv_syscalls;
+    pma::LoadedModule module;
+
+    VaultBoot(const objfmt::Image& module_img, attest::AttestationEngine& engine,
+              statecont::NvStore& nv, int candidate, std::uint64_t seed) {
+        cc::ExternEnv ext;
+        ext["vault_try"] = Type::func(Type::int_type(), {Type::int_type()});
+        const std::string host =
+            "int main() { return vault_try(" + std::to_string(candidate) + "); }";
+        process = std::make_unique<os::Process>(
+            cc::compile_program_with_objects(
+                {host}, cc::CompilerOptions::none(),
+                {pma::make_import_stubs(module_img, place, {"vault_try"})}, ext),
+            os::SecurityProfile::none(), seed);
+        module = pma::load_module(process->machine(), module_img, place, "vault", true);
+        engine.register_module(module.machine_index, module.measurement);
+        nv_syscalls = std::make_unique<statecont::NvSyscalls>(nv);
+        engine.set_next(nv_syscalls.get());
+        process->kernel().set_extension(&engine);
+    }
+
+    std::int32_t try_pin() {
+        const auto r = process->run();
+        EXPECT_EQ(r.trap.kind, vm::TrapKind::Exit) << r.trap.to_string();
+        return r.trap.code;
+    }
+};
+
+struct VaultWorld {
+    objfmt::Image module_img;
+    attest::AttestationEngine engine;
+    statecont::NvStore nv;
+    std::uint64_t next_seed = 100;
+
+    VaultWorld()
+        : module_img(pma::build_module(kPersistentVault, pma::ModuleSecurity::Secure, "vault")),
+          engine(0xfab5eed) {}
+
+    /// Boot the module in a fresh process and make one attempt.
+    std::int32_t attempt(int candidate) {
+        VaultBoot boot(module_img, engine, nv, candidate, next_seed++);
+        return boot.try_pin();
+    }
+};
+
+TEST(Integration, PersistentVaultAcceptsCorrectPin) {
+    VaultWorld world;
+    EXPECT_EQ(world.attempt(1234), 666);
+}
+
+TEST(Integration, LockoutPersistsAcrossRestarts) {
+    VaultWorld world;
+    EXPECT_EQ(world.attempt(1), 0);
+    EXPECT_EQ(world.attempt(2), 0);
+    EXPECT_EQ(world.attempt(3), 0);
+    // Three strikes, stored in sealed NV: a fresh process is still locked,
+    // even with the right PIN.
+    EXPECT_EQ(world.attempt(1234), -1);
+}
+
+TEST(Integration, CorrectPinResetsPersistedCounter) {
+    VaultWorld world;
+    EXPECT_EQ(world.attempt(1), 0);
+    EXPECT_EQ(world.attempt(1234), 666);
+    // Counter was re-armed to 3.
+    EXPECT_EQ(world.attempt(7), 0);
+    EXPECT_EQ(world.attempt(8), 0);
+    EXPECT_EQ(world.attempt(9), 0);
+    EXPECT_EQ(world.attempt(1234), -1);
+}
+
+TEST(Integration, NvRollbackIsDetectedByTheModule) {
+    // The paper's Section IV-C attack, executed entirely against the VM
+    // stack: snapshot NV after the first boot, burn tries, replay.
+    VaultWorld world;
+    EXPECT_EQ(world.attempt(1), 0); // creates sealed state (tries=2)
+    const auto snapshot = world.nv.attacker_read(0);
+    ASSERT_TRUE(snapshot.has_value());
+    EXPECT_EQ(world.attempt(2), 0);
+    EXPECT_EQ(world.attempt(3), 0); // locked out now
+    world.nv.attacker_write(0, *snapshot);
+    EXPECT_EQ(world.attempt(1234), -3) << "the replayed stale state must be rejected";
+}
+
+TEST(Integration, NvTamperingIsDetectedByTheModule) {
+    VaultWorld world;
+    EXPECT_EQ(world.attempt(1), 0);
+    auto blob = world.nv.attacker_read(0);
+    ASSERT_TRUE(blob.has_value());
+    (*blob)[blob->size() / 2] ^= 0x01;
+    world.nv.attacker_write(0, *blob);
+    EXPECT_EQ(world.attempt(1234), -2) << "a corrupted sealed blob must be rejected";
+}
+
+TEST(Integration, SealingIsModuleBound) {
+    // A *different* module (different measurement -> different sealing key)
+    // cannot unseal the vault's state even with full NV access.
+    VaultWorld world;
+    EXPECT_EQ(world.attempt(1), 0);
+    const auto blob = world.nv.attacker_read(0);
+    ASSERT_TRUE(blob.has_value());
+
+    const char* thief = R"(
+        static char out[128];
+        int steal(char* blob, int n) {
+          return __unseal(blob, n, out);   /* wrong module key */
+        }
+    )";
+    const auto thief_img = pma::build_module(thief, pma::ModuleSecurity::Secure, "thief");
+    pma::ModulePlacement place;
+    place.code_base = 0x60000000;
+    place.data_base = 0x68000000;
+    cc::ExternEnv ext;
+    ext["steal"] =
+        Type::func(Type::int_type(), {Type::ptr_to(Type::char_type()), Type::int_type()});
+    // Host copies the blob into its own memory and hands it to the thief.
+    std::string host = "char stolen[" + std::to_string(blob->size()) + "];\nint main() {\n";
+    host += "  read(0, stolen, " + std::to_string(blob->size()) + ");\n";
+    host += "  return steal(stolen, " + std::to_string(blob->size()) + ");\n}\n";
+    os::Process p(cc::compile_program_with_objects(
+                      {host}, cc::CompilerOptions::none(),
+                      {pma::make_import_stubs(thief_img, place, {"steal"})}, ext),
+                  os::SecurityProfile::none(), 9);
+    const auto mod = pma::load_module(p.machine(), thief_img, place, "thief", true);
+    world.engine.register_module(mod.machine_index, mod.measurement);
+    p.kernel().set_extension(&world.engine);
+    p.feed_input(std::span<const std::uint8_t>(*blob));
+    const auto r = p.run();
+    EXPECT_TRUE(r.exited(-1)) << "unsealing under the thief's key must fail: "
+                              << r.trap.to_string();
+}
+
+TEST(Integration, TwoSecureModulesCoexistAndAreMutuallyOpaque) {
+    // Two independently compiled secure modules in one process; the host
+    // calls both; each module's data is unreachable from the other and
+    // from the host.
+    const auto mod_a = pma::build_module(R"(
+        static int secret_a = 111;
+        int get_a(int unlock) { if (unlock == 7) { return secret_a; } return 0; }
+    )",
+                                         pma::ModuleSecurity::Secure, "moda");
+    const auto mod_b = pma::build_module(R"(
+        static int secret_b = 222;
+        int get_b(int unlock) { if (unlock == 9) { return secret_b; } return 0; }
+    )",
+                                         pma::ModuleSecurity::Secure, "modb");
+    pma::ModulePlacement place_a; // defaults: 0x40000000 / 0x48000000
+    pma::ModulePlacement place_b;
+    place_b.code_base = 0x60000000;
+    place_b.data_base = 0x68000000;
+    cc::ExternEnv ext;
+    ext["get_a"] = Type::func(Type::int_type(), {Type::int_type()});
+    ext["get_b"] = Type::func(Type::int_type(), {Type::int_type()});
+    const char* host = "int main() { return get_a(7) + get_b(9); }";
+    os::Process p(cc::compile_program_with_objects(
+                      {host}, cc::CompilerOptions::none(),
+                      {pma::make_import_stubs(mod_a, place_a, {"get_a"}),
+                       pma::make_import_stubs(mod_b, place_b, {"get_b"})},
+                      ext),
+                  os::SecurityProfile::none(), 4);
+    const auto la = pma::load_module(p.machine(), mod_a, place_a, "moda", true);
+    const auto lb = pma::load_module(p.machine(), mod_b, place_b, "modb", true);
+    const auto r = p.run();
+    EXPECT_TRUE(r.exited(333)) << r.trap.to_string();
+    // Mutual opacity at the hardware level.
+    std::uint32_t v = 0;
+    EXPECT_FALSE(p.machine().kernel_read32(la.addr_of("secret_a$moda"), v));
+    EXPECT_FALSE(p.machine().kernel_read32(lb.addr_of("secret_b$modb"), v));
+}
+
+} // namespace

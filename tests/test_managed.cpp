@@ -1,0 +1,287 @@
+// Managed-runtime tests (Section IV-A, virtual machines): source-level
+// abstractions hold at run time, but the heap is transparent to lower
+// layers, and interpretation costs.
+#include <gtest/gtest.h>
+
+#include "managed/runtime.hpp"
+
+namespace {
+
+using namespace swsec::managed;
+
+/// Build the paper's secret module as a managed class:
+///   class Secret { private int tries_left, PIN, secret;
+///                  int get_secret(int provided_pin); }
+struct SecretWorld {
+    ManagedRuntime rt;
+    int secret_class = -1;
+    int get_secret = -1;
+    std::int32_t obj = -1;
+
+    SecretWorld() {
+        Class cls;
+        cls.name = "Secret";
+        cls.fields = {{"tries_left", true}, {"PIN", true}, {"secret", true}};
+        secret_class = rt.add_class(cls);
+
+        // int get_secret(Secret this, int pin):
+        //   if (this.tries_left > 0) {
+        //     if (this.PIN == pin) { this.tries_left = 3; return this.secret; }
+        //     this.tries_left -= 1; return 0;
+        //   } return 0;
+        Method m;
+        m.name = "get_secret";
+        m.owner_class = secret_class;
+        m.nargs = 2;
+        m.nlocals = 2;
+        using I = BcInsn;
+        m.code = {
+            I{Bc::Push, 0, 0},                       // 0
+            I{Bc::LoadLocal, 0, 0},                  // 1
+            I{Bc::GetField, 0, 0},                   // 2: tries_left
+            I{Bc::CmpLt, 0, 0},                      // 3: 0 < tries
+            I{Bc::Jz, 23, 0},                        // 4: locked out -> ret 0
+            I{Bc::LoadLocal, 0, 0},                  // 5
+            I{Bc::GetField, 0, 1},                   // 6: PIN
+            I{Bc::LoadLocal, 1, 0},                  // 7: pin arg
+            I{Bc::CmpEq, 0, 0},                      // 8
+            I{Bc::Jz, 17, 0},                        // 9: wrong pin
+            I{Bc::LoadLocal, 0, 0},                  // 10
+            I{Bc::Push, 3, 0},                       // 11
+            I{Bc::PutField, 0, 0},                   // 12: tries = 3
+            I{Bc::LoadLocal, 0, 0},                  // 13
+            I{Bc::GetField, 0, 2},                   // 14: secret
+            I{Bc::Ret, 0, 0},                        // 15
+            I{Bc::Halt, 0, 0},                       // 16 (unreachable)
+            I{Bc::LoadLocal, 0, 0},                  // 17
+            I{Bc::LoadLocal, 0, 0},                  // 18
+            I{Bc::GetField, 0, 0},                   // 19
+            I{Bc::Push, 1, 0},                       // 20
+            I{Bc::Sub, 0, 0},                        // 21
+            I{Bc::PutField, 0, 0},                   // 22: tries -= 1
+            I{Bc::Push, 0, 0},                       // 23
+            I{Bc::Ret, 0, 0},                        // 24
+        };
+        get_secret = rt.add_method(m);
+        const std::int32_t fields[] = {3, 1234, 666};
+        obj = rt.new_object(secret_class, fields);
+    }
+};
+
+TEST(Managed, GetSecretBehavesLikeFig2) {
+    SecretWorld w;
+    const std::int32_t wrong[] = {w.obj, 1111};
+    const std::int32_t right[] = {w.obj, 1234};
+    EXPECT_EQ(w.rt.invoke(w.get_secret, wrong), 0);
+    EXPECT_EQ(w.rt.field_of(w.obj, 0), 2); // tries decremented
+    EXPECT_EQ(w.rt.invoke(w.get_secret, right), 666);
+    EXPECT_EQ(w.rt.field_of(w.obj, 0), 3); // reset
+    // Lockout.
+    (void)w.rt.invoke(w.get_secret, wrong);
+    (void)w.rt.invoke(w.get_secret, wrong);
+    (void)w.rt.invoke(w.get_secret, wrong);
+    EXPECT_EQ(w.rt.invoke(w.get_secret, right), 0);
+}
+
+TEST(Managed, PrivateFieldsAreEnforcedAtRunTime) {
+    // Attacker bytecode (owner: a different class) tries to read the PIN
+    // directly — the runtime preserves the source-level abstraction.
+    SecretWorld w;
+    Class evil_cls;
+    evil_cls.name = "Evil";
+    const int evil_class = w.rt.add_class(evil_cls);
+    Method evil;
+    evil.name = "steal_pin";
+    evil.owner_class = evil_class;
+    evil.nargs = 1;
+    evil.nlocals = 1;
+    evil.code = {
+        BcInsn{Bc::LoadLocal, 0, 0},
+        BcInsn{Bc::GetField, w.secret_class, 1}, // Secret.PIN — private!
+        BcInsn{Bc::Ret, 0, 0},
+    };
+    const int steal = w.rt.add_method(evil);
+    const std::int32_t args[] = {w.obj};
+    EXPECT_THROW((void)w.rt.invoke(steal, args), ManagedError);
+}
+
+TEST(Managed, PrivateFieldWriteAlsoBlocked) {
+    SecretWorld w;
+    Class evil_cls;
+    evil_cls.name = "Evil";
+    const int evil_class = w.rt.add_class(evil_cls);
+    Method evil;
+    evil.name = "reset_tries";
+    evil.owner_class = evil_class;
+    evil.nargs = 1;
+    evil.nlocals = 1;
+    evil.code = {
+        BcInsn{Bc::LoadLocal, 0, 0},
+        BcInsn{Bc::Push, 1000000, 0},
+        BcInsn{Bc::PutField, w.secret_class, 0}, // the Fig. 4 goal, denied
+        BcInsn{Bc::Push, 0, 0},
+        BcInsn{Bc::Ret, 0, 0},
+    };
+    const int reset = w.rt.add_method(evil);
+    const std::int32_t args[] = {w.obj};
+    EXPECT_THROW((void)w.rt.invoke(reset, args), ManagedError);
+    EXPECT_EQ(w.rt.field_of(w.obj, 0), 3) << "tries_left must be untouched";
+}
+
+TEST(Managed, ArraysAreBoundsCheckedByConstruction) {
+    ManagedRuntime rt;
+    Method m;
+    m.name = "overflow";
+    m.owner_class = -1;
+    m.nargs = 1; // the index to write
+    m.nlocals = 2;
+    m.code = {
+        BcInsn{Bc::Push, 4, 0},      // length
+        BcInsn{Bc::NewArr, 0, 0},
+        BcInsn{Bc::StoreLocal, 1, 0},
+        BcInsn{Bc::LoadLocal, 1, 0},
+        BcInsn{Bc::LoadLocal, 0, 0}, // index
+        BcInsn{Bc::Push, 42, 0},
+        BcInsn{Bc::AStore, 0, 0},
+        BcInsn{Bc::Push, 0, 0},
+        BcInsn{Bc::Ret, 0, 0},
+    };
+    const int overflow = rt.add_method(m);
+    const std::int32_t ok[] = {3};
+    EXPECT_EQ(rt.invoke(overflow, ok), 0);
+    const std::int32_t past[] = {4};
+    EXPECT_THROW((void)rt.invoke(overflow, past), ManagedError);
+    const std::int32_t negative[] = {-1};
+    EXPECT_THROW((void)rt.invoke(negative[0] == -1 ? overflow : overflow, negative),
+                 ManagedError);
+}
+
+TEST(Managed, MistypedObjectReferencesAreRejected) {
+    SecretWorld w;
+    // Passing a bogus reference where a Secret is expected.
+    const std::int32_t bogus[] = {9999, 1234};
+    EXPECT_THROW((void)w.rt.invoke(w.get_secret, bogus), ManagedError);
+}
+
+TEST(Managed, LowerLayerAttackerReadsTheHeapAnyway) {
+    // The paper's second disadvantage: "no protection against machine code
+    // attackers that can control machine code at lower layers".  A kernel
+    // scraper scans the runtime's heap as plain memory and finds the PIN —
+    // the private-field checks exist only inside the interpreter.
+    SecretWorld w;
+    bool pin_found = false;
+    for (const std::int32_t word : w.rt.raw_heap()) {
+        pin_found = pin_found || (word == 1234);
+    }
+    EXPECT_TRUE(pin_found) << "the managed abstraction does not bind lower layers";
+}
+
+TEST(Managed, InterpretationHasMeasurableOverhead) {
+    // fib(15) in bytecode vs a C++ evaluation: count interpreter steps.
+    ManagedRuntime rt;
+    Method fib;
+    fib.name = "fib";
+    fib.owner_class = -1;
+    fib.nargs = 1;
+    fib.nlocals = 1;
+    // if (n < 2) return n; return fib(n-1) + fib(n-2);
+    fib.code = {
+        BcInsn{Bc::LoadLocal, 0, 0}, // 0
+        BcInsn{Bc::Push, 2, 0},      // 1
+        BcInsn{Bc::CmpLt, 0, 0},     // 2
+        BcInsn{Bc::Jz, 6, 0},        // 3
+        BcInsn{Bc::LoadLocal, 0, 0}, // 4
+        BcInsn{Bc::Ret, 0, 0},       // 5
+        BcInsn{Bc::LoadLocal, 0, 0}, // 6
+        BcInsn{Bc::Push, 1, 0},      // 7
+        BcInsn{Bc::Sub, 0, 0},       // 8
+        BcInsn{Bc::Call, 0, 0},      // 9  (method 0 = fib)
+        BcInsn{Bc::LoadLocal, 0, 0}, // 10
+        BcInsn{Bc::Push, 2, 0},      // 11
+        BcInsn{Bc::Sub, 0, 0},       // 12
+        BcInsn{Bc::Call, 0, 0},      // 13
+        BcInsn{Bc::Add, 0, 0},       // 14
+        BcInsn{Bc::Ret, 0, 0},       // 15
+    };
+    const int fib_idx = rt.add_method(fib);
+    const std::int32_t args[] = {15};
+    EXPECT_EQ(rt.invoke(fib_idx, args), 610);
+    EXPECT_GT(rt.steps_executed(), 10'000u) << "interpretation is not free";
+}
+
+} // namespace
+
+// Appended: opcode coverage for the remaining bytecode instructions.
+namespace {
+TEST(Managed, DupPopDivOpcodes) {
+    ManagedRuntime rt;
+    Method m;
+    m.name = "arith";
+    m.owner_class = -1;
+    m.nargs = 2;
+    m.nlocals = 2;
+    // return ((a/b) dup'ed and added to itself) i.e. 2*(a/b)
+    m.code = {
+        BcInsn{Bc::LoadLocal, 0, 0},
+        BcInsn{Bc::LoadLocal, 1, 0},
+        BcInsn{Bc::Div, 0, 0},
+        BcInsn{Bc::Dup, 0, 0},
+        BcInsn{Bc::Add, 0, 0},
+        BcInsn{Bc::Push, 99, 0},
+        BcInsn{Bc::Pop, 0, 0}, // exercise Pop
+        BcInsn{Bc::Ret, 0, 0},
+    };
+    const int idx = rt.add_method(m);
+    const std::int32_t args[] = {42, 3};
+    EXPECT_EQ(rt.invoke(idx, args), 28);
+    const std::int32_t zero[] = {1, 0};
+    EXPECT_THROW((void)rt.invoke(idx, zero), ManagedError);
+}
+
+TEST(Managed, StackUnderflowAndBadLocalsAreRejected) {
+    ManagedRuntime rt;
+    Method m;
+    m.name = "bad";
+    m.owner_class = -1;
+    m.nargs = 0;
+    m.nlocals = 1;
+    m.code = {BcInsn{Bc::Add, 0, 0}}; // pops an empty stack
+    const int idx = rt.add_method(m);
+    EXPECT_THROW((void)rt.invoke(idx, {}), ManagedError);
+
+    Method m2;
+    m2.name = "badlocal";
+    m2.owner_class = -1;
+    m2.nargs = 0;
+    m2.nlocals = 1;
+    m2.code = {BcInsn{Bc::LoadLocal, 5, 0}, BcInsn{Bc::Ret, 0, 0}};
+    const int idx2 = rt.add_method(m2);
+    EXPECT_THROW((void)rt.invoke(idx2, {}), ManagedError);
+}
+
+TEST(Managed, JumpTargetsAreConfinedToTheMethod) {
+    // Unstructured escape (the machine-code attacker's bread and butter) is
+    // not expressible: jumps outside the method body are rejected.
+    ManagedRuntime rt;
+    Method m;
+    m.name = "escape";
+    m.owner_class = -1;
+    m.nargs = 0;
+    m.nlocals = 1;
+    m.code = {BcInsn{Bc::Jmp, -100, 0}};
+    const int idx = rt.add_method(m);
+    EXPECT_THROW((void)rt.invoke(idx, {}), ManagedError);
+}
+
+TEST(Managed, CallDepthIsBounded) {
+    ManagedRuntime rt;
+    Method m;
+    m.name = "spin";
+    m.owner_class = -1;
+    m.nargs = 0;
+    m.nlocals = 1;
+    m.code = {BcInsn{Bc::Call, 0, 0}, BcInsn{Bc::Ret, 0, 0}}; // calls itself forever
+    const int idx = rt.add_method(m);
+    EXPECT_THROW((void)rt.invoke(idx, {}), ManagedError);
+}
+} // namespace

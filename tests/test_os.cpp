@@ -1,0 +1,291 @@
+// OS substrate tests: loader placement, W^X policy, ASLR behaviour, kernel
+// I/O channels, sbrk, syscall tracing, and the runtime allocator.
+#include <gtest/gtest.h>
+
+#include "cc/compiler.hpp"
+#include "os/process.hpp"
+
+namespace {
+
+using namespace swsec;
+using cc::CompilerOptions;
+using os::Process;
+using os::SecurityProfile;
+
+const char* kTrivial = "int main() { return 0; }";
+
+TEST(Loader, DefaultLayoutMatchesFig1) {
+    Process p(cc::compile_program({kTrivial}, {}), SecurityProfile::none(), 1);
+    EXPECT_EQ(p.layout().text_base, os::kDefaultTextBase);
+    EXPECT_EQ(p.layout().data_base, os::kDefaultDataBase);
+    EXPECT_EQ(p.layout().stack_high, os::kDefaultStackTop);
+    EXPECT_GT(p.layout().text_size, 0u);
+}
+
+TEST(Loader, DepSetsWxPermissions) {
+    SecurityProfile prof;
+    prof.dep = true;
+    Process p(cc::compile_program({kTrivial}, {}), prof, 1);
+    const auto& mem = p.machine().memory();
+    EXPECT_EQ(mem.perms_at(p.layout().text_base), vm::Perm::RX);
+    EXPECT_EQ(mem.perms_at(p.layout().data_base), vm::Perm::RW);
+    EXPECT_EQ(mem.perms_at(p.layout().stack_low), vm::Perm::RW);
+    EXPECT_TRUE(p.machine().options().enforce_nx);
+}
+
+TEST(Loader, WithoutDepEverythingIsWritableAndExecutable) {
+    Process p(cc::compile_program({kTrivial}, {}), SecurityProfile::none(), 1);
+    const auto& mem = p.machine().memory();
+    EXPECT_EQ(mem.perms_at(p.layout().text_base), vm::Perm::RWX);
+    EXPECT_EQ(mem.perms_at(p.layout().stack_low), vm::Perm::RWX);
+}
+
+TEST(Loader, AslrRandomisesSegmentsPerSeed) {
+    SecurityProfile prof;
+    prof.aslr = true;
+    const auto img = cc::compile_program({kTrivial}, {});
+    Process a(img, prof, 1);
+    Process b(img, prof, 2);
+    Process c(img, prof, 1); // same seed -> same layout
+    EXPECT_NE(a.layout().text_base, b.layout().text_base);
+    EXPECT_EQ(a.layout().text_base, c.layout().text_base);
+    EXPECT_EQ(a.layout().text_base % vm::kPageSize, 0u);
+    // Segments are randomised independently.
+    EXPECT_NE(a.layout().text_base - os::kDefaultTextBase,
+              a.layout().data_base - os::kDefaultDataBase);
+}
+
+TEST(Loader, AslrProgramsStillRun) {
+    SecurityProfile prof;
+    prof.aslr = true;
+    prof.dep = true;
+    for (const std::uint64_t seed : {1ULL, 99ULL, 31337ULL}) {
+        Process p(cc::compile_program({R"(
+            int main() { char b[8]; int n = read(0, b, 7); write(1, b, n); return n; }
+        )"},
+                                      {}),
+                  prof, seed);
+        p.feed_input("ok!");
+        const auto r = p.run();
+        EXPECT_TRUE(r.exited(3)) << "seed " << seed << ": " << r.trap.to_string();
+        EXPECT_EQ(p.output(), "ok!");
+    }
+}
+
+TEST(Kernel, ChannelsAreIndependent) {
+    Process p(cc::compile_program({R"(
+        int main() {
+          char b[8];
+          int n = read(3, b, 8);     /* fd 3 */
+          write(5, b, n);            /* fd 5 */
+          return n;
+        }
+    )"},
+                                  {}),
+              SecurityProfile::none(), 1);
+    p.feed_input("zzz", /*fd=*/3);
+    p.feed_input("ignored", /*fd=*/0);
+    const auto r = p.run();
+    EXPECT_TRUE(r.exited(3));
+    EXPECT_EQ(p.output(5), "zzz");
+    EXPECT_TRUE(p.output(1).empty());
+}
+
+TEST(Kernel, ReadFromEmptyChannelReturnsZero) {
+    EXPECT_TRUE(Process(cc::compile_program({R"(
+        int main() { char b[8]; return read(0, b, 8); }
+    )"},
+                                            {}),
+                        SecurityProfile::none(), 1)
+                    .run()
+                    .exited(0));
+}
+
+TEST(Kernel, PartialReads) {
+    Process p(cc::compile_program({R"(
+        int main() {
+          char b[16];
+          int first = read(0, b, 4);
+          int second = read(0, b, 16);
+          return first * 10 + second;
+        }
+    )"},
+                                  {}),
+              SecurityProfile::none(), 1);
+    p.feed_input("abcdefghij"); // 10 bytes: 4 then 6
+    EXPECT_TRUE(p.run().exited(46));
+}
+
+TEST(Kernel, SyscallTraceRecordsArguments) {
+    Process p(cc::compile_program({R"(
+        int main() { char b[4]; read(0, b, 4); return 0; }
+    )"},
+                                  {}),
+              SecurityProfile::none(), 1);
+    p.feed_input("hi");
+    (void)p.run();
+    bool saw_read = false;
+    for (const auto& rec : p.kernel().syscall_trace()) {
+        if (rec.number == vm::sys_num(vm::Sys::Read)) {
+            saw_read = true;
+            EXPECT_EQ(rec.args[0], 0u);
+            EXPECT_EQ(rec.args[2], 4u);
+            EXPECT_TRUE(p.layout().in_stack(rec.args[1]));
+        }
+    }
+    EXPECT_TRUE(saw_read);
+}
+
+TEST(Kernel, SbrkGrowsHeap) {
+    Process p(cc::compile_program({R"(
+        int main() {
+          char* a = sbrk(100);
+          char* b = sbrk(100);
+          if ((int)b - (int)a != 100) { return 1; }
+          a[0] = 'x';           /* the new memory is usable */
+          a[199] = 'y';
+          if (a[0] == 'x' && a[199] == 'y') { return 0; }
+          return 2;
+        }
+    )"},
+                                  {}),
+              SecurityProfile::none(), 1);
+    EXPECT_TRUE(p.run().exited(0));
+}
+
+TEST(Kernel, GetRandomIsSeedDeterministic) {
+    const char* src = R"(
+        int main() { char b[4]; getrandom(b, 4); write(1, b, 4); return 0; }
+    )";
+    Process a(cc::compile_program({src}, {}), SecurityProfile::none(), 5);
+    Process b(cc::compile_program({src}, {}), SecurityProfile::none(), 5);
+    Process c(cc::compile_program({src}, {}), SecurityProfile::none(), 6);
+    (void)a.run();
+    (void)b.run();
+    (void)c.run();
+    EXPECT_EQ(a.output_bytes(1), b.output_bytes(1));
+    EXPECT_NE(a.output_bytes(1), c.output_bytes(1));
+}
+
+TEST(Allocator, ReusesFreedChunks) {
+    EXPECT_TRUE(Process(cc::compile_program({R"(
+        int main() {
+          char* a = malloc(24);
+          free(a);
+          char* b = malloc(16);     /* first fit: same chunk */
+          if (a == b) { return 0; }
+          return 1;
+        }
+    )"},
+                                            {}),
+                        SecurityProfile::none(), 1)
+                    .run()
+                    .exited(0));
+}
+
+TEST(Allocator, DistinctLiveChunksDontOverlap) {
+    EXPECT_TRUE(Process(cc::compile_program({R"(
+        int main() {
+          char* a = malloc(16);
+          char* b = malloc(16);
+          memset(a, 1, 16);
+          memset(b, 2, 16);
+          if (a[15] == 1 && b[0] == 2 && (b - a >= 16 || a - b >= 16)) { return 0; }
+          return 1;
+        }
+    )"},
+                                            {}),
+                        SecurityProfile::none(), 1)
+                    .run()
+                    .exited(0));
+}
+
+TEST(Allocator, MallocZeroAndNegative) {
+    EXPECT_TRUE(Process(cc::compile_program({R"(
+        int main() {
+          if ((int)malloc(0) != 0) { return 1; }
+          if ((int)malloc(-5) != 0) { return 2; }
+          free((char*)0);           /* free(NULL) is a no-op */
+          return 0;
+        }
+    )"},
+                                            {}),
+                        SecurityProfile::none(), 1)
+                    .run()
+                    .exited(0));
+}
+
+TEST(Memcheck, HeapOverflowHitsRedZone) {
+    SecurityProfile prof;
+    prof.memcheck = true;
+    CompilerOptions opts;
+    opts.memcheck = true;
+    Process p(cc::compile_program({R"(
+        int main() {
+          char* a = malloc(16);
+          a[16] = 'x';            /* one byte past the chunk */
+          return 0;
+        }
+    )"},
+                                  opts),
+              prof, 1);
+    EXPECT_EQ(p.run().trap.kind, vm::TrapKind::PoisonedAccess);
+}
+
+TEST(Memcheck, UseAfterFreeDetected) {
+    SecurityProfile prof;
+    prof.memcheck = true;
+    CompilerOptions opts;
+    opts.memcheck = true;
+    Process p(cc::compile_program({R"(
+        int main() {
+          char* a = malloc(16);
+          free(a);
+          return a[0];            /* read through the stale pointer */
+        }
+    )"},
+                                  opts),
+              prof, 1);
+    EXPECT_EQ(p.run().trap.kind, vm::TrapKind::PoisonedAccess);
+}
+
+TEST(Memcheck, StackOverflowHitsRedZone) {
+    SecurityProfile prof;
+    prof.memcheck = true;
+    CompilerOptions opts;
+    opts.memcheck = true;
+    Process p(cc::compile_program({R"(
+        int main() {
+          char buf[8];
+          int i = 8;              /* one past the end */
+          buf[i] = 'x';
+          return 0;
+        }
+    )"},
+                                  opts),
+              prof, 1);
+    EXPECT_EQ(p.run().trap.kind, vm::TrapKind::PoisonedAccess);
+}
+
+TEST(Memcheck, CleanProgramRunsFine) {
+    SecurityProfile prof;
+    prof.memcheck = true;
+    CompilerOptions opts;
+    opts.memcheck = true;
+    Process p(cc::compile_program({R"(
+        int main() {
+          char buf[8];
+          char* h = malloc(8);
+          for (int i = 0; i < 8; i = i + 1) { buf[i] = (char)i; h[i] = (char)i; }
+          int sum = 0;
+          for (int i = 0; i < 8; i = i + 1) { sum = sum + buf[i] + h[i]; }
+          free(h);
+          return sum;
+        }
+    )"},
+                                  opts),
+              prof, 1);
+    EXPECT_TRUE(p.run().exited(56));
+}
+
+} // namespace

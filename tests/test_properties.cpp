@@ -1,0 +1,275 @@
+// Property-based tests.
+//
+//  * Differential testing of the MiniC compiler: random arithmetic
+//    expression trees are evaluated by a C++ reference evaluator and by
+//    compiling + running them on the VM; results must agree.
+//  * Assembler/disassembler round trip over randomly generated instruction
+//    sequences.
+//  * Memory poison map properties over random operation sequences.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "assembler/assembler.hpp"
+#include "cc/compiler.hpp"
+#include "common/rng.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoder.hpp"
+#include "os/process.hpp"
+#include "vm/memory.hpp"
+
+namespace {
+
+using namespace swsec;
+
+// --- differential expression testing ------------------------------------------
+
+/// A random expression tree over int arithmetic, rendered both as MiniC
+/// source and evaluated with C++ semantics (32-bit wrapping).
+struct ExprGen {
+    Rng rng;
+    explicit ExprGen(std::uint64_t seed) : rng(seed) {}
+
+    struct Node {
+        std::string src;
+        std::int32_t value;
+    };
+
+    Node literal() {
+        // Small values keep division interesting without overflow UB.
+        const std::int32_t v = rng.between(-99, 99);
+        if (v < 0) {
+            return {"(0 - " + std::to_string(-v) + ")", v};
+        }
+        return {std::to_string(v), v};
+    }
+
+    Node gen(int depth) {
+        if (depth <= 0 || rng.below(4) == 0) {
+            return literal();
+        }
+        const Node a = gen(depth - 1);
+        const Node b = gen(depth - 1);
+        switch (rng.below(12)) {
+        case 0:
+            return {"(" + a.src + " + " + b.src + ")",
+                    static_cast<std::int32_t>(static_cast<std::uint32_t>(a.value) +
+                                              static_cast<std::uint32_t>(b.value))};
+        case 1:
+            return {"(" + a.src + " - " + b.src + ")",
+                    static_cast<std::int32_t>(static_cast<std::uint32_t>(a.value) -
+                                              static_cast<std::uint32_t>(b.value))};
+        case 2:
+            return {"(" + a.src + " * " + b.src + ")",
+                    static_cast<std::int32_t>(static_cast<std::uint32_t>(a.value) *
+                                              static_cast<std::uint32_t>(b.value))};
+        case 3:
+            if (b.value == 0) {
+                return a;
+            }
+            return {"(" + a.src + " / " + b.src + ")", a.value / b.value};
+        case 4:
+            if (b.value == 0) {
+                return a;
+            }
+            return {"(" + a.src + " % " + b.src + ")", a.value % b.value};
+        case 5:
+            return {"(" + a.src + " & " + b.src + ")", a.value & b.value};
+        case 6:
+            return {"(" + a.src + " | " + b.src + ")", a.value | b.value};
+        case 7:
+            return {"(" + a.src + " ^ " + b.src + ")", a.value ^ b.value};
+        case 8:
+            return {"(" + a.src + " < " + b.src + ")", a.value < b.value ? 1 : 0};
+        case 9:
+            return {"(" + a.src + " == " + b.src + ")", a.value == b.value ? 1 : 0};
+        case 10: {
+            const std::int32_t sh = static_cast<std::int32_t>(rng.below(5));
+            return {"(" + a.src + " << " + std::to_string(sh) + ")",
+                    static_cast<std::int32_t>(static_cast<std::uint32_t>(a.value) << sh)};
+        }
+        default: {
+            const std::int32_t sh = static_cast<std::int32_t>(rng.below(5));
+            return {"(" + a.src + " >> " + std::to_string(sh) + ")", a.value >> sh};
+        }
+        }
+    }
+};
+
+class ExprDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExprDifferential, CompilerMatchesReferenceEvaluator) {
+    ExprGen gen(GetParam());
+    // Several expressions per seed, returned via print_int to cover the full
+    // 32-bit range (exit codes would work too, but this also exercises I/O).
+    std::string src = "int main() {\n";
+    std::string expect;
+    for (int i = 0; i < 6; ++i) {
+        const auto node = gen.gen(4);
+        src += "  print_int(" + node.src + "); write(1, \",\", 1);\n";
+        expect += std::to_string(node.value) + ",";
+    }
+    src += "  return 0;\n}\n";
+    os::Process p(cc::compile_program({src}, cc::CompilerOptions::none()),
+                  os::SecurityProfile::none(), 1);
+    const auto r = p.run();
+    ASSERT_TRUE(r.exited(0)) << r.trap.to_string() << "\n" << src;
+    EXPECT_EQ(p.output(), expect) << src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprDifferential,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// Same property under every hardening configuration: countermeasures must
+// never change the semantics of correct programs.
+class HardenedDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HardenedDifferential, HardeningPreservesSemantics) {
+    ExprGen gen(GetParam() * 977);
+    const auto node = gen.gen(4);
+    const std::string src = "int main() { print_int(" + node.src + "); return 0; }";
+    const std::string expect = std::to_string(node.value);
+
+    cc::CompilerOptions safe = cc::CompilerOptions::safe();
+    cc::CompilerOptions mc;
+    mc.memcheck = true;
+    os::SecurityProfile mc_prof;
+    mc_prof.memcheck = true;
+    os::SecurityProfile full;
+    full.dep = true;
+    full.aslr = true;
+    full.shadow_stack = true;
+    full.coarse_cfi = true;
+
+    const struct {
+        cc::CompilerOptions copts;
+        os::SecurityProfile prof;
+    } configs[] = {
+        {cc::CompilerOptions::none(), os::SecurityProfile::none()},
+        {safe, full},
+        {mc, mc_prof},
+    };
+    for (const auto& cfg : configs) {
+        os::Process p(cc::compile_program({src}, cfg.copts), cfg.prof, GetParam());
+        const auto r = p.run();
+        ASSERT_TRUE(r.exited(0)) << r.trap.to_string();
+        EXPECT_EQ(p.output(), expect) << src;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HardenedDifferential,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// --- assembler/disassembler round trip -------------------------------------
+
+TEST(Properties, RandomInstructionStreamsRoundTripThroughDisasm) {
+    // Generate random valid instructions, disassemble them, re-assemble the
+    // text, and require identical bytes (excluding rel32 branches, whose
+    // textual form is an absolute target — covered separately).
+    Rng rng(2024);
+    for (int trial = 0; trial < 50; ++trial) {
+        isa::Encoder e;
+        const int n = 1 + static_cast<int>(rng.below(20));
+        for (int i = 0; i < n; ++i) {
+            const auto reg = [&] { return static_cast<isa::Reg>(rng.below(10)); };
+            const auto imm = [&] { return static_cast<std::int32_t>(rng.next_u32()); };
+            switch (rng.below(10)) {
+            case 0:
+                e.none(isa::Op::Nop);
+                break;
+            case 1:
+                e.reg(isa::Op::Push, reg());
+                break;
+            case 2:
+                e.reg(isa::Op::Pop, reg());
+                break;
+            case 3:
+                e.reg_reg(isa::Op::Add, reg(), reg());
+                break;
+            case 4:
+                e.reg_imm32(isa::Op::MovI, reg(), imm());
+                break;
+            case 5:
+                e.reg_mem(isa::Op::Load, reg(), reg(), imm());
+                break;
+            case 6:
+                e.reg_mem(isa::Op::Store, reg(), reg(), imm());
+                break;
+            case 7:
+                e.reg_imm8(isa::Op::ShlI, reg(), static_cast<std::uint8_t>(rng.below(32)));
+                break;
+            case 8:
+                e.reg_reg(isa::Op::Cmp, reg(), reg());
+                break;
+            default:
+                e.reg_reg(isa::Op::Xor, reg(), reg());
+                break;
+            }
+        }
+        // Render to text...
+        const auto lines = isa::disassemble(e.bytes(), 0);
+        std::string text = ".text\n";
+        for (const auto& line : lines) {
+            ASSERT_NE(line.text.rfind(".byte", 0), 0u)
+                << "valid encodings must disassemble: " << line.text;
+            text += line.text + "\n";
+        }
+        // ...and back to bytes.
+        const auto obj = assembler::assemble(text, "roundtrip");
+        EXPECT_EQ(obj.text, e.bytes()) << text;
+    }
+}
+
+TEST(Properties, DisassemblyAlwaysCoversEveryByte) {
+    // Whatever the bytes, the disassembler's line lengths tile the input.
+    Rng rng(7);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<std::uint8_t> bytes(1 + rng.below(200));
+        rng.fill(bytes);
+        const auto lines = isa::disassemble(bytes, 0x1000);
+        std::size_t covered = 0;
+        for (const auto& line : lines) {
+            EXPECT_EQ(line.addr, 0x1000 + covered);
+            covered += line.insn.length;
+        }
+        EXPECT_EQ(covered, bytes.size());
+    }
+}
+
+// --- memory poison properties -----------------------------------------------
+
+TEST(Properties, PoisonSetThenClearIsIdentity) {
+    Rng rng(99);
+    vm::Memory mem;
+    mem.map(0x1000, 0x4000, vm::Perm::RW);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::uint32_t addr = 0x1000 + rng.below(0x3f00);
+        const std::uint32_t len = 1 + rng.below(64);
+        mem.poison(addr, len);
+        for (std::uint32_t i = 0; i < len; ++i) {
+            EXPECT_TRUE(mem.is_poisoned(addr + i));
+        }
+        mem.unpoison(addr, len);
+        for (std::uint32_t i = 0; i < len; ++i) {
+            EXPECT_FALSE(mem.is_poisoned(addr + i));
+        }
+    }
+}
+
+TEST(Properties, MemoryWordByteConsistency) {
+    Rng rng(123);
+    vm::Memory mem;
+    mem.map(0x2000, 0x1000, vm::Perm::RW);
+    for (int trial = 0; trial < 500; ++trial) {
+        const std::uint32_t addr = 0x2000 + rng.below(0xffc);
+        const std::uint32_t v = rng.next_u32();
+        mem.raw_write32(addr, v);
+        std::uint32_t rebuilt = 0;
+        for (int i = 3; i >= 0; --i) {
+            rebuilt = (rebuilt << 8) | mem.raw_read8(addr + static_cast<std::uint32_t>(i));
+        }
+        EXPECT_EQ(rebuilt, v);
+    }
+}
+
+} // namespace

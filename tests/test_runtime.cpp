@@ -1,0 +1,172 @@
+// Runtime-library (MiniC libc) behaviour tests.
+#include <gtest/gtest.h>
+
+#include "cc/compiler.hpp"
+#include "os/process.hpp"
+
+namespace {
+
+using namespace swsec;
+using os::Process;
+using os::SecurityProfile;
+
+std::int32_t run(const std::string& src, std::string* out = nullptr,
+                 const std::string& input = {}) {
+    Process p(cc::compile_program({src}, cc::CompilerOptions::none()), SecurityProfile::none(),
+              13);
+    if (!input.empty()) {
+        p.feed_input(input);
+    }
+    const auto r = p.run();
+    EXPECT_EQ(r.trap.kind, vm::TrapKind::Exit) << r.trap.to_string();
+    if (out != nullptr) {
+        *out = p.output();
+    }
+    return r.trap.code;
+}
+
+TEST(Libc, StrlenStrcmpStrcpy) {
+    EXPECT_EQ(run(R"(
+        int main() {
+          char a[16];
+          char b[16];
+          strcpy(a, "hello");
+          strcpy(b, a);
+          if (strcmp(a, b) != 0) { return 1; }
+          if (strcmp(a, "hellp") >= 0) { return 2; }
+          if (strcmp("hellp", a) <= 0) { return 3; }
+          if (strcmp("", "") != 0) { return 4; }
+          if (strlen("") != 0) { return 5; }
+          return strlen(a);
+        }
+    )"),
+              5);
+}
+
+TEST(Libc, MemcpyMemset) {
+    EXPECT_EQ(run(R"(
+        int main() {
+          char src[8];
+          char dst[8];
+          memset(src, 'z', 7);
+          src[7] = 0;
+          memcpy(dst, src, 8);
+          if (strcmp(dst, "zzzzzzz") != 0) { return 1; }
+          memset(dst, 0, 8);
+          return dst[0] + dst[7];
+        }
+    )"),
+              0);
+}
+
+TEST(Libc, PutsAndPrintInt) {
+    std::string out;
+    EXPECT_EQ(run(R"(
+        int main() {
+          puts("line one");
+          print_int(-12345);
+          puts("");
+          print_int(0);
+          puts("");
+          print_int(2147483647);
+          return 0;
+        }
+    )",
+                  &out),
+              0);
+    EXPECT_EQ(out, "line one\n-12345\n0\n2147483647");
+}
+
+TEST(Libc, PrintIntMostNegative) {
+    std::string out;
+    EXPECT_EQ(run("int main() { print_int(-2147483647 - 1); return 0; }", &out), 0);
+    EXPECT_EQ(out, "-2147483648");
+}
+
+TEST(Libc, Atoi) {
+    EXPECT_EQ(run(R"(
+        int main() {
+          if (atoi("42") != 42) { return 1; }
+          if (atoi("-17") != -17) { return 2; }
+          if (atoi("0") != 0) { return 3; }
+          if (atoi("123abc") != 123) { return 4; }
+          if (atoi("abc") != 0) { return 5; }
+          return 0;
+        }
+    )"),
+              0);
+}
+
+TEST(Libc, GrantShellWritesItsMarker) {
+    std::string out;
+    EXPECT_EQ(run("int main() { grant_shell(); return 0; }", &out), 0);
+    EXPECT_EQ(out, "[libc] root shell granted\n");
+}
+
+TEST(Libc, ExitTerminatesImmediately) {
+    std::string out;
+    EXPECT_EQ(run(R"(
+        int main() {
+          write(1, "before\n", 7);
+          exit(9);
+          write(1, "after\n", 6);   /* never reached */
+          return 0;
+        }
+    )",
+                  &out),
+              9);
+    EXPECT_EQ(out, "before\n");
+}
+
+TEST(Libc, MallocStressManyAllocations) {
+    EXPECT_EQ(run(R"(
+        int main() {
+          /* interleaved alloc/free of varying sizes; verify contents */
+          char* ptrs[16];
+          for (int round = 0; round < 8; round = round + 1) {
+            for (int i = 0; i < 16; i = i + 1) {
+              ptrs[i] = malloc(8 + i * 4);
+              memset(ptrs[i], i + 1, 8 + i * 4);
+            }
+            for (int i = 0; i < 16; i = i + 1) {
+              char* p = ptrs[i];
+              if (p[0] != (char)(i + 1)) { return 1; }
+              if (p[7 + i * 4] != (char)(i + 1)) { return 2; }
+            }
+            for (int i = 15; i >= 0; i = i - 1) { free(ptrs[i]); }
+          }
+          return 0;
+        }
+    )"),
+              0);
+}
+
+TEST(Libc, CanaryGlobalIsInitialisedAtStartup) {
+    // _start fills __stack_chk_guard via getrandom before main runs.
+    EXPECT_EQ(run(R"(
+        int main() {
+          int* g = &__stack_chk_guard;
+          if (*g == 0) { return 1; }   /* astronomically unlikely if seeded */
+          return 0;
+        }
+    )"),
+              0);
+}
+
+TEST(Libc, TemporalReuseIsObservable) {
+    // The free-list behaviour that use-after-free attacks rely on: a freed
+    // chunk's storage is handed back out and old pointers alias it.
+    EXPECT_EQ(run(R"(
+        int main() {
+          int* stale = (int*)malloc(8);
+          stale[0] = 111;
+          free((char*)stale);
+          int* fresh = (int*)malloc(8);
+          fresh[0] = 222;
+          return stale[0];   /* reads the new occupant's data */
+        }
+    )"),
+              222);
+}
+
+} // namespace

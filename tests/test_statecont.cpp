@@ -1,0 +1,266 @@
+// State-continuity tests (Section IV-C): rollback attacks and crash
+// liveness for all three protocols, plus the paper's tries_left example.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "statecont/nv.hpp"
+#include "statecont/pin_vault.hpp"
+#include "statecont/protocol.hpp"
+
+namespace {
+
+using namespace swsec::statecont;
+
+swsec::crypto::Key test_key() {
+    swsec::crypto::Key k{};
+    for (std::size_t i = 0; i < k.size(); ++i) {
+        k[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    }
+    return k;
+}
+
+Blob blob_of(const std::string& s) { return Blob(s.begin(), s.end()); }
+
+std::unique_ptr<StateProtocol> make_protocol(const std::string& which, NvStore& nv) {
+    if (which == "naive") {
+        return std::make_unique<NaiveSealedState>(test_key(), nv, 11);
+    }
+    if (which == "memoir") {
+        return std::make_unique<CounterState>(test_key(), nv, 22);
+    }
+    return std::make_unique<GuardedState>(test_key(), nv, 33);
+}
+
+class AllProtocols : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Protocols, AllProtocols,
+                         ::testing::Values("naive", "memoir", "guarded"));
+
+TEST_P(AllProtocols, FirstBootIsEmpty) {
+    NvStore nv;
+    auto p = make_protocol(GetParam(), nv);
+    EXPECT_EQ(p->load().status, LoadStatus::Empty);
+}
+
+TEST_P(AllProtocols, SaveLoadRoundTrip) {
+    NvStore nv;
+    auto p = make_protocol(GetParam(), nv);
+    for (int i = 0; i < 20; ++i) {
+        const Blob state = blob_of("state #" + std::to_string(i));
+        p->save(state);
+        const auto r = p->load();
+        ASSERT_EQ(r.status, LoadStatus::Ok) << i;
+        EXPECT_EQ(r.state, state) << i;
+    }
+}
+
+TEST_P(AllProtocols, SurvivesProtocolRestart) {
+    NvStore nv;
+    {
+        auto p = make_protocol(GetParam(), nv);
+        p->save(blob_of("persisted"));
+    }
+    auto fresh = make_protocol(GetParam(), nv);
+    const auto r = fresh->load();
+    ASSERT_EQ(r.status, LoadStatus::Ok);
+    EXPECT_EQ(r.state, blob_of("persisted"));
+}
+
+TEST_P(AllProtocols, GarbageInStorageIsTampered) {
+    NvStore nv;
+    auto p = make_protocol(GetParam(), nv);
+    p->save(blob_of("good"));
+    // The attacker scribbles over every slot the protocol might use.
+    for (const int slot : {NaiveSealedState::kSlot, CounterState::kSlot, GuardedState::kSlotA,
+                           GuardedState::kSlotB}) {
+        if (nv.attacker_read(slot)) {
+            nv.attacker_write(slot, blob_of("zzzz-not-a-sealed-blob-zzzz"));
+        }
+    }
+    EXPECT_EQ(p->load().status, LoadStatus::Tampered);
+}
+
+// --- the rollback attack (the paper's tries_left replay) -------------------
+
+struct Snapshot {
+    std::map<int, Blob> slots;
+};
+
+Snapshot attacker_snapshot(const NvStore& nv) {
+    Snapshot s;
+    for (const int slot : {0, 1, 2, 3}) {
+        if (const auto b = nv.attacker_read(slot)) {
+            s.slots[slot] = *b;
+        }
+    }
+    return s;
+}
+
+void attacker_restore(NvStore& nv, const Snapshot& s) {
+    for (const auto& [slot, blob] : s.slots) {
+        nv.attacker_write(slot, blob);
+    }
+}
+
+TEST(Rollback, NaiveSealingIsDefenceless) {
+    NvStore nv;
+    NaiveSealedState p(test_key(), nv, 1);
+    p.save(blob_of("tries=3"));
+    const Snapshot fresh = attacker_snapshot(nv);
+    p.save(blob_of("tries=1"));
+    attacker_restore(nv, fresh);
+    const auto r = p.load();
+    ASSERT_EQ(r.status, LoadStatus::Ok);
+    EXPECT_EQ(r.state, blob_of("tries=3")) << "stale state accepted: rollback succeeded";
+}
+
+TEST(Rollback, CounterProtocolRejectsStaleState) {
+    NvStore nv;
+    CounterState p(test_key(), nv, 1);
+    p.save(blob_of("tries=3"));
+    const Snapshot fresh = attacker_snapshot(nv);
+    p.save(blob_of("tries=1"));
+    attacker_restore(nv, fresh);
+    EXPECT_EQ(p.load().status, LoadStatus::Rollback);
+}
+
+TEST(Rollback, GuardedProtocolRejectsStaleState) {
+    NvStore nv;
+    GuardedState p(test_key(), nv, 1);
+    p.save(blob_of("tries=3"));
+    const Snapshot fresh = attacker_snapshot(nv);
+    p.save(blob_of("tries=1"));
+    p.save(blob_of("tries=0")); // both slots now hold post-snapshot blobs
+    attacker_restore(nv, fresh);
+    EXPECT_EQ(p.load().status, LoadStatus::Rollback);
+}
+
+TEST(Rollback, ReplayAcrossRestartsAlsoFails) {
+    // Restarting the module (fresh protocol instance) must not reopen the
+    // rollback hole.
+    NvStore nv;
+    {
+        CounterState p(test_key(), nv, 1);
+        p.save(blob_of("old"));
+    }
+    const Snapshot old_snap = attacker_snapshot(nv);
+    {
+        CounterState p(test_key(), nv, 2);
+        p.save(blob_of("new"));
+    }
+    attacker_restore(nv, old_snap);
+    CounterState p(test_key(), nv, 3);
+    EXPECT_EQ(p.load().status, LoadStatus::Rollback);
+}
+
+// --- crash liveness ----------------------------------------------------------
+
+// Sweep a power cut over every device-operation window of a save; after
+// each crash a fresh protocol instance must recover *some* accepted state
+// (either the previous or the in-flight one), never be locked out.
+void sweep_crashes(const std::string& which) {
+    for (int crash_at = 0; crash_at < 8; ++crash_at) {
+        NvStore nv;
+        auto p = make_protocol(which, nv);
+        p->save(blob_of("committed"));
+
+        nv.arm_crash_after(crash_at);
+        bool crashed = false;
+        try {
+            p->save(blob_of("in-flight"));
+        } catch (const PowerCut&) {
+            crashed = true;
+        }
+        nv.disarm();
+
+        auto recovered = make_protocol(which, nv);
+        const auto r = recovered->load();
+        ASSERT_EQ(r.status, LoadStatus::Ok)
+            << which << ": crash window " << crash_at << (crashed ? " (crashed)" : " (no crash)");
+        EXPECT_TRUE(r.state == blob_of("committed") || r.state == blob_of("in-flight"))
+            << which << ": crash window " << crash_at;
+
+        // And the recovered instance must still be able to make progress.
+        recovered->save(blob_of("after-recovery"));
+        EXPECT_EQ(recovered->load().state, blob_of("after-recovery"));
+    }
+}
+
+TEST(CrashLiveness, CounterProtocol) { sweep_crashes("memoir"); }
+TEST(CrashLiveness, GuardedProtocol) { sweep_crashes("guarded"); }
+TEST(CrashLiveness, NaiveProtocol) { sweep_crashes("naive"); }
+
+// --- the PinVault end-to-end story -------------------------------------------
+
+TEST(PinVault, LockoutWorks) {
+    NvStore nv;
+    CounterState proto(test_key(), nv, 9);
+    PinVault vault(proto, 1234, 666);
+    EXPECT_FALSE(vault.try_pin(1111).has_value());
+    EXPECT_FALSE(vault.try_pin(2222).has_value());
+    EXPECT_FALSE(vault.try_pin(3333).has_value());
+    // Locked out: even the correct PIN fails now.
+    EXPECT_FALSE(vault.try_pin(1234).has_value());
+}
+
+TEST(PinVault, CorrectPinResetsCounter) {
+    NvStore nv;
+    GuardedState proto(test_key(), nv, 9);
+    PinVault vault(proto, 1234, 666);
+    (void)vault.try_pin(1111);
+    const auto secret = vault.try_pin(1234);
+    ASSERT_TRUE(secret.has_value());
+    EXPECT_EQ(*secret, 666);
+    EXPECT_EQ(vault.tries_left(), PinVault::kMaxTries);
+}
+
+// The paper's Section IV-C attack: brute-force the PIN by replaying the
+// initial state after every two failed attempts.
+int brute_force_with_rollback(StateProtocol& proto, NvStore& nv, int max_candidates) {
+    Snapshot fresh{};
+    bool have_snapshot = false;
+    for (int candidate = 0; candidate < max_candidates; ++candidate) {
+        PinVault vault(proto, 1234, 666); // module restart
+        if (!vault.serving()) {
+            return -1; // vault detected tampering and refuses service
+        }
+        if (!have_snapshot) {
+            fresh = attacker_snapshot(nv);
+            have_snapshot = true;
+        }
+        if (vault.try_pin(candidate).has_value()) {
+            return candidate; // PIN recovered
+        }
+        if (candidate % 2 == 1) {
+            attacker_restore(nv, fresh); // roll the lockout counter back
+        }
+    }
+    return -2; // lockout held
+}
+
+TEST(PinVault, RollbackBruteForceBeatsNaiveSealing) {
+    NvStore nv;
+    NaiveSealedState proto(test_key(), nv, 4);
+    EXPECT_EQ(brute_force_with_rollback(proto, nv, 2000), 1234)
+        << "with naive sealing the attacker recovers the PIN";
+}
+
+TEST(PinVault, CounterProtocolStopsRollbackBruteForce) {
+    NvStore nv;
+    CounterState proto(test_key(), nv, 4);
+    EXPECT_EQ(brute_force_with_rollback(proto, nv, 2000), -1)
+        << "the vault must detect the rollback and halt";
+}
+
+TEST(PinVault, GuardedProtocolStopsRollbackBruteForce) {
+    // Depending on which slot the guard points at when the attacker splices
+    // the stale blob in, the vault either detects the rollback (-1) or keeps
+    // serving the *current* state until lockout (-2).  Either way the PIN is
+    // never recovered.
+    NvStore nv;
+    GuardedState proto(test_key(), nv, 4);
+    EXPECT_LT(brute_force_with_rollback(proto, nv, 2000), 0);
+}
+
+} // namespace

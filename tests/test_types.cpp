@@ -1,0 +1,61 @@
+// MiniC type-system unit tests.
+#include <gtest/gtest.h>
+
+#include "cc/type.hpp"
+
+namespace {
+
+using swsec::cc::Type;
+
+TEST(Types, Sizes) {
+    EXPECT_EQ(Type::int_type()->size(), 4);
+    EXPECT_EQ(Type::char_type()->size(), 1);
+    EXPECT_EQ(Type::void_type()->size(), 0);
+    EXPECT_EQ(Type::ptr_to(Type::char_type())->size(), 4);
+    EXPECT_EQ(Type::array_of(Type::int_type(), 10)->size(), 40);
+    EXPECT_EQ(Type::array_of(Type::char_type(), 10)->size(), 10);
+    EXPECT_EQ(Type::func(Type::int_type(), {})->size(), 0);
+}
+
+TEST(Types, StepForPointerArithmetic) {
+    EXPECT_EQ(Type::ptr_to(Type::int_type())->step(), 4);
+    EXPECT_EQ(Type::ptr_to(Type::char_type())->step(), 1);
+    EXPECT_EQ(Type::array_of(Type::int_type(), 3)->step(), 4);
+    EXPECT_EQ(Type::int_type()->step(), 1);
+}
+
+TEST(Types, Predicates) {
+    const auto fp = Type::ptr_to(Type::func(Type::int_type(), {Type::int_type()}));
+    EXPECT_TRUE(fp->is_ptr());
+    EXPECT_TRUE(fp->is_func_ptr());
+    EXPECT_FALSE(Type::ptr_to(Type::int_type())->is_func_ptr());
+    EXPECT_TRUE(Type::int_type()->is_arith());
+    EXPECT_TRUE(Type::char_type()->is_arith());
+    EXPECT_FALSE(Type::ptr_to(Type::int_type())->is_arith());
+}
+
+TEST(Types, ToString) {
+    EXPECT_EQ(Type::int_type()->to_string(), "int");
+    EXPECT_EQ(Type::ptr_to(Type::ptr_to(Type::char_type()))->to_string(), "char**");
+    EXPECT_EQ(Type::array_of(Type::int_type(), 4)->to_string(), "int[4]");
+    EXPECT_EQ(Type::func(Type::void_type(), {Type::int_type(), Type::ptr_to(Type::char_type())})
+                  ->to_string(),
+              "void(int, char*)");
+}
+
+TEST(Types, StructuralEquality) {
+    const auto a = Type::ptr_to(Type::int_type());
+    const auto b = Type::ptr_to(Type::int_type());
+    EXPECT_TRUE(a->same(*b));
+    EXPECT_FALSE(a->same(*Type::ptr_to(Type::char_type())));
+    EXPECT_TRUE(Type::array_of(Type::int_type(), 3)->same(*Type::array_of(Type::int_type(), 3)));
+    EXPECT_FALSE(Type::array_of(Type::int_type(), 3)->same(*Type::array_of(Type::int_type(), 4)));
+    const auto f1 = Type::func(Type::int_type(), {Type::int_type()});
+    const auto f2 = Type::func(Type::int_type(), {Type::int_type()});
+    const auto f3 = Type::func(Type::int_type(), {Type::char_type()});
+    EXPECT_TRUE(f1->same(*f2));
+    EXPECT_FALSE(f1->same(*f3));
+    EXPECT_FALSE(f1->same(*Type::func(Type::int_type(), {})));
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+// swsec — command-line driver for the toolchain and the experiment suite.
+//
+//   swsec run <file.mc> [options]      compile and run a MiniC program
+//   swsec asm <file.mc> [options]      show the generated assembly
+//   swsec disasm <file.mc> [options]   show the linked machine code
+//   swsec lint <file.mc>               static memory-safety analysis
+//   swsec gadgets <file.mc>            ROP-gadget census of the binary
+//   swsec fig1                         regenerate the paper's Fig. 1
+//   swsec matrix                       the attack/defense matrix
+//
+// Hardening options (run/asm/disasm):
+//   --canary --bounds --fortify --memcheck     compiler passes
+//   --dep --aslr --shadow-stack --cfi          platform configuration
+//   --seed N                                   deterministic randomness
+//   --input STR                                bytes fed to fd 0
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attacks/gadgets.hpp"
+#include "cc/analyzer.hpp"
+#include "cc/compiler.hpp"
+#include "common/error.hpp"
+#include "common/hexdump.hpp"
+#include "core/fig1.hpp"
+#include "core/matrix.hpp"
+#include "isa/disasm.hpp"
+#include "os/process.hpp"
+
+namespace {
+
+using namespace swsec;
+
+struct Options {
+    cc::CompilerOptions copts;
+    os::SecurityProfile profile;
+    std::uint64_t seed = 1;
+    std::string input;
+    std::string file;
+};
+
+int usage() {
+    std::fputs(
+        "usage: swsec <run|asm|disasm|lint|gadgets|fig1|matrix> [file.mc] [options]\n"
+        "options: --canary --bounds --fortify --memcheck --dep --aslr\n"
+        "         --shadow-stack --cfi --seed N --input STR\n",
+        stderr);
+    return 2;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw Error("cannot open '" + path + "'");
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+bool parse_options(int argc, char** argv, int start, Options& out) {
+    for (int i = start; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--canary") {
+            out.copts.stack_canaries = true;
+        } else if (arg == "--bounds") {
+            out.copts.bounds_checks = true;
+        } else if (arg == "--fortify") {
+            out.copts.fortify_reads = true;
+        } else if (arg == "--memcheck") {
+            out.copts.memcheck = true;
+            out.profile.memcheck = true;
+        } else if (arg == "--dep") {
+            out.profile.dep = true;
+        } else if (arg == "--aslr") {
+            out.profile.aslr = true;
+        } else if (arg == "--shadow-stack") {
+            out.profile.shadow_stack = true;
+        } else if (arg == "--cfi") {
+            out.profile.coarse_cfi = true;
+        } else if (arg == "--seed" && i + 1 < argc) {
+            out.seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--input" && i + 1 < argc) {
+            out.input = argv[++i];
+        } else if (!arg.empty() && arg[0] != '-' && out.file.empty()) {
+            out.file = arg;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+int cmd_run(const Options& opt) {
+    const auto img = cc::compile_program({read_file(opt.file)}, opt.copts);
+    os::Process p(img, opt.profile, opt.seed);
+    if (!opt.input.empty()) {
+        p.feed_input(opt.input);
+    }
+    const auto r = p.run(100'000'000);
+    std::fputs(p.output().c_str(), stdout);
+    std::fprintf(stderr, "[%s after %llu instructions]\n", r.trap.to_string().c_str(),
+                 static_cast<unsigned long long>(r.steps));
+    return r.trap.kind == vm::TrapKind::Exit ? (r.trap.code & 0xff) : 100;
+}
+
+int cmd_asm(const Options& opt) {
+    std::fputs(cc::compile_to_asm(read_file(opt.file), opt.copts, "cli").c_str(), stdout);
+    return 0;
+}
+
+int cmd_disasm(const Options& opt) {
+    const auto img = cc::compile_program({read_file(opt.file)}, opt.copts);
+    std::printf("; text: %zu bytes, data: %u bytes\n", img.text.size(), img.data_total_size());
+    // Annotate function starts with their symbol names.
+    std::vector<std::pair<std::uint32_t, std::string>> funcs;
+    for (const auto& [name, sym] : img.symbols) {
+        if (sym.is_func && sym.section == objfmt::SectionKind::Text) {
+            funcs.emplace_back(sym.offset, name);
+        }
+    }
+    const auto lines = isa::disassemble(img.text, os::kDefaultTextBase);
+    for (const auto& line : lines) {
+        for (const auto& [off, name] : funcs) {
+            if (os::kDefaultTextBase + off == line.addr) {
+                std::printf("\n%s:\n", name.c_str());
+            }
+        }
+        std::string bytes = line.bytes_hex;
+        bytes.resize(20, ' ');
+        std::printf("%s:  %s %s\n", hex32(line.addr).c_str(), bytes.c_str(), line.text.c_str());
+    }
+    return 0;
+}
+
+int cmd_lint(const Options& opt) {
+    const auto findings = cc::analyze_source(read_file(opt.file));
+    std::fputs(cc::format_findings(findings).c_str(), stdout);
+    return findings.empty() ? 0 : 1;
+}
+
+int cmd_gadgets(const Options& opt) {
+    const auto img = cc::compile_program({read_file(opt.file)}, opt.copts);
+    attacks::GadgetScanner scanner(img.text, os::kDefaultTextBase);
+    std::printf("%zu gadgets (%zu unintended) in %zu bytes of text\n", scanner.gadgets().size(),
+                scanner.unintended_count(), img.text.size());
+    for (const auto& g : scanner.gadgets()) {
+        std::printf("  %s\n", g.to_string().c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "fig1") {
+            std::fputs(core::make_fig1_snapshot().full_report.c_str(), stdout);
+            return 0;
+        }
+        if (cmd == "matrix") {
+            std::fputs(core::format_matrix(core::run_matrix()).c_str(), stdout);
+            return 0;
+        }
+        Options opt;
+        if (!parse_options(argc, argv, 2, opt)) {
+            return usage();
+        }
+        if (opt.file.empty()) {
+            return usage();
+        }
+        if (cmd == "run") {
+            return cmd_run(opt);
+        }
+        if (cmd == "asm") {
+            return cmd_asm(opt);
+        }
+        if (cmd == "disasm") {
+            return cmd_disasm(opt);
+        }
+        if (cmd == "lint") {
+            return cmd_lint(opt);
+        }
+        if (cmd == "gadgets") {
+            return cmd_gadgets(opt);
+        }
+        return usage();
+    } catch (const Error& e) {
+        std::fprintf(stderr, "swsec: %s\n", e.what());
+        return 1;
+    }
+}
