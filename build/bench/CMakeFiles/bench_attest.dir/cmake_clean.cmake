@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attest.dir/bench_attest.cpp.o"
+  "CMakeFiles/bench_attest.dir/bench_attest.cpp.o.d"
+  "bench_attest"
+  "bench_attest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

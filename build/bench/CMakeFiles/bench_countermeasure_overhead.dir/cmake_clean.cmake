@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_countermeasure_overhead.dir/bench_countermeasure_overhead.cpp.o"
+  "CMakeFiles/bench_countermeasure_overhead.dir/bench_countermeasure_overhead.cpp.o.d"
+  "bench_countermeasure_overhead"
+  "bench_countermeasure_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_countermeasure_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_managed.dir/bench_managed.cpp.o"
+  "CMakeFiles/bench_managed.dir/bench_managed.cpp.o.d"
+  "bench_managed"
+  "bench_managed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_managed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

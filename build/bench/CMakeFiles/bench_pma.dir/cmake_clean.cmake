@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pma.dir/bench_pma.cpp.o"
+  "CMakeFiles/bench_pma.dir/bench_pma.cpp.o.d"
+  "bench_pma"
+  "bench_pma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rop.dir/bench_rop.cpp.o"
+  "CMakeFiles/bench_rop.dir/bench_rop.cpp.o.d"
+  "bench_rop"
+  "bench_rop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secure_compile.dir/bench_secure_compile.cpp.o"
+  "CMakeFiles/bench_secure_compile.dir/bench_secure_compile.cpp.o.d"
+  "bench_secure_compile"
+  "bench_secure_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secure_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sfi.dir/bench_sfi.cpp.o"
+  "CMakeFiles/bench_sfi.dir/bench_sfi.cpp.o.d"
+  "bench_sfi"
+  "bench_sfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_statecont.dir/bench_statecont.cpp.o"
+  "CMakeFiles/bench_statecont.dir/bench_statecont.cpp.o.d"
+  "bench_statecont"
+  "bench_statecont.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_statecont.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

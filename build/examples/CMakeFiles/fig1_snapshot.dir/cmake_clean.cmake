@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_snapshot.dir/fig1_snapshot.cpp.o"
+  "CMakeFiles/fig1_snapshot.dir/fig1_snapshot.cpp.o.d"
+  "fig1_snapshot"
+  "fig1_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protected_module_demo.dir/protected_module_demo.cpp.o"
+  "CMakeFiles/protected_module_demo.dir/protected_module_demo.cpp.o.d"
+  "protected_module_demo"
+  "protected_module_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protected_module_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollback_demo.dir/rollback_demo.cpp.o"
+  "CMakeFiles/rollback_demo.dir/rollback_demo.cpp.o.d"
+  "rollback_demo"
+  "rollback_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollback_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_smashing_demo.dir/stack_smashing_demo.cpp.o"
+  "CMakeFiles/stack_smashing_demo.dir/stack_smashing_demo.cpp.o.d"
+  "stack_smashing_demo"
+  "stack_smashing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_smashing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

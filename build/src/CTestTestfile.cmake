@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("vm")
+subdirs("assembler")
+subdirs("cc")
+subdirs("os")
+subdirs("crypto")
+subdirs("pma")
+subdirs("attest")
+subdirs("statecont")
+subdirs("attacks")
+subdirs("sfi")
+subdirs("capability")
+subdirs("managed")
+subdirs("core")

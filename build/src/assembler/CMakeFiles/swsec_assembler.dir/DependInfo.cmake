@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assembler/assembler.cpp" "src/assembler/CMakeFiles/swsec_assembler.dir/assembler.cpp.o" "gcc" "src/assembler/CMakeFiles/swsec_assembler.dir/assembler.cpp.o.d"
+  "/root/repo/src/assembler/linker.cpp" "src/assembler/CMakeFiles/swsec_assembler.dir/linker.cpp.o" "gcc" "src/assembler/CMakeFiles/swsec_assembler.dir/linker.cpp.o.d"
+  "/root/repo/src/assembler/object.cpp" "src/assembler/CMakeFiles/swsec_assembler.dir/object.cpp.o" "gcc" "src/assembler/CMakeFiles/swsec_assembler.dir/object.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swsec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/swsec_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

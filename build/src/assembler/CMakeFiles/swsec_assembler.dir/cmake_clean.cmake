@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec_assembler.dir/assembler.cpp.o"
+  "CMakeFiles/swsec_assembler.dir/assembler.cpp.o.d"
+  "CMakeFiles/swsec_assembler.dir/linker.cpp.o"
+  "CMakeFiles/swsec_assembler.dir/linker.cpp.o.d"
+  "CMakeFiles/swsec_assembler.dir/object.cpp.o"
+  "CMakeFiles/swsec_assembler.dir/object.cpp.o.d"
+  "libswsec_assembler.a"
+  "libswsec_assembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/gadgets.cpp" "src/attacks/CMakeFiles/swsec_attacks.dir/gadgets.cpp.o" "gcc" "src/attacks/CMakeFiles/swsec_attacks.dir/gadgets.cpp.o.d"
+  "/root/repo/src/attacks/payload.cpp" "src/attacks/CMakeFiles/swsec_attacks.dir/payload.cpp.o" "gcc" "src/attacks/CMakeFiles/swsec_attacks.dir/payload.cpp.o.d"
+  "/root/repo/src/attacks/scraper.cpp" "src/attacks/CMakeFiles/swsec_attacks.dir/scraper.cpp.o" "gcc" "src/attacks/CMakeFiles/swsec_attacks.dir/scraper.cpp.o.d"
+  "/root/repo/src/attacks/shellcode.cpp" "src/attacks/CMakeFiles/swsec_attacks.dir/shellcode.cpp.o" "gcc" "src/attacks/CMakeFiles/swsec_attacks.dir/shellcode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swsec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/swsec_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/swsec_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/swsec_assembler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec_attacks.dir/gadgets.cpp.o"
+  "CMakeFiles/swsec_attacks.dir/gadgets.cpp.o.d"
+  "CMakeFiles/swsec_attacks.dir/payload.cpp.o"
+  "CMakeFiles/swsec_attacks.dir/payload.cpp.o.d"
+  "CMakeFiles/swsec_attacks.dir/scraper.cpp.o"
+  "CMakeFiles/swsec_attacks.dir/scraper.cpp.o.d"
+  "CMakeFiles/swsec_attacks.dir/shellcode.cpp.o"
+  "CMakeFiles/swsec_attacks.dir/shellcode.cpp.o.d"
+  "libswsec_attacks.a"
+  "libswsec_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

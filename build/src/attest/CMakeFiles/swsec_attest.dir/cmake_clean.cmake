@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec_attest.dir/attestation.cpp.o"
+  "CMakeFiles/swsec_attest.dir/attestation.cpp.o.d"
+  "libswsec_attest.a"
+  "libswsec_attest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec_attest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec_capability.dir/capability.cpp.o"
+  "CMakeFiles/swsec_capability.dir/capability.cpp.o.d"
+  "libswsec_capability.a"
+  "libswsec_capability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

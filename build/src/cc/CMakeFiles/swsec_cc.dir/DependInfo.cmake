@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/analyzer.cpp" "src/cc/CMakeFiles/swsec_cc.dir/analyzer.cpp.o" "gcc" "src/cc/CMakeFiles/swsec_cc.dir/analyzer.cpp.o.d"
+  "/root/repo/src/cc/codegen.cpp" "src/cc/CMakeFiles/swsec_cc.dir/codegen.cpp.o" "gcc" "src/cc/CMakeFiles/swsec_cc.dir/codegen.cpp.o.d"
+  "/root/repo/src/cc/compiler.cpp" "src/cc/CMakeFiles/swsec_cc.dir/compiler.cpp.o" "gcc" "src/cc/CMakeFiles/swsec_cc.dir/compiler.cpp.o.d"
+  "/root/repo/src/cc/lexer.cpp" "src/cc/CMakeFiles/swsec_cc.dir/lexer.cpp.o" "gcc" "src/cc/CMakeFiles/swsec_cc.dir/lexer.cpp.o.d"
+  "/root/repo/src/cc/parser.cpp" "src/cc/CMakeFiles/swsec_cc.dir/parser.cpp.o" "gcc" "src/cc/CMakeFiles/swsec_cc.dir/parser.cpp.o.d"
+  "/root/repo/src/cc/runtime.cpp" "src/cc/CMakeFiles/swsec_cc.dir/runtime.cpp.o" "gcc" "src/cc/CMakeFiles/swsec_cc.dir/runtime.cpp.o.d"
+  "/root/repo/src/cc/sema.cpp" "src/cc/CMakeFiles/swsec_cc.dir/sema.cpp.o" "gcc" "src/cc/CMakeFiles/swsec_cc.dir/sema.cpp.o.d"
+  "/root/repo/src/cc/type.cpp" "src/cc/CMakeFiles/swsec_cc.dir/type.cpp.o" "gcc" "src/cc/CMakeFiles/swsec_cc.dir/type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swsec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/swsec_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/swsec_assembler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec_cc.dir/analyzer.cpp.o"
+  "CMakeFiles/swsec_cc.dir/analyzer.cpp.o.d"
+  "CMakeFiles/swsec_cc.dir/codegen.cpp.o"
+  "CMakeFiles/swsec_cc.dir/codegen.cpp.o.d"
+  "CMakeFiles/swsec_cc.dir/compiler.cpp.o"
+  "CMakeFiles/swsec_cc.dir/compiler.cpp.o.d"
+  "CMakeFiles/swsec_cc.dir/lexer.cpp.o"
+  "CMakeFiles/swsec_cc.dir/lexer.cpp.o.d"
+  "CMakeFiles/swsec_cc.dir/parser.cpp.o"
+  "CMakeFiles/swsec_cc.dir/parser.cpp.o.d"
+  "CMakeFiles/swsec_cc.dir/runtime.cpp.o"
+  "CMakeFiles/swsec_cc.dir/runtime.cpp.o.d"
+  "CMakeFiles/swsec_cc.dir/sema.cpp.o"
+  "CMakeFiles/swsec_cc.dir/sema.cpp.o.d"
+  "CMakeFiles/swsec_cc.dir/type.cpp.o"
+  "CMakeFiles/swsec_cc.dir/type.cpp.o.d"
+  "libswsec_cc.a"
+  "libswsec_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec_common.dir/error.cpp.o"
+  "CMakeFiles/swsec_common.dir/error.cpp.o.d"
+  "CMakeFiles/swsec_common.dir/hexdump.cpp.o"
+  "CMakeFiles/swsec_common.dir/hexdump.cpp.o.d"
+  "CMakeFiles/swsec_common.dir/rng.cpp.o"
+  "CMakeFiles/swsec_common.dir/rng.cpp.o.d"
+  "libswsec_common.a"
+  "libswsec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec_core.dir/attack_lab.cpp.o"
+  "CMakeFiles/swsec_core.dir/attack_lab.cpp.o.d"
+  "CMakeFiles/swsec_core.dir/defense.cpp.o"
+  "CMakeFiles/swsec_core.dir/defense.cpp.o.d"
+  "CMakeFiles/swsec_core.dir/fig1.cpp.o"
+  "CMakeFiles/swsec_core.dir/fig1.cpp.o.d"
+  "CMakeFiles/swsec_core.dir/matrix.cpp.o"
+  "CMakeFiles/swsec_core.dir/matrix.cpp.o.d"
+  "CMakeFiles/swsec_core.dir/scenarios.cpp.o"
+  "CMakeFiles/swsec_core.dir/scenarios.cpp.o.d"
+  "libswsec_core.a"
+  "libswsec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/swsec_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/swsec_crypto.dir/seal.cpp.o"
+  "CMakeFiles/swsec_crypto.dir/seal.cpp.o.d"
+  "CMakeFiles/swsec_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/swsec_crypto.dir/sha256.cpp.o.d"
+  "libswsec_crypto.a"
+  "libswsec_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec_isa.dir/disasm.cpp.o"
+  "CMakeFiles/swsec_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/swsec_isa.dir/encoder.cpp.o"
+  "CMakeFiles/swsec_isa.dir/encoder.cpp.o.d"
+  "CMakeFiles/swsec_isa.dir/isa.cpp.o"
+  "CMakeFiles/swsec_isa.dir/isa.cpp.o.d"
+  "libswsec_isa.a"
+  "libswsec_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

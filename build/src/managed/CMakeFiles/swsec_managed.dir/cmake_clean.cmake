@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec_managed.dir/runtime.cpp.o"
+  "CMakeFiles/swsec_managed.dir/runtime.cpp.o.d"
+  "libswsec_managed.a"
+  "libswsec_managed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec_managed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/kernel.cpp" "src/os/CMakeFiles/swsec_os.dir/kernel.cpp.o" "gcc" "src/os/CMakeFiles/swsec_os.dir/kernel.cpp.o.d"
+  "/root/repo/src/os/loader.cpp" "src/os/CMakeFiles/swsec_os.dir/loader.cpp.o" "gcc" "src/os/CMakeFiles/swsec_os.dir/loader.cpp.o.d"
+  "/root/repo/src/os/process.cpp" "src/os/CMakeFiles/swsec_os.dir/process.cpp.o" "gcc" "src/os/CMakeFiles/swsec_os.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swsec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/swsec_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/swsec_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/swsec_assembler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec_os.dir/kernel.cpp.o"
+  "CMakeFiles/swsec_os.dir/kernel.cpp.o.d"
+  "CMakeFiles/swsec_os.dir/loader.cpp.o"
+  "CMakeFiles/swsec_os.dir/loader.cpp.o.d"
+  "CMakeFiles/swsec_os.dir/process.cpp.o"
+  "CMakeFiles/swsec_os.dir/process.cpp.o.d"
+  "libswsec_os.a"
+  "libswsec_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

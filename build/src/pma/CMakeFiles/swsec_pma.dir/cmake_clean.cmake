@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec_pma.dir/loader.cpp.o"
+  "CMakeFiles/swsec_pma.dir/loader.cpp.o.d"
+  "CMakeFiles/swsec_pma.dir/module.cpp.o"
+  "CMakeFiles/swsec_pma.dir/module.cpp.o.d"
+  "libswsec_pma.a"
+  "libswsec_pma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec_pma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

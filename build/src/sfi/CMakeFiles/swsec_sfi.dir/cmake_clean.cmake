@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec_sfi.dir/sfi.cpp.o"
+  "CMakeFiles/swsec_sfi.dir/sfi.cpp.o.d"
+  "libswsec_sfi.a"
+  "libswsec_sfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec_sfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

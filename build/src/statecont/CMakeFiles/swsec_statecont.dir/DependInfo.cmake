@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/statecont/nv.cpp" "src/statecont/CMakeFiles/swsec_statecont.dir/nv.cpp.o" "gcc" "src/statecont/CMakeFiles/swsec_statecont.dir/nv.cpp.o.d"
+  "/root/repo/src/statecont/nv_syscalls.cpp" "src/statecont/CMakeFiles/swsec_statecont.dir/nv_syscalls.cpp.o" "gcc" "src/statecont/CMakeFiles/swsec_statecont.dir/nv_syscalls.cpp.o.d"
+  "/root/repo/src/statecont/pin_vault.cpp" "src/statecont/CMakeFiles/swsec_statecont.dir/pin_vault.cpp.o" "gcc" "src/statecont/CMakeFiles/swsec_statecont.dir/pin_vault.cpp.o.d"
+  "/root/repo/src/statecont/protocol.cpp" "src/statecont/CMakeFiles/swsec_statecont.dir/protocol.cpp.o" "gcc" "src/statecont/CMakeFiles/swsec_statecont.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/swsec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/swsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/swsec_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/swsec_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

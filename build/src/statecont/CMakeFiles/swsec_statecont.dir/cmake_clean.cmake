@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec_statecont.dir/nv.cpp.o"
+  "CMakeFiles/swsec_statecont.dir/nv.cpp.o.d"
+  "CMakeFiles/swsec_statecont.dir/nv_syscalls.cpp.o"
+  "CMakeFiles/swsec_statecont.dir/nv_syscalls.cpp.o.d"
+  "CMakeFiles/swsec_statecont.dir/pin_vault.cpp.o"
+  "CMakeFiles/swsec_statecont.dir/pin_vault.cpp.o.d"
+  "CMakeFiles/swsec_statecont.dir/protocol.cpp.o"
+  "CMakeFiles/swsec_statecont.dir/protocol.cpp.o.d"
+  "libswsec_statecont.a"
+  "libswsec_statecont.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec_statecont.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswsec_statecont.a"
+)

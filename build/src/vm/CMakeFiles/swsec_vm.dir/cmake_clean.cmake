@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec_vm.dir/machine.cpp.o"
+  "CMakeFiles/swsec_vm.dir/machine.cpp.o.d"
+  "CMakeFiles/swsec_vm.dir/memory.cpp.o"
+  "CMakeFiles/swsec_vm.dir/memory.cpp.o.d"
+  "CMakeFiles/swsec_vm.dir/trap.cpp.o"
+  "CMakeFiles/swsec_vm.dir/trap.cpp.o.d"
+  "libswsec_vm.a"
+  "libswsec_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fig1.cpp" "tests/CMakeFiles/test_fig1.dir/test_fig1.cpp.o" "gcc" "tests/CMakeFiles/test_fig1.dir/test_fig1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/swsec_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/pma/CMakeFiles/swsec_pma.dir/DependInfo.cmake"
+  "/root/repo/build/src/attest/CMakeFiles/swsec_attest.dir/DependInfo.cmake"
+  "/root/repo/build/src/statecont/CMakeFiles/swsec_statecont.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfi/CMakeFiles/swsec_sfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/capability/CMakeFiles/swsec_capability.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/swsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/swsec_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/swsec_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/swsec_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/swsec_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/swsec_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/swsec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/managed/CMakeFiles/swsec_managed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pma_hardening.dir/test_pma_hardening.cpp.o"
+  "CMakeFiles/test_pma_hardening.dir/test_pma_hardening.cpp.o.d"
+  "test_pma_hardening"
+  "test_pma_hardening.pdb"
+  "test_pma_hardening[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pma_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secure_compile_asm.dir/test_secure_compile_asm.cpp.o"
+  "CMakeFiles/test_secure_compile_asm.dir/test_secure_compile_asm.cpp.o.d"
+  "test_secure_compile_asm"
+  "test_secure_compile_asm.pdb"
+  "test_secure_compile_asm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secure_compile_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sfi.dir/test_sfi.cpp.o"
+  "CMakeFiles/test_sfi.dir/test_sfi.cpp.o.d"
+  "test_sfi"
+  "test_sfi.pdb"
+  "test_sfi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

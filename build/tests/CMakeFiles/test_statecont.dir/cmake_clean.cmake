@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statecont.dir/test_statecont.cpp.o"
+  "CMakeFiles/test_statecont.dir/test_statecont.cpp.o.d"
+  "test_statecont"
+  "test_statecont.pdb"
+  "test_statecont[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statecont.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_pma[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_statecont[1]_include.cmake")
+include("/root/repo/build/tests/test_attest[1]_include.cmake")
+include("/root/repo/build/tests/test_sfi[1]_include.cmake")
+include("/root/repo/build/tests/test_capability[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_cc[1]_include.cmake")
+include("/root/repo/build/tests/test_os[1]_include.cmake")
+include("/root/repo/build/tests/test_attacks[1]_include.cmake")
+include("/root/repo/build/tests/test_fig1[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_pma_hardening[1]_include.cmake")
+include("/root/repo/build/tests/test_analyzer[1]_include.cmake")
+include("/root/repo/build/tests/test_types[1]_include.cmake")
+include("/root/repo/build/tests/test_managed[1]_include.cmake")
+include("/root/repo/build/tests/test_secure_compile_asm[1]_include.cmake")
+include("/root/repo/build/tests/test_scenarios[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsec.dir/swsec.cpp.o"
+  "CMakeFiles/swsec.dir/swsec.cpp.o.d"
+  "swsec"
+  "swsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
