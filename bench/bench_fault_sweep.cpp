@@ -1,0 +1,65 @@
+// Experiment FAULT-SWEEP: throughput of the fail-closed fault-injection
+// harness (windows/sec).  The sweep is the inner loop of every robustness
+// campaign — one "window" is a full victim run (or a full statecont
+// crash-recover-verify cycle) under one scheduled fault — so its cost
+// bounds how much fault coverage a CI budget buys.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/fault_sweep.hpp"
+
+namespace {
+
+using namespace swsec;
+
+// One attack x one defense under a single fault class, N windows: the
+// exploit-mitigation half at its smallest useful granularity.
+void BM_VmFaultWindows(benchmark::State& state) {
+    core::FaultSweepOptions opts;
+    opts.attacks = {core::AttackKind::StackSmashInject};
+    opts.defenses = {core::Defense::standard_hardening()};
+    opts.classes = {static_cast<fault::FaultClass>(state.range(0))};
+    opts.windows_per_class = 8;
+    opts.include_statecont = false;
+    state.SetLabel(fault::fault_class_name(opts.classes[0]));
+    std::uint64_t windows = 0;
+    for (auto _ : state) {
+        const auto rep = core::run_fault_sweep(opts);
+        benchmark::DoNotOptimize(rep.fail_closed());
+        windows += rep.total_windows();
+    }
+    state.counters["windows_per_sec"] =
+        benchmark::Counter(static_cast<double>(windows), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmFaultWindows)
+    ->Arg(static_cast<int>(fault::FaultClass::PowerCut))
+    ->Arg(static_cast<int>(fault::FaultClass::RegBitFlip))
+    ->Arg(static_cast<int>(fault::FaultClass::SyscallFail))
+    ->Unit(benchmark::kMillisecond);
+
+// The exhaustive statecont crash + torn-write liveness sweep, by state size
+// (bigger states mean bigger sealed blobs, hence more torn-write prefixes).
+void BM_StatecontSweep(benchmark::State& state) {
+    const int state_bytes = static_cast<int>(state.range(0));
+    std::uint64_t windows = 0;
+    for (auto _ : state) {
+        const auto sweep = core::run_statecont_fault_sweep(state_bytes);
+        benchmark::DoNotOptimize(sweep.violations.empty());
+        windows += sweep.windows;
+    }
+    state.counters["windows_per_sec"] =
+        benchmark::Counter(static_cast<double>(windows), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StatecontSweep)->Arg(9)->Arg(64)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::printf("Fault-sweep throughput: one window = one victim run (or one\n");
+    std::printf("crash-recover-verify cycle) under a single scheduled fault.\n\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

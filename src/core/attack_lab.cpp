@@ -59,12 +59,15 @@ struct Lab {
     const Defense& defense;
     std::uint64_t victim_seed;
     std::uint64_t attacker_seed;
+    fault::FaultInjector* victim_faults = nullptr;
 
     [[nodiscard]] objfmt::Image build(const std::string& src) const {
         return cc::compile_program({src}, defense.copts);
     }
     [[nodiscard]] Process victim(const objfmt::Image& img) const {
-        return Process(img, defense.profile, victim_seed);
+        os::SecurityProfile prof = defense.profile;
+        prof.fault_injector = victim_faults; // only the deployed machine glitches
+        return Process(img, prof, victim_seed);
     }
     [[nodiscard]] Process probe(const objfmt::Image& img) const {
         return Process(img, defense.profile, attacker_seed);
@@ -75,6 +78,7 @@ struct Lab {
         out.succeeded = success;
         out.trap = v.machine().trap();
         out.note = std::move(note);
+        out.steps = v.machine().steps_executed();
         return out;
     }
 
@@ -357,8 +361,8 @@ const std::vector<AttackKind>& all_attacks() {
 }
 
 AttackOutcome run_attack(AttackKind kind, const Defense& defense, std::uint64_t victim_seed,
-                         std::uint64_t attacker_seed) {
-    Lab lab{defense, victim_seed, attacker_seed};
+                         std::uint64_t attacker_seed, fault::FaultInjector* victim_faults) {
+    Lab lab{defense, victim_seed, attacker_seed, victim_faults};
     switch (kind) {
     case AttackKind::StackSmashInject:
         return lab.stack_smash_inject();

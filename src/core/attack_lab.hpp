@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/defense.hpp"
+#include "fault/fault.hpp"
 #include "vm/trap.hpp"
 
 namespace swsec::core {
@@ -39,6 +40,7 @@ struct AttackOutcome {
     bool succeeded = false;
     vm::Trap trap;     // final trap of the victim process
     std::string note;  // what the attacker achieved / what stopped it
+    std::uint64_t steps = 0; // instructions the victim executed
 
     [[nodiscard]] std::string verdict() const {
         return succeeded ? "ATTACK SUCCEEDED" : "blocked: " + vm::trap_name(trap.kind);
@@ -47,9 +49,14 @@ struct AttackOutcome {
 
 /// Run one attack against one defense.  Deterministic given the seeds; under
 /// ASLR the attacker's probe (attacker_seed) and the victim (victim_seed)
-/// get different layouts.
+/// get different layouts.  When `victim_faults` is given, the *victim*
+/// platform runs under that fault injector (the attacker's probe stays
+/// clean — the attacker rehearses on healthy hardware; only the deployed
+/// machine glitches).  The fault-sweep harness uses this to check that no
+/// glitch can flip a blocked cell into a success.
 [[nodiscard]] AttackOutcome run_attack(AttackKind kind, const Defense& defense,
                                        std::uint64_t victim_seed = 1001,
-                                       std::uint64_t attacker_seed = 2002);
+                                       std::uint64_t attacker_seed = 2002,
+                                       fault::FaultInjector* victim_faults = nullptr);
 
 } // namespace swsec::core

@@ -1,0 +1,347 @@
+#include "core/fault_sweep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "os/layout.hpp"
+#include "statecont/protocol.hpp"
+
+namespace swsec::core {
+
+namespace {
+
+// --- exploit-mitigation half -------------------------------------------------
+
+/// Deterministic per-window seed: same options => same fault, bit for bit.
+std::uint64_t window_seed(std::uint64_t base, std::size_t attack, std::size_t defense,
+                          std::size_t cls, int window) {
+    std::uint64_t s = base;
+    for (const std::uint64_t v : {static_cast<std::uint64_t>(attack),
+                                  static_cast<std::uint64_t>(defense),
+                                  static_cast<std::uint64_t>(cls),
+                                  static_cast<std::uint64_t>(window)}) {
+        s = (s ^ (v + 0x9e3779b97f4a7c15ULL)) * 0x100000001b3ULL;
+    }
+    return s;
+}
+
+/// Draw one fault of class `cls` somewhere inside the baseline run.
+/// `horizon` is the instruction count of the healthy run, so machine faults
+/// always land in the window where the victim is actually executing.
+fault::FaultEvent draw_event(Rng& rng, fault::FaultClass cls, std::uint64_t horizon) {
+    const std::uint64_t step = rng.next_u64() % std::max<std::uint64_t>(horizon, 1);
+    switch (cls) {
+    case fault::FaultClass::PowerCut:
+        return fault::FaultEvent::power_cut(step);
+    case fault::FaultClass::RegBitFlip:
+        return fault::FaultEvent::reg_bit_flip(step, rng.below(10), rng.below(32));
+    case fault::FaultClass::MemBitFlip: {
+        // Aim at the regions where the countermeasure state lives: the
+        // stack (canaries, return addresses), the data segment (flags,
+        // function-pointer tables) and the text segment.  Under ASLR the
+        // victim's segments move, so some flips hit unmapped space — those
+        // are harmless no-ops, exactly as on real hardware.
+        std::uint32_t lo = 0;
+        std::uint32_t hi = 0;
+        switch (rng.below(3)) {
+        case 0:
+            lo = os::kDefaultStackTop - os::kDefaultStackSize;
+            hi = os::kDefaultStackTop;
+            break;
+        case 1:
+            lo = os::kDefaultDataBase;
+            hi = os::kDefaultDataBase + 0x1000;
+            break;
+        default:
+            lo = os::kDefaultTextBase;
+            hi = os::kDefaultTextBase + 0x1000;
+            break;
+        }
+        const std::uint32_t addr = lo + rng.below(hi - lo);
+        return fault::FaultEvent::mem_bit_flip(step, addr, rng.below(8));
+    }
+    case fault::FaultClass::SyscallFail:
+        // Sometimes within the default retry budget (rides it out), sometimes
+        // beyond it (the program sees the error) — both must stay blocked.
+        return fault::FaultEvent::syscall_fail(1 + rng.below(4), 1 + rng.below(6));
+    case fault::FaultClass::ShortRead:
+        return fault::FaultEvent::short_read(1 + rng.below(3), rng.below(8));
+    case fault::FaultClass::NvPowerCut:
+        return fault::FaultEvent::nv_power_cut(1 + rng.below(8));
+    case fault::FaultClass::NvTornWrite:
+        return fault::FaultEvent::nv_torn_write(1 + rng.below(8), rng.below(64));
+    }
+    return fault::FaultEvent::power_cut(step);
+}
+
+// --- state-continuity half ---------------------------------------------------
+
+using statecont::Blob;
+using statecont::LoadStatus;
+using statecont::NvStore;
+using statecont::PowerCut;
+using statecont::StateProtocol;
+
+crypto::Key sweep_key() {
+    crypto::Key k{};
+    for (std::size_t i = 0; i < k.size(); ++i) {
+        k[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    }
+    return k;
+}
+
+Blob make_state(std::uint8_t tag, int n) {
+    Blob b(static_cast<std::size_t>(std::max(n, 1)));
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        b[i] = static_cast<std::uint8_t>(tag + i * 13);
+    }
+    return b;
+}
+
+std::unique_ptr<StateProtocol> make_protocol(int which, NvStore& nv, std::uint64_t nonce_seed) {
+    switch (which) {
+    case 0:
+        return std::make_unique<statecont::NaiveSealedState>(sweep_key(), nv, nonce_seed);
+    case 1:
+        return std::make_unique<statecont::CounterState>(sweep_key(), nv, nonce_seed);
+    default:
+        return std::make_unique<statecont::GuardedState>(sweep_key(), nv, nonce_seed);
+    }
+}
+
+struct NvSnapshot {
+    std::map<int, Blob> slots;
+};
+
+NvSnapshot snapshot_slots(const NvStore& nv) {
+    NvSnapshot s;
+    for (const int slot : {0, 1, 2, 3, 4, 5}) {
+        if (const auto b = nv.attacker_read(slot)) {
+            s.slots[slot] = *b;
+        }
+    }
+    return s;
+}
+
+void restore_slots(NvStore& nv, const NvSnapshot& s) {
+    for (const auto& [slot, blob] : s.slots) {
+        nv.attacker_write(slot, blob);
+    }
+}
+
+/// Run one crash/torn-write window against protocol `which` and append any
+/// liveness or rollback break to `out`.
+void run_statecont_window(int which, const fault::FaultEvent& event, int state_bytes,
+                          StatecontSweep& out) {
+    const Blob committed = make_state('C', state_bytes);
+    const Blob in_flight = make_state('F', state_bytes);
+    const Blob recovered_state = make_state('R', state_bytes);
+
+    NvStore nv;
+    fault::FaultInjector inj{fault::FaultPlan().add(event)};
+    const auto describe = [&](const char* what, const statecont::LoadResult& r) {
+        std::ostringstream os;
+        os << make_protocol(which, nv, 0)->name() << " under " << event.to_string() << ": " << what
+           << " (load status " << static_cast<int>(r.status) << ")";
+        return os.str();
+    };
+
+    ++out.windows;
+    {
+        auto p = make_protocol(which, nv, /*nonce_seed=*/101);
+        p->save(committed);
+        nv.set_fault_injector(&inj);
+        try {
+            p->save(in_flight);
+        } catch (const PowerCut&) {
+            ++out.crashes;
+        }
+        nv.set_fault_injector(nullptr);
+    }
+
+    // Liveness: a fresh instance must recover an accepted state...
+    auto recovered = make_protocol(which, nv, /*nonce_seed=*/202);
+    const auto r = recovered->load();
+    if (r.status != LoadStatus::Ok || (r.state != committed && r.state != in_flight)) {
+        out.violations.push_back(describe("liveness lost: no accepted state after crash", r));
+        return;
+    }
+    // ...and still make progress.
+    recovered->save(recovered_state);
+    const auto r2 = recovered->load();
+    if (r2.status != LoadStatus::Ok || r2.state != recovered_state) {
+        out.violations.push_back(describe("stuck after recovery: save/load no longer works", r2));
+        return;
+    }
+
+    // Rollback protection must survive the crash (the naive protocol is the
+    // paper's broken baseline and is checked for liveness only).
+    if (which != 0) {
+        const NvSnapshot stale = snapshot_slots(nv);
+        recovered->save(make_state('N', state_bytes));
+        recovered->save(make_state('M', state_bytes));
+        restore_slots(nv, stale);
+        auto replayed = make_protocol(which, nv, /*nonce_seed=*/303);
+        const auto r3 = replayed->load();
+        if (r3.status == LoadStatus::Ok && r3.state == recovered_state) {
+            out.violations.push_back(
+                describe("rollback protection lost: stale state accepted after crash", r3));
+        }
+    }
+}
+
+} // namespace
+
+StatecontSweep run_statecont_fault_sweep(int state_bytes) {
+    StatecontSweep out;
+    for (int which = 0; which < 3; ++which) {
+        // Trace a healthy committed+in-flight pair of saves to learn every
+        // device-op window and every blob write of the second save.
+        std::uint64_t k0 = 0;
+        std::uint64_t k1 = 0;
+        fault::FaultInjector tracer;
+        tracer.set_nv_trace(true);
+        {
+            NvStore nv;
+            nv.set_fault_injector(&tracer);
+            auto p = make_protocol(which, nv, /*nonce_seed=*/101);
+            p->save(make_state('C', state_bytes));
+            k0 = nv.ops_performed();
+            p->save(make_state('F', state_bytes));
+            k1 = nv.ops_performed();
+            nv.set_fault_injector(nullptr);
+        }
+
+        // Exhaustive: cut power before/after every device op of the save...
+        for (std::uint64_t op = k0 + 1; op <= k1; ++op) {
+            run_statecont_window(which, fault::FaultEvent::nv_power_cut(op), state_bytes, out);
+        }
+        // ...and tear every blob write of the save at every byte prefix.
+        for (const auto& rec : tracer.nv_trace()) {
+            if (!rec.is_write || rec.ordinal <= k0 || rec.ordinal > k1) {
+                continue;
+            }
+            for (std::uint32_t keep = 0; keep <= rec.write_size; ++keep) {
+                run_statecont_window(which, fault::FaultEvent::nv_torn_write(rec.ordinal, keep),
+                                     state_bytes, out);
+            }
+        }
+    }
+    return out;
+}
+
+std::string FailOpenViolation::to_string() const {
+    return attack + " vs " + defense + " under " + event.to_string() +
+           " flipped to SUCCESS: " + note;
+}
+
+std::uint64_t FaultSweepReport::total_windows() const noexcept {
+    std::uint64_t n = statecont.windows;
+    for (const auto& t : tallies) {
+        n += t.windows;
+    }
+    return n;
+}
+
+FaultSweepReport run_fault_sweep(const FaultSweepOptions& opts) {
+    FaultSweepReport rep;
+    const auto& attacks = opts.attacks.empty() ? all_attacks() : opts.attacks;
+    const auto& defenses = opts.defenses.empty() ? standard_defenses() : opts.defenses;
+
+    rep.tallies.reserve(opts.classes.size());
+    for (const auto cls : opts.classes) {
+        rep.tallies.push_back(ClassTally{cls});
+    }
+
+    for (std::size_t ai = 0; ai < attacks.size(); ++ai) {
+        for (std::size_t di = 0; di < defenses.size(); ++di) {
+            const AttackKind kind = attacks[ai];
+            const Defense& defense = defenses[di];
+            ++rep.cells;
+            const AttackOutcome baseline =
+                run_attack(kind, defense, opts.victim_seed, opts.attacker_seed);
+            if (baseline.succeeded) {
+                // The attack wins on a healthy platform: a fault cannot make
+                // that cell any worse, so the sweep has nothing to assert.
+                ++rep.baseline_success;
+                continue;
+            }
+            ++rep.baseline_blocked;
+            const std::uint64_t horizon = std::max<std::uint64_t>(baseline.steps, 1);
+
+            for (std::size_t ci = 0; ci < opts.classes.size(); ++ci) {
+                ClassTally& tally = rep.tallies[ci];
+                for (int w = 0; w < opts.windows_per_class; ++w) {
+                    Rng rng(window_seed(opts.fault_seed, ai, di, ci, w));
+                    const fault::FaultEvent event = draw_event(rng, opts.classes[ci], horizon);
+                    fault::FaultInjector inj{fault::FaultPlan().add(event)};
+                    AttackOutcome out;
+                    try {
+                        out = run_attack(kind, defense, opts.victim_seed, opts.attacker_seed,
+                                         &inj);
+                    } catch (const Error& e) {
+                        // The attacker's own interaction can abort: addresses
+                        // computed from glitched victim state (a corrupted
+                        // leak, a flipped stack pointer) may point at
+                        // unmapped memory.  An aborted exploitation attempt
+                        // is fail-closed — the attack did not succeed.
+                        out.succeeded = false;
+                        out.note = std::string("attacker interaction aborted: ") + e.what();
+                    }
+                    ++tally.windows;
+                    if (out.succeeded) {
+                        ++tally.fail_open;
+                        rep.violations.push_back(
+                            {attack_name(kind), defense.name, event, out.note});
+                    } else {
+                        ++tally.still_blocked;
+                        if (out.trap.kind == vm::TrapKind::PowerCut) {
+                            ++tally.power_cut;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if (opts.include_statecont) {
+        rep.statecont = run_statecont_fault_sweep(opts.statecont_state_bytes);
+    }
+    return rep;
+}
+
+std::string FaultSweepReport::summary() const {
+    std::ostringstream os;
+    os << "fault sweep: " << cells << " matrix cells, " << baseline_blocked
+       << " blocked on the healthy platform (" << baseline_success
+       << " attacker wins skipped)\n\n";
+    os << "  fault class    windows  power-cut  still blocked  fail-open\n";
+    for (const auto& t : tallies) {
+        char line[96];
+        std::snprintf(line, sizeof(line), "  %-12s %9llu %10llu %14llu %10llu\n",
+                      fault::fault_class_name(t.cls),
+                      static_cast<unsigned long long>(t.windows),
+                      static_cast<unsigned long long>(t.power_cut),
+                      static_cast<unsigned long long>(t.still_blocked),
+                      static_cast<unsigned long long>(t.fail_open));
+        os << line;
+    }
+    os << "\nstate continuity: " << statecont.windows << " crash/torn-write windows ("
+       << statecont.crashes << " landed), " << statecont.violations.size() << " violations\n";
+    for (const auto& v : violations) {
+        os << "\nFAIL-OPEN: " << v.to_string() << "\n";
+    }
+    for (const auto& v : statecont.violations) {
+        os << "\nSTATE-CONTINUITY: " << v << "\n";
+    }
+    os << "\nfail-closed invariant: " << (fail_closed() ? "HOLDS" : "VIOLATED") << " across "
+       << total_windows() << " fault windows\n";
+    return os.str();
+}
+
+} // namespace swsec::core

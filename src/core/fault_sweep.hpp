@@ -1,0 +1,107 @@
+// Machine-wide fail-closed fault sweeps.
+//
+// The paper's security objective is that compiled code behaves as specified
+// *even under attack*; the fault model sharpens it: even when the platform
+// itself glitches.  The sweep harness checks the two halves of that claim:
+//
+//  * Exploit-mitigation half (Sections III-B/C): for every attack x defense
+//    cell of the matrix whose baseline outcome is "blocked", re-run the
+//    attack under a schedule of injected faults — instruction-boundary
+//    power cuts, single-bit register/memory flips (the classic glitch that
+//    skips a canary or CFI check), transient syscall failures and short
+//    reads.  The *fail-closed invariant*: a fault may abort the run or
+//    change which trap fires, but it must never flip a blocked cell into
+//    "attack succeeded".
+//
+//  * State-continuity half (Section IV-C): for all three StateProtocols,
+//    cut power in every window between two NV device operations of a save,
+//    and tear every blob write at every byte prefix.  After every window a
+//    fresh protocol instance must recover an accepted state (liveness) and
+//    still make progress — and for the rollback-protected protocols a
+//    post-recovery replay of stale slots must still be rejected.
+//
+// Everything is seeded and replayable: a reported violation names the exact
+// FaultEvent, and re-running the same sweep reproduces it bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/attack_lab.hpp"
+#include "core/defense.hpp"
+#include "fault/fault.hpp"
+
+namespace swsec::core {
+
+struct FaultSweepOptions {
+    std::uint64_t victim_seed = 1001;
+    std::uint64_t attacker_seed = 2002;
+    std::uint64_t fault_seed = 4242;
+    /// Fault windows per (attack, defense, class) triple; each window is an
+    /// independent victim run with exactly one scheduled fault.
+    int windows_per_class = 6;
+    std::vector<fault::FaultClass> classes = {
+        fault::FaultClass::PowerCut,    fault::FaultClass::RegBitFlip,
+        fault::FaultClass::MemBitFlip,  fault::FaultClass::SyscallFail,
+        fault::FaultClass::ShortRead,
+    };
+    std::vector<AttackKind> attacks;  // empty = all_attacks()
+    std::vector<Defense> defenses;    // empty = standard_defenses()
+    bool include_statecont = true;    // also run the NV liveness sweep
+    int statecont_state_bytes = 9;    // protocol state blob size for the sweep
+};
+
+/// A blocked matrix cell that a fault flipped into a success — the one
+/// outcome the sweep exists to rule out.
+struct FailOpenViolation {
+    std::string attack;
+    std::string defense;
+    fault::FaultEvent event;
+    std::string note;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Per-fault-class tallies of the exploit-mitigation half.
+struct ClassTally {
+    fault::FaultClass cls = fault::FaultClass::PowerCut;
+    std::uint64_t windows = 0;     // victim runs under this class
+    std::uint64_t power_cut = 0;   // runs ended by the injected cut itself
+    std::uint64_t still_blocked = 0; // runs that stayed blocked (any trap)
+    std::uint64_t fail_open = 0;   // runs that flipped to success (violations)
+};
+
+/// Result of the Section IV-C liveness sweep.
+struct StatecontSweep {
+    std::uint64_t windows = 0;  // crash + torn-write windows executed
+    std::uint64_t crashes = 0;  // windows in which the cut actually landed
+    std::vector<std::string> violations; // liveness/rollback breaks (empty = pass)
+};
+
+struct FaultSweepReport {
+    std::uint64_t cells = 0;            // attack x defense cells visited
+    std::uint64_t baseline_blocked = 0; // cells blocked on the healthy platform
+    std::uint64_t baseline_success = 0; // cells the attack wins anyway (skipped)
+    std::vector<ClassTally> tallies;    // one per fault class swept
+    std::vector<FailOpenViolation> violations;
+    StatecontSweep statecont;
+
+    [[nodiscard]] std::uint64_t total_windows() const noexcept;
+    /// The invariant the harness enforces: no fail-open flips and no
+    /// state-continuity liveness/rollback breaks.
+    [[nodiscard]] bool fail_closed() const noexcept {
+        return violations.empty() && statecont.violations.empty();
+    }
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Run the whole sweep (both halves, per options).
+[[nodiscard]] FaultSweepReport run_fault_sweep(const FaultSweepOptions& opts = {});
+
+/// The state-continuity half alone: exhaustively sweep every power-cut
+/// window and every torn-write byte prefix of a save, for all three
+/// protocols.  Used by run_fault_sweep, tests and the bench.
+[[nodiscard]] StatecontSweep run_statecont_fault_sweep(int state_bytes = 9);
+
+} // namespace swsec::core

@@ -1,0 +1,214 @@
+#include "fault/fault.hpp"
+
+#include "common/hexdump.hpp"
+
+namespace swsec::fault {
+
+const char* fault_class_name(FaultClass c) noexcept {
+    switch (c) {
+    case FaultClass::PowerCut:
+        return "power-cut";
+    case FaultClass::RegBitFlip:
+        return "reg-bit-flip";
+    case FaultClass::MemBitFlip:
+        return "mem-bit-flip";
+    case FaultClass::SyscallFail:
+        return "syscall-fail";
+    case FaultClass::ShortRead:
+        return "short-read";
+    case FaultClass::NvPowerCut:
+        return "nv-power-cut";
+    case FaultClass::NvTornWrite:
+        return "nv-torn-write";
+    }
+    return "?";
+}
+
+std::string FaultEvent::to_string() const {
+    std::string out = fault_class_name(cls);
+    out += "@" + std::to_string(at);
+    switch (cls) {
+    case FaultClass::RegBitFlip:
+        out += " reg=r" + std::to_string(a) + " bit=" + std::to_string(b);
+        break;
+    case FaultClass::MemBitFlip:
+        out += " addr=" + hex32(a) + " bit=" + std::to_string(b);
+        break;
+    case FaultClass::SyscallFail:
+        out += " fails=" + std::to_string(a);
+        break;
+    case FaultClass::ShortRead:
+        out += " cap=" + std::to_string(a);
+        break;
+    case FaultClass::NvTornWrite:
+        out += " keep=" + std::to_string(a);
+        break;
+    default:
+        break;
+    }
+    return out;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, FaultClass cls, int n, std::uint64_t horizon,
+                            std::uint32_t addr_lo, std::uint32_t addr_hi) {
+    FaultPlan plan;
+    Rng rng(seed ^ (static_cast<std::uint64_t>(cls) << 56));
+    const auto draw_at = [&]() -> std::uint64_t {
+        if (horizon <= 1) {
+            return 0;
+        }
+        return rng.next_u64() % horizon;
+    };
+    for (int i = 0; i < n; ++i) {
+        switch (cls) {
+        case FaultClass::PowerCut:
+            plan.add(FaultEvent::power_cut(draw_at()));
+            break;
+        case FaultClass::RegBitFlip:
+            plan.add(FaultEvent::reg_bit_flip(draw_at(), rng.below(10), rng.below(32)));
+            break;
+        case FaultClass::MemBitFlip: {
+            const std::uint32_t span = addr_hi > addr_lo ? addr_hi - addr_lo : 1;
+            plan.add(FaultEvent::mem_bit_flip(draw_at(), addr_lo + rng.below(span),
+                                              rng.below(8)));
+            break;
+        }
+        case FaultClass::SyscallFail:
+            // 1-based ordinal; fail 1..3 consecutive attempts.
+            plan.add(FaultEvent::syscall_fail(1 + draw_at(), 1 + rng.below(3)));
+            break;
+        case FaultClass::ShortRead:
+            plan.add(FaultEvent::short_read(1 + draw_at(), rng.below(8)));
+            break;
+        case FaultClass::NvPowerCut:
+            plan.add(FaultEvent::nv_power_cut(1 + draw_at()));
+            break;
+        case FaultClass::NvTornWrite:
+            plan.add(FaultEvent::nv_torn_write(1 + draw_at(), rng.below(64)));
+            break;
+        }
+    }
+    return plan;
+}
+
+void FaultInjector::reset() {
+    fired_.assign(plan_.events().size(), false);
+    fired_count_ = 0;
+    syscall_ordinal_ = 0;
+    nv_trace_.clear();
+}
+
+bool FaultInjector::pending(std::size_t i) const noexcept {
+    return i >= fired_.size() || !fired_[i];
+}
+
+void FaultInjector::mark_fired(std::size_t i) {
+    if (fired_.size() < plan_.events().size()) {
+        fired_.resize(plan_.events().size(), false);
+    }
+    fired_[i] = true;
+    ++fired_count_;
+}
+
+StepFault FaultInjector::on_instruction(std::uint64_t step_index) {
+    // At most one machine fault per boundary: the earliest-scheduled pending
+    // one (ties broken by plan order), so catching up past several events
+    // drains them in schedule order.
+    const auto& events = plan_.events();
+    std::size_t best = events.size();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const FaultEvent& e = events[i];
+        if (!pending(i) || e.at > step_index) {
+            continue;
+        }
+        if (e.cls != FaultClass::PowerCut && e.cls != FaultClass::RegBitFlip &&
+            e.cls != FaultClass::MemBitFlip) {
+            continue;
+        }
+        if (best == events.size() || e.at < events[best].at) {
+            best = i;
+        }
+    }
+    if (best == events.size()) {
+        return {};
+    }
+    const FaultEvent& e = events[best];
+    mark_fired(best);
+    switch (e.cls) {
+    case FaultClass::PowerCut:
+        return {StepFault::Kind::PowerCut, 0, 0};
+    case FaultClass::RegBitFlip:
+        return {StepFault::Kind::RegBitFlip, e.a, e.b};
+    default:
+        return {StepFault::Kind::MemBitFlip, e.a, e.b};
+    }
+}
+
+SyscallFault FaultInjector::on_syscall(std::uint8_t /*number*/, unsigned attempt) {
+    if (attempt == 0) {
+        ++syscall_ordinal_;
+    }
+    SyscallFault out;
+    const auto& events = plan_.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const FaultEvent& e = events[i];
+        if (!pending(i) || e.at != syscall_ordinal_) {
+            continue;
+        }
+        if (e.cls == FaultClass::SyscallFail) {
+            // Fail the first `e.a` attempts of this syscall, then recover.
+            if (attempt < e.a) {
+                out.fail = true;
+                if (attempt + 1 == e.a) {
+                    mark_fired(i); // last failing attempt: event exhausted
+                }
+            }
+        } else if (e.cls == FaultClass::ShortRead && attempt == 0) {
+            out.short_read = true;
+            out.max_bytes = e.a;
+            mark_fired(i);
+        }
+    }
+    return out;
+}
+
+NvFault FaultInjector::on_nv_op(std::uint64_t op_ordinal, bool is_write,
+                                std::uint32_t write_size) {
+    if (trace_nv_) {
+        nv_trace_.push_back(NvOpRecord{op_ordinal, is_write, write_size});
+    }
+    const auto& events = plan_.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const FaultEvent& e = events[i];
+        if (!pending(i) || e.at != op_ordinal) {
+            continue;
+        }
+        if (e.cls == FaultClass::NvPowerCut) {
+            mark_fired(i);
+            return {NvFault::Kind::PowerCut, 0};
+        }
+        if (e.cls == FaultClass::NvTornWrite) {
+            mark_fired(i);
+            // A tear needs a write in flight; on any other op the cut is
+            // simply a cut between operations.
+            if (is_write) {
+                return {NvFault::Kind::TornWrite,
+                        e.a < write_size ? e.a : write_size};
+            }
+            return {NvFault::Kind::PowerCut, 0};
+        }
+    }
+    return {};
+}
+
+void FaultInjector::cancel_nv_power_cuts() {
+    const auto& events = plan_.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (events[i].cls == FaultClass::NvPowerCut && pending(i)) {
+            mark_fired(i); // retire without effect
+            --fired_count_;
+        }
+    }
+}
+
+} // namespace swsec::fault

@@ -1,0 +1,219 @@
+// Deterministic, replayable fault injection (the platform-glitch substrate).
+//
+// The paper's claim for every countermeasure is that compiled code behaves
+// as specified *even under attack* — and for state continuity (Section
+// IV-C) explicitly even "under a power cut at any point".  A countermeasure
+// that is only exercised on the happy path is unevaluated: a glitch that
+// skips the canary compare, flips a bit of the shadow stack, or cuts power
+// mid NV write is exactly the event a *fail-closed* defense must turn into
+// an abort rather than an attacker win.
+//
+// This module is the single scheduling substrate for all injected faults:
+//
+//   FaultPlan      — a (seeded or hand-built) schedule of FaultEvents, each
+//                    keyed to a deterministic trigger index: an instruction
+//                    step count, a syscall ordinal, or an NV device-op
+//                    ordinal.  Same plan + same seeds => same run, bit for
+//                    bit, which is what makes every glitch replayable.
+//   FaultInjector  — the decision engine the platform layers probe:
+//                      * vm::Machine::step()     -> on_instruction()
+//                      * os::Kernel syscalls     -> on_syscall()
+//                      * statecont::NvStore ops  -> on_nv_op()
+//                    The injector only *decides*; each layer applies the
+//                    fault itself with its own mechanisms (trap, errno,
+//                    torn slot).  This keeps the dependency graph clean:
+//                    fault depends only on common, everything above depends
+//                    on fault.
+//
+// statecont::NvStore's legacy arm_crash_after() is sugar over the same
+// plan (schedule_nv_power_cut), so there is exactly one crash-accounting
+// path no matter who scheduled the cut.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace swsec::fault {
+
+/// The fault classes the platform can suffer.  The first three hit the
+/// machine at instruction boundaries, the next two hit the kernel's syscall
+/// layer, the last two hit the non-volatile storage device.
+enum class FaultClass : std::uint8_t {
+    PowerCut,     // machine loses power at an instruction boundary (fail-stop)
+    RegBitFlip,   // single-bit upset in a register file cell
+    MemBitFlip,   // single-bit upset in a mapped memory byte
+    SyscallFail,  // transient device error: the syscall attempt fails
+    ShortRead,    // read() delivers fewer bytes than were available
+    NvPowerCut,   // power cut between two NV device operations
+    NvTornWrite,  // power cut *during* an NV write: only a prefix persists
+};
+
+[[nodiscard]] const char* fault_class_name(FaultClass c) noexcept;
+
+/// One scheduled fault.  `at` is the trigger index in the clock domain of
+/// the fault's class: executed-instruction count for machine faults,
+/// 1-based syscall ordinal for syscall faults, 1-based device-op ordinal
+/// for NV faults.  `a`/`b` carry class-specific parameters (see factories).
+struct FaultEvent {
+    FaultClass cls = FaultClass::PowerCut;
+    std::uint64_t at = 0;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+
+    // --- machine faults (trigger: instruction step index) ------------------
+    [[nodiscard]] static FaultEvent power_cut(std::uint64_t step) {
+        return {FaultClass::PowerCut, step, 0, 0};
+    }
+    [[nodiscard]] static FaultEvent reg_bit_flip(std::uint64_t step, std::uint32_t reg,
+                                                 std::uint32_t bit) {
+        return {FaultClass::RegBitFlip, step, reg, bit};
+    }
+    [[nodiscard]] static FaultEvent mem_bit_flip(std::uint64_t step, std::uint32_t addr,
+                                                 std::uint32_t bit) {
+        return {FaultClass::MemBitFlip, step, addr, bit};
+    }
+
+    // --- syscall faults (trigger: 1-based syscall ordinal) -----------------
+    /// The nth syscall fails `consecutive` times before succeeding (so a
+    /// kernel retry policy with enough attempts rides it out, and one with
+    /// fewer reports the failure to the program).
+    [[nodiscard]] static FaultEvent syscall_fail(std::uint64_t nth, std::uint32_t consecutive) {
+        return {FaultClass::SyscallFail, nth, consecutive, 0};
+    }
+    /// The nth syscall, if a read, delivers at most `max_bytes` bytes.
+    [[nodiscard]] static FaultEvent short_read(std::uint64_t nth, std::uint32_t max_bytes) {
+        return {FaultClass::ShortRead, nth, max_bytes, 0};
+    }
+
+    // --- NV device faults (trigger: 1-based device-op ordinal) -------------
+    [[nodiscard]] static FaultEvent nv_power_cut(std::uint64_t nth_op) {
+        return {FaultClass::NvPowerCut, nth_op, 0, 0};
+    }
+    /// Cut power during the nth device op; if it is a blob write, the slot
+    /// retains only the first `keep_bytes` bytes (a torn write).  On any
+    /// other op the tear degenerates to a plain power cut.
+    [[nodiscard]] static FaultEvent nv_torn_write(std::uint64_t nth_op, std::uint32_t keep_bytes) {
+        return {FaultClass::NvTornWrite, nth_op, keep_bytes, 0};
+    }
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// A schedule of fault events.  Plans are data: value-copyable, comparable
+/// runs, and buildable either by hand (exhaustive window sweeps) or from a
+/// seed (randomised campaigns).
+class FaultPlan {
+public:
+    FaultPlan() = default;
+
+    FaultPlan& add(FaultEvent e) {
+        events_.push_back(e);
+        return *this;
+    }
+
+    /// `n` events of class `cls` with trigger indices drawn uniformly from
+    /// [0, horizon) and class parameters drawn from the same seeded stream.
+    /// For MemBitFlip the address is drawn from [addr_lo, addr_hi).
+    [[nodiscard]] static FaultPlan random(std::uint64_t seed, FaultClass cls, int n,
+                                          std::uint64_t horizon, std::uint32_t addr_lo = 0,
+                                          std::uint32_t addr_hi = 0);
+
+    [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept { return events_; }
+    [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+    void clear() noexcept { events_.clear(); }
+
+private:
+    std::vector<FaultEvent> events_;
+};
+
+// --- decisions handed back to the probing layers ---------------------------
+
+struct StepFault {
+    enum class Kind : std::uint8_t { None, PowerCut, RegBitFlip, MemBitFlip };
+    Kind kind = Kind::None;
+    std::uint32_t a = 0; // register index / memory address
+    std::uint32_t b = 0; // bit index
+};
+
+struct SyscallFault {
+    bool fail = false;            // this attempt fails (transient device error)
+    bool short_read = false;      // cap a read's delivered bytes
+    std::uint32_t max_bytes = 0;  // the cap, when short_read
+};
+
+struct NvFault {
+    enum class Kind : std::uint8_t { None, PowerCut, TornWrite };
+    Kind kind = Kind::None;
+    std::uint32_t keep_bytes = 0; // persisted prefix, when TornWrite
+};
+
+/// What one NV device operation looked like (recorded when tracing): the
+/// sweep harness uses a clean traced run to enumerate every crash and
+/// torn-write window of a protocol exactly.
+struct NvOpRecord {
+    std::uint64_t ordinal = 0; // 1-based
+    bool is_write = false;
+    std::uint32_t write_size = 0;
+};
+
+/// The decision engine.  Each event fires at most once; counters advance
+/// monotonically, so replaying the same workload with the same plan yields
+/// the same faults at the same points.
+class FaultInjector {
+public:
+    FaultInjector() = default;
+    explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+    [[nodiscard]] FaultPlan& plan() noexcept { return plan_; }
+    [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+    /// Forget which events already fired and zero all counters (the plan
+    /// itself is kept).  Use when re-running a workload under the same plan.
+    void reset();
+
+    // --- probes (called by the platform layers) ---------------------------
+    /// Machine asks at every instruction boundary, passing the number of
+    /// instructions already executed.  At most one machine fault fires per
+    /// boundary (the earliest-scheduled pending one).
+    [[nodiscard]] StepFault on_instruction(std::uint64_t step_index);
+
+    /// Kernel asks per syscall *attempt*; `attempt` 0 is the original
+    /// invocation (advances the syscall ordinal), >0 are retries of it.
+    [[nodiscard]] SyscallFault on_syscall(std::uint8_t number, unsigned attempt);
+
+    /// NvStore asks per device op with its 1-based ordinal.
+    [[nodiscard]] NvFault on_nv_op(std::uint64_t op_ordinal, bool is_write,
+                                   std::uint32_t write_size);
+
+    // --- single scheduling path for NvStore::arm_crash_after ---------------
+    void schedule_nv_power_cut(std::uint64_t at_op) {
+        plan_.add(FaultEvent::nv_power_cut(at_op));
+    }
+    /// Drop every *pending* NV power cut (fired ones stay accounted).
+    void cancel_nv_power_cuts();
+
+    // --- observability -----------------------------------------------------
+    [[nodiscard]] std::uint64_t faults_fired() const noexcept { return fired_count_; }
+    [[nodiscard]] std::uint64_t syscalls_seen() const noexcept { return syscall_ordinal_; }
+
+    /// Record every NV op probed (for window enumeration).  Off by default.
+    void set_nv_trace(bool on) noexcept { trace_nv_ = on; }
+    [[nodiscard]] const std::vector<NvOpRecord>& nv_trace() const noexcept { return nv_trace_; }
+
+private:
+    [[nodiscard]] bool pending(std::size_t i) const noexcept;
+    void mark_fired(std::size_t i);
+
+    FaultPlan plan_;
+    std::vector<bool> fired_;
+    std::uint64_t fired_count_ = 0;
+    std::uint64_t syscall_ordinal_ = 0;
+    bool trace_nv_ = false;
+    std::vector<NvOpRecord> nv_trace_;
+};
+
+} // namespace swsec::fault

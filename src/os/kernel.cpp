@@ -27,10 +27,40 @@ std::string Kernel::output_string(int fd) {
     return std::string(out.begin(), out.end());
 }
 
+fault::SyscallFault Kernel::probe_io_fault(std::uint8_t number) {
+    fault::SyscallFault f{};
+    if (injector_ == nullptr) {
+        return f;
+    }
+    f = injector_->on_syscall(number, 0);
+    unsigned attempt = 0;
+    while (f.fail) {
+        ++fault_stats_.injected_failures;
+        ++attempt;
+        if (attempt >= retry_.max_attempts) {
+            ++fault_stats_.reported_errors;
+            return f; // budget exhausted: fail closed, report the error
+        }
+        ++fault_stats_.retries;
+        fault_stats_.backoff_ticks += retry_.backoff_base << (attempt - 1);
+        f = injector_->on_syscall(number, attempt);
+    }
+    return f;
+}
+
 bool Kernel::sys_read(vm::Machine& m) {
+    const auto f = probe_io_fault(vm::sys_num(Sys::Read));
+    if (f.fail) {
+        m.set_reg(Reg::R0, 0xffffffff); // EIO after bounded retries
+        return true;
+    }
     const int fd = static_cast<std::int32_t>(m.reg(Reg::R0));
     const std::uint32_t buf = m.reg(Reg::R1);
-    const std::uint32_t len = m.reg(Reg::R2);
+    std::uint32_t len = m.reg(Reg::R2);
+    if (f.short_read && f.max_bytes < len) {
+        ++fault_stats_.short_reads;
+        len = f.max_bytes;
+    }
     auto& ch = channels_[fd];
     std::uint32_t n = 0;
     while (n < len && !ch.input.empty()) {
@@ -48,6 +78,10 @@ bool Kernel::sys_read(vm::Machine& m) {
 }
 
 bool Kernel::sys_write(vm::Machine& m) {
+    if (probe_io_fault(vm::sys_num(Sys::Write)).fail) {
+        m.set_reg(Reg::R0, 0xffffffff);
+        return true;
+    }
     const int fd = static_cast<std::int32_t>(m.reg(Reg::R0));
     const std::uint32_t buf = m.reg(Reg::R1);
     const std::uint32_t len = m.reg(Reg::R2);

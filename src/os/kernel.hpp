@@ -19,11 +19,32 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "os/layout.hpp"
 #include "vm/machine.hpp"
 #include "vm/syscalls.hpp"
 
 namespace swsec::os {
+
+/// Bounded-retry policy for transiently failing device operations: the
+/// kernel retries a failed I/O syscall up to `max_attempts` total attempts,
+/// charging exponentially growing virtual backoff time, before surfacing
+/// the error to the program as a -1 return.  This is the OS-driver half of
+/// the fault model: a fail-closed platform may *retry* a glitching device,
+/// but must eventually report failure rather than fabricate success.
+struct RetryPolicy {
+    unsigned max_attempts = 4; // total attempts per syscall (first + retries)
+    unsigned backoff_base = 8; // virtual ticks charged for the first retry
+};
+
+/// Injection/retry accounting, for tests and the sweep harness.
+struct KernelFaultStats {
+    std::uint64_t injected_failures = 0; // attempts the injector failed
+    std::uint64_t retries = 0;           // retry attempts performed
+    std::uint64_t backoff_ticks = 0;     // virtual backoff time accumulated
+    std::uint64_t short_reads = 0;       // reads capped by injection
+    std::uint64_t reported_errors = 0;   // failures surfaced to the program
+};
 
 /// One byte-stream endpoint pair (what the program reads / what it wrote).
 struct Channel {
@@ -41,6 +62,13 @@ public:
     /// Chain a hardware extension consulted for syscalls the kernel does not
     /// implement (attestation, sealing, counters).  Non-owning.
     void set_extension(vm::SyscallHandler* ext) noexcept { extension_ = ext; }
+
+    /// Attach a fault injector probed on every I/O syscall attempt (read/
+    /// write): injected transient failures are retried per the RetryPolicy,
+    /// injected short reads cap the delivered byte count.  Non-owning.
+    void set_fault_injector(fault::FaultInjector* inj) noexcept { injector_ = inj; }
+    void set_retry_policy(RetryPolicy p) noexcept { retry_ = p; }
+    [[nodiscard]] const KernelFaultStats& fault_stats() const noexcept { return fault_stats_; }
 
     // --- I/O attacker interface ------------------------------------------
     /// Queue bytes the program will see on its next SYS read from `fd`.
@@ -72,12 +100,19 @@ private:
     bool sys_write(vm::Machine& m);
     bool sys_sbrk(vm::Machine& m);
     bool sys_getrandom(vm::Machine& m);
+    /// Probe the injector for this syscall, running the bounded-retry loop.
+    /// The returned decision is the post-retry verdict: if it still says
+    /// fail, the kernel reports the error to the program.
+    [[nodiscard]] fault::SyscallFault probe_io_fault(std::uint8_t number);
 
     std::map<int, Channel> channels_;
     std::vector<SyscallRecord> trace_;
     Rng rng_;
     ProcessLayout* layout_ = nullptr;       // non-owning
     vm::SyscallHandler* extension_ = nullptr; // non-owning
+    fault::FaultInjector* injector_ = nullptr; // non-owning; may be null
+    RetryPolicy retry_;
+    KernelFaultStats fault_stats_;
 };
 
 } // namespace swsec::os

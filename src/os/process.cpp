@@ -9,6 +9,12 @@ Process::Process(objfmt::Image image, const SecurityProfile& profile, std::uint6
     machine_.options().coarse_cfi = profile.coarse_cfi;
     machine_.options().memcheck = profile.memcheck;
 
+    if (profile.fault_injector != nullptr) {
+        machine_.set_fault_injector(profile.fault_injector);
+        kernel_.set_fault_injector(profile.fault_injector);
+        kernel_.set_retry_policy(profile.syscall_retry);
+    }
+
     LoadOptions lo;
     lo.dep = profile.dep;
     lo.aslr = profile.aslr;

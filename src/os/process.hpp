@@ -27,6 +27,13 @@ struct SecurityProfile {
     bool coarse_cfi = false;   // indirect-branch target restriction
     bool memcheck = false;     // ASan-style run-time checker (testing mode)
 
+    /// The platform's fault environment (non-owning; may be null).  When
+    /// set, the machine's step loop and the kernel's I/O syscalls probe
+    /// this injector, so the deployed process runs on glitching hardware.
+    /// The injector must outlive the Process.
+    fault::FaultInjector* fault_injector = nullptr;
+    RetryPolicy syscall_retry; // kernel bounded-retry policy under faults
+
     [[nodiscard]] static SecurityProfile none() noexcept { return {}; }
     [[nodiscard]] static SecurityProfile hardened() noexcept {
         SecurityProfile p;
@@ -70,7 +77,10 @@ public:
         return kernel_.output(fd);
     }
 
-    /// Run to completion (trap) or until the step budget is exhausted.
+    /// Run to completion (trap) or until the watchdog fires: a program that
+    /// is still running after `max_steps` instructions is killed and the
+    /// result reports TrapKind::OutOfGas (RunResult::watchdog_expired()),
+    /// distinguishing "hung/runaway" from every other failure mode.
     vm::RunResult run(std::uint64_t max_steps = 10'000'000);
 
 private:

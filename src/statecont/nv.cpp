@@ -2,19 +2,30 @@
 
 namespace swsec::statecont {
 
-void NvStore::tick() {
+void NvStore::tick(bool is_write, int slot, Blob* data) {
     ++ops_;
-    if (crash_armed_) {
-        if (crash_in_ == 0) {
-            crash_armed_ = false;
-            throw PowerCut();
+    const fault::NvFault f =
+        faults().on_nv_op(ops_, is_write, data != nullptr
+                                              ? static_cast<std::uint32_t>(data->size())
+                                              : 0);
+    switch (f.kind) {
+    case fault::NvFault::Kind::None:
+        return;
+    case fault::NvFault::Kind::TornWrite:
+        if (data != nullptr) {
+            // The cut lands mid-write: the slot keeps only the prefix the
+            // device managed to program before power vanished.
+            data->resize(f.keep_bytes);
+            slots_[slot] = std::move(*data);
         }
-        --crash_in_;
+        throw PowerCut();
+    case fault::NvFault::Kind::PowerCut:
+        throw PowerCut();
     }
 }
 
 void NvStore::write(int slot, Blob data) {
-    tick();
+    tick(/*is_write=*/true, slot, &data);
     slots_[slot] = std::move(data);
 }
 

@@ -7,8 +7,15 @@
 //    incremented (the Memoir-style resource);
 //  * the small guarded cell is tamper-proof and atomically writable, but
 //    only through the protocol (the Ice-style resource);
-//  * a power cut can hit between any two device operations — CrashInjector
-//    arms a crash after N operations so tests can sweep every window.
+//  * a power cut can hit between any two device operations, or *during* a
+//    slot write — in which case only a prefix of the blob persists (a torn
+//    write; the guarded cell and the counter stay atomic by construction).
+//
+// All crash scheduling goes through one fault::FaultInjector clocked by the
+// device-op ordinal: arm_crash_after() is sugar that schedules an
+// NvPowerCut on that injector, and an externally shared injector (the
+// machine-wide fault plan) uses exactly the same path — so crash
+// accounting can never double-fire or diverge between the two.
 #pragma once
 
 #include <array>
@@ -18,6 +25,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "fault/fault.hpp"
 
 namespace swsec::statecont {
 
@@ -42,14 +50,26 @@ class NvStore {
 public:
     // --- crash injection ---------------------------------------------------
     /// Arm a power cut after `ops` more device operations (0 = immediately
-    /// before the next one).  Disarmed after firing.
-    void arm_crash_after(int ops) noexcept {
-        crash_armed_ = true;
-        crash_in_ = ops;
+    /// before the next one).  Fires once.  Implemented as an NvPowerCut
+    /// event on the active fault injector — the same scheduling path an
+    /// externally supplied FaultPlan uses.
+    void arm_crash_after(int ops) {
+        faults().schedule_nv_power_cut(ops_ + 1 + static_cast<std::uint64_t>(ops));
     }
-    void disarm() noexcept { crash_armed_ = false; }
+    /// Cancel every pending power cut (torn-write events are unaffected).
+    void disarm() { faults().cancel_nv_power_cuts(); }
+
+    /// Share a machine-wide injector (non-owning; nullptr reverts to the
+    /// store's own).  Its NvPowerCut / NvTornWrite events are keyed to this
+    /// store's 1-based device-op ordinal.
+    void set_fault_injector(fault::FaultInjector* inj) noexcept { external_ = inj; }
+    [[nodiscard]] fault::FaultInjector& faults() noexcept {
+        return external_ != nullptr ? *external_ : own_faults_;
+    }
 
     // --- ordinary NV slots (attacker-controlled) -----------------------------
+    /// Persist a blob.  A power cut during the write may leave a *torn*
+    /// blob: only a prefix survives (then PowerCut is thrown).
     void write(int slot, Blob data);
     [[nodiscard]] std::optional<Blob> read(int slot);
 
@@ -70,14 +90,17 @@ public:
     [[nodiscard]] std::uint64_t ops_performed() const noexcept { return ops_; }
 
 private:
-    void tick();
+    /// Account one device op and apply any fault scheduled for it.  For
+    /// write ops the caller passes the blob so a torn write can truncate it
+    /// into the slot before the cut lands.
+    void tick(bool is_write = false, int slot = 0, Blob* data = nullptr);
 
     std::map<int, Blob> slots_;
     std::uint64_t counter_ = 0;
     GuardCell guard_{};
     std::uint64_t ops_ = 0;
-    bool crash_armed_ = false;
-    int crash_in_ = 0;
+    fault::FaultInjector own_faults_;
+    fault::FaultInjector* external_ = nullptr; // non-owning; may be null
 };
 
 } // namespace swsec::statecont

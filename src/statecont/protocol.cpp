@@ -38,21 +38,31 @@ std::uint64_t embedded_counter(const Blob& payload) {
 
 void NaiveSealedState::save(const Blob& state) {
     const auto nonce = fresh_nonce(rng_);
-    nv_.write(kSlot, crypto::seal(key_, nonce, state));
+    Blob sealed = crypto::seal(key_, nonce, state);
+    // Shadow first, primary second: whichever write a power cut tears, the
+    // other slot still holds an authentic blob (torn-write liveness).
+    nv_.write(kShadowSlot, sealed);
+    nv_.write(kSlot, std::move(sealed));
 }
 
 LoadResult NaiveSealedState::load() {
     const auto blob = nv_.read(kSlot);
-    if (!blob) {
-        return {LoadStatus::Empty, {}};
+    if (blob) {
+        auto plain = crypto::unseal(key_, *blob);
+        if (plain) {
+            // Any authentic blob is accepted — including stale ones.  This is
+            // the rollback hole the paper's tries_left example falls into.
+            return {LoadStatus::Ok, std::move(*plain)};
+        }
     }
-    auto plain = crypto::unseal(key_, *blob);
-    if (!plain) {
-        return {LoadStatus::Tampered, {}};
+    // Primary torn or scribbled: fall back to the shadow copy.
+    if (const auto shadow = nv_.read(kShadowSlot)) {
+        auto plain = crypto::unseal(key_, *shadow);
+        if (plain) {
+            return {LoadStatus::Ok, std::move(*plain)};
+        }
     }
-    // Any authentic blob is accepted — including stale ones.  This is the
-    // rollback hole the paper's tries_left example falls into.
-    return {LoadStatus::Ok, std::move(*plain)};
+    return {blob ? LoadStatus::Tampered : LoadStatus::Empty, {}};
 }
 
 // --------------------------------------------------------------------------
@@ -62,31 +72,51 @@ LoadResult NaiveSealedState::load() {
 void CounterState::save(const Blob& state) {
     const std::uint64_t ctr = nv_.counter_read();
     const auto nonce = fresh_nonce(rng_);
-    // Write first, increment second: a crash between the two leaves a blob
-    // that is one ahead of the counter, which load() below accepts and
-    // resynchronises — this ordering is what gives crash liveness.
-    nv_.write(kSlot, crypto::seal(key_, nonce, with_counter(ctr + 1, state)));
+    Blob sealed = crypto::seal(key_, nonce, with_counter(ctr + 1, state));
+    // Shadow first, primary second (torn-write liveness), increment last: a
+    // crash before the increment leaves blobs one ahead of the counter,
+    // which load() below accepts and resynchronises — this ordering is what
+    // gives crash liveness.
+    nv_.write(kShadowSlot, sealed);
+    nv_.write(kSlot, std::move(sealed));
     (void)nv_.counter_increment();
 }
 
 LoadResult CounterState::load() {
+    // Check the blob against the tamper-proof counter: current (ctr) and
+    // crashed-before-increment (ctr + 1, resync) are accepted; any other
+    // authentic value is a rollback.
+    const auto accept = [this](const Blob& blob) -> std::optional<LoadResult> {
+        auto plain = crypto::unseal(key_, blob);
+        if (!plain || plain->size() < 8) {
+            return std::nullopt; // torn or scribbled, not an authentic blob
+        }
+        const std::uint64_t embedded = embedded_counter(*plain);
+        const std::uint64_t ctr = nv_.counter_read();
+        if (embedded == ctr + 1) {
+            // Crash window: the save's increment never happened.  Resync.
+            (void)nv_.counter_increment();
+        } else if (embedded != ctr) {
+            return LoadResult{LoadStatus::Rollback, {}}; // authentic but stale
+        }
+        return LoadResult{LoadStatus::Ok, Blob(plain->begin() + 8, plain->end())};
+    };
+
     const auto blob = nv_.read(kSlot);
-    if (!blob) {
-        return {LoadStatus::Empty, {}};
+    if (blob) {
+        if (auto r = accept(*blob)) {
+            return std::move(*r);
+        }
     }
-    auto plain = crypto::unseal(key_, *blob);
-    if (!plain || plain->size() < 8) {
-        return {LoadStatus::Tampered, {}};
+    // Primary torn or scribbled: fall back to the shadow copy, which still
+    // faces the same freshness check — the fallback never weakens rollback
+    // protection, it only restores liveness.
+    if (const auto shadow = nv_.read(kShadowSlot)) {
+        if (auto r = accept(*shadow)) {
+            return std::move(*r);
+        }
     }
-    const std::uint64_t embedded = embedded_counter(*plain);
-    const std::uint64_t ctr = nv_.counter_read();
-    if (embedded == ctr + 1) {
-        // Crash window: the save's increment never happened.  Resync.
-        (void)nv_.counter_increment();
-    } else if (embedded != ctr) {
-        return {LoadStatus::Rollback, {}}; // authentic but stale
-    }
-    return {LoadStatus::Ok, Blob(plain->begin() + 8, plain->end())};
+    return {blob ? LoadStatus::Tampered : LoadStatus::Empty, {}};
 }
 
 // --------------------------------------------------------------------------

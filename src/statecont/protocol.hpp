@@ -11,6 +11,14 @@
 // Three protocols over the simulated hardware of nv.hpp:
 //  * NaiveSealedState — sealing alone: confidential and authentic, but any
 //    old blob verifies.  Rollback succeeds (the broken baseline).
+//
+// Torn writes: a cut *during* a slot write persists only a prefix, so a
+// protocol that overwrites its only copy in place loses liveness.  Each
+// single-slot protocol therefore saves in two steps — shadow copy first,
+// then the primary — and load() falls back to the shadow only when the
+// primary fails authentication (a torn or scribbled blob); an authentic
+// but stale primary is still reported as Rollback, never papered over.
+// GuardedState is torn-safe by construction (it writes the inactive slot).
 //  * CounterState (Memoir-style [36]) — the sealed blob embeds a counter
 //    value checked against a tamper-proof monotonic counter.  Saves write
 //    the blob *before* incrementing, so a crash between the two leaves a
@@ -61,6 +69,7 @@ public:
     [[nodiscard]] const char* name() const noexcept override { return "naive-sealed"; }
 
     static constexpr int kSlot = 0;
+    static constexpr int kShadowSlot = 4; // torn-write fallback copy
 
 private:
     crypto::Key key_;
@@ -77,6 +86,7 @@ public:
     [[nodiscard]] const char* name() const noexcept override { return "memoir-counter"; }
 
     static constexpr int kSlot = 1;
+    static constexpr int kShadowSlot = 5; // torn-write fallback copy
 
 private:
     crypto::Key key_;

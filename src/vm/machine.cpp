@@ -318,9 +318,36 @@ void Machine::do_sys(std::uint8_t number) {
     }
 }
 
+void Machine::apply_step_fault(const fault::StepFault& f) {
+    switch (f.kind) {
+    case fault::StepFault::Kind::None:
+        break;
+    case fault::StepFault::Kind::PowerCut:
+        set_trap(TrapKind::PowerCut, 0, "power lost at instruction boundary (injected)");
+        break;
+    case fault::StepFault::Kind::RegBitFlip:
+        regs_[f.a % regs_.size()] ^= (1u << (f.b & 31));
+        break;
+    case fault::StepFault::Kind::MemBitFlip:
+        // A hardware upset is not subject to page permissions — it can hit
+        // code, a canary, a saved return address, anything mapped.  Flips
+        // aimed at unmapped space dissipate harmlessly.
+        if (mem_.is_mapped(f.a)) {
+            mem_.write8(f.a, static_cast<std::uint8_t>(mem_.read8(f.a) ^ (1u << (f.b & 7))));
+        }
+        break;
+    }
+}
+
 void Machine::step() {
     if (trap_.is_set()) {
         return;
+    }
+    if (faults_ != nullptr) {
+        apply_step_fault(faults_->on_instruction(steps_));
+        if (trap_.is_set()) {
+            return; // the power cut wins: no further instruction executes
+        }
     }
     Insn insn;
     if (!fetch(insn)) {
@@ -336,7 +363,9 @@ void Machine::step() {
 RunResult Machine::run(std::uint64_t max_steps) {
     while (!trap_.is_set()) {
         if (steps_ >= max_steps) {
-            set_trap(TrapKind::OutOfGas, 0, "step budget exhausted");
+            set_trap(TrapKind::OutOfGas, 0,
+                     "watchdog: step budget of " + std::to_string(max_steps) +
+                         " instructions exhausted");
             break;
         }
         step();

@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "isa/isa.hpp"
 #include "vm/memory.hpp"
 #include "vm/pma_model.hpp"
@@ -74,6 +75,10 @@ struct RunResult {
 
     [[nodiscard]] bool exited(std::int32_t code) const noexcept {
         return trap.kind == TrapKind::Exit && trap.code == code;
+    }
+    /// The watchdog killed a runaway program (step budget exhausted).
+    [[nodiscard]] bool watchdog_expired() const noexcept {
+        return trap.kind == TrapKind::OutOfGas;
     }
 };
 
@@ -139,6 +144,13 @@ public:
 
     void set_syscall_handler(SyscallHandler* handler) noexcept { syscalls_ = handler; }
 
+    /// Attach a fault injector probed at every instruction boundary: power
+    /// cuts stop the machine with TrapKind::PowerCut; register/memory
+    /// bit flips are applied silently (a glitch the program never sees —
+    /// until a countermeasure does, or does not, catch the corruption).
+    /// Non-owning; pass nullptr to detach.
+    void set_fault_injector(fault::FaultInjector* inj) noexcept { faults_ = inj; }
+
     // --- machine-level data access (used by executing instructions and by
     //     the kernel substrate when copying syscall buffers) ---------------
     // These honour page permissions, poison (when memcheck) and the PMA
@@ -177,6 +189,7 @@ private:
     [[nodiscard]] bool pop32(std::uint32_t& out);
     void branch_to(std::uint32_t target) noexcept { ip_ = target; }
     [[nodiscard]] bool check_indirect_target(std::uint32_t target);
+    void apply_step_fault(const fault::StepFault& f);
     void execute_capability(const isa::Insn& insn, std::uint32_t next);
     void do_call(std::uint32_t target, std::uint32_t return_addr);
     void do_ret();
@@ -194,7 +207,8 @@ private:
     Flags flags_;
     Trap trap_;
     MachineOptions opts_;
-    SyscallHandler* syscalls_ = nullptr; // non-owning; must outlive run()
+    SyscallHandler* syscalls_ = nullptr;      // non-owning; must outlive run()
+    fault::FaultInjector* faults_ = nullptr;  // non-owning; may be null
 
     std::array<Capability, kNumCaps> caps_{};
     std::vector<std::uint32_t> shadow_stack_;

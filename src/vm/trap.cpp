@@ -38,6 +38,8 @@ std::string trap_name(TrapKind k) {
         return "bad-syscall";
     case TrapKind::CapViolation:
         return "cap-violation";
+    case TrapKind::PowerCut:
+        return "power-cut";
     }
     return "unknown";
 }

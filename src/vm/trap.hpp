@@ -21,9 +21,16 @@ enum class TrapKind : std::uint8_t {
     DivByZero,            // DIVS/REMS with zero divisor
     ShadowStackViolation, // hardware shadow stack mismatch on RET
     CfiViolation,         // indirect branch to a non-approved target
-    OutOfGas,             // step budget exhausted (runaway/looping program)
+    OutOfGas,             // watchdog: the run's step budget expired.  This is
+                          // the machine's watchdog-timer analogue — a
+                          // runaway/looping program is forcibly stopped and
+                          // the trap records how it was killed, so harnesses
+                          // can tell "program hung" apart from every other
+                          // failure mode.  See Machine::run / os::Process::run.
     BadSyscall,           // unknown syscall number or bad syscall arguments
     CapViolation,         // capability machine: access outside a capability
+    PowerCut,             // injected platform fault: power lost at an
+                          // instruction boundary (fault::FaultInjector)
 };
 
 [[nodiscard]] std::string trap_name(TrapKind k);

@@ -71,8 +71,10 @@ TEST_P(AllProtocols, GarbageInStorageIsTampered) {
     NvStore nv;
     auto p = make_protocol(GetParam(), nv);
     p->save(blob_of("good"));
-    // The attacker scribbles over every slot the protocol might use.
-    for (const int slot : {NaiveSealedState::kSlot, CounterState::kSlot, GuardedState::kSlotA,
+    // The attacker scribbles over every slot the protocol might use,
+    // including the torn-write shadow copies.
+    for (const int slot : {NaiveSealedState::kSlot, NaiveSealedState::kShadowSlot,
+                           CounterState::kSlot, CounterState::kShadowSlot, GuardedState::kSlotA,
                            GuardedState::kSlotB}) {
         if (nv.attacker_read(slot)) {
             nv.attacker_write(slot, blob_of("zzzz-not-a-sealed-blob-zzzz"));
@@ -89,7 +91,7 @@ struct Snapshot {
 
 Snapshot attacker_snapshot(const NvStore& nv) {
     Snapshot s;
-    for (const int slot : {0, 1, 2, 3}) {
+    for (const int slot : {0, 1, 2, 3, 4, 5}) {
         if (const auto b = nv.attacker_read(slot)) {
             s.slots[slot] = *b;
         }
@@ -190,6 +192,48 @@ void sweep_crashes(const std::string& which) {
 TEST(CrashLiveness, CounterProtocol) { sweep_crashes("memoir"); }
 TEST(CrashLiveness, GuardedProtocol) { sweep_crashes("guarded"); }
 TEST(CrashLiveness, NaiveProtocol) { sweep_crashes("naive"); }
+
+// Sweep a *torn* write over every device-operation window of a save: the cut
+// lands mid-write and only `keep` bytes of the blob persist (on a non-write
+// op the tear degenerates to a plain power cut).  Liveness must hold for
+// every window and every prefix length, exactly as for whole-op cuts.
+void sweep_torn_writes(const std::string& which) {
+    for (int window = 0; window < 8; ++window) {
+        for (const std::uint32_t keep : {0u, 1u, 2u, 5u, 9u, 17u, 33u}) {
+            NvStore nv;
+            auto p = make_protocol(which, nv);
+            p->save(blob_of("committed"));
+
+            swsec::fault::FaultInjector inj{swsec::fault::FaultPlan().add(
+                swsec::fault::FaultEvent::nv_torn_write(
+                    nv.ops_performed() + 1 + static_cast<std::uint64_t>(window), keep))};
+            nv.set_fault_injector(&inj);
+            bool crashed = false;
+            try {
+                p->save(blob_of("in-flight"));
+            } catch (const PowerCut&) {
+                crashed = true;
+            }
+            nv.set_fault_injector(nullptr);
+
+            auto recovered = make_protocol(which, nv);
+            const auto r = recovered->load();
+            ASSERT_EQ(r.status, LoadStatus::Ok)
+                << which << ": torn window " << window << " keep " << keep
+                << (crashed ? " (crashed)" : " (no crash)");
+            EXPECT_TRUE(r.state == blob_of("committed") || r.state == blob_of("in-flight"))
+                << which << ": torn window " << window << " keep " << keep;
+
+            recovered->save(blob_of("after-recovery"));
+            EXPECT_EQ(recovered->load().state, blob_of("after-recovery"))
+                << which << ": torn window " << window << " keep " << keep;
+        }
+    }
+}
+
+TEST(TornWriteLiveness, CounterProtocol) { sweep_torn_writes("memoir"); }
+TEST(TornWriteLiveness, GuardedProtocol) { sweep_torn_writes("guarded"); }
+TEST(TornWriteLiveness, NaiveProtocol) { sweep_torn_writes("naive"); }
 
 // --- the PinVault end-to-end story -------------------------------------------
 

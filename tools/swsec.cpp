@@ -7,6 +7,9 @@
 //   swsec gadgets <file.mc>            ROP-gadget census of the binary
 //   swsec fig1                         regenerate the paper's Fig. 1
 //   swsec matrix                       the attack/defense matrix
+//   swsec fault-sweep [options]        fail-closed fault-injection sweep
+//                                      (--fault-seed N, --windows N;
+//                                       exit 0 iff the invariant holds)
 //
 // Hardening options (run/asm/disasm):
 //   --canary --bounds --fortify --memcheck     compiler passes
@@ -25,6 +28,7 @@
 #include "cc/compiler.hpp"
 #include "common/error.hpp"
 #include "common/hexdump.hpp"
+#include "core/fault_sweep.hpp"
 #include "core/fig1.hpp"
 #include "core/matrix.hpp"
 #include "isa/disasm.hpp"
@@ -44,9 +48,10 @@ struct Options {
 
 int usage() {
     std::fputs(
-        "usage: swsec <run|asm|disasm|lint|gadgets|fig1|matrix> [file.mc] [options]\n"
+        "usage: swsec <run|asm|disasm|lint|gadgets|fig1|matrix|fault-sweep> [file.mc] [options]\n"
         "options: --canary --bounds --fortify --memcheck --dep --aslr\n"
-        "         --shadow-stack --cfi --seed N --input STR\n",
+        "         --shadow-stack --cfi --seed N --input STR\n"
+        "fault-sweep options: --fault-seed N --windows N\n",
         stderr);
     return 2;
 }
@@ -154,6 +159,24 @@ int cmd_gadgets(const Options& opt) {
     return 0;
 }
 
+int cmd_fault_sweep(int argc, char** argv) {
+    core::FaultSweepOptions opts;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--fault-seed" && i + 1 < argc) {
+            opts.fault_seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--windows" && i + 1 < argc) {
+            opts.windows_per_class = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else {
+            std::fprintf(stderr, "unknown fault-sweep option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    const auto report = core::run_fault_sweep(opts);
+    std::fputs(report.summary().c_str(), stdout);
+    return report.fail_closed() ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -169,6 +192,9 @@ int main(int argc, char** argv) {
         if (cmd == "matrix") {
             std::fputs(core::format_matrix(core::run_matrix()).c_str(), stdout);
             return 0;
+        }
+        if (cmd == "fault-sweep") {
+            return cmd_fault_sweep(argc, argv);
         }
         Options opt;
         if (!parse_options(argc, argv, 2, opt)) {
