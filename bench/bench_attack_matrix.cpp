@@ -1,9 +1,13 @@
 // Experiment CM-EXPLOIT: the attack/defense matrix (the paper's central
-// qualitative "table"), plus the end-to-end cost of mounting each attack.
+// qualitative "table"), plus the end-to-end cost of mounting each attack,
+// the --jobs scaling of the parallel sweep engine, and the decode-cache
+// speedup on raw VM execution.
 #include <benchmark/benchmark.h>
 
+#include "cc/compiler.hpp"
 #include "core/attack_lab.hpp"
 #include "core/matrix.hpp"
+#include "os/process.hpp"
 
 namespace {
 
@@ -23,12 +27,46 @@ void BM_Attack(benchmark::State& state) {
 }
 BENCHMARK(BM_Attack)->ArgsProduct({{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, {0, 1}});
 
+// Arg = --jobs.  The parallel result is cell-for-cell identical to serial,
+// so the jobs variants measure pure engine scaling.
 void BM_FullMatrix(benchmark::State& state) {
+    const int jobs = static_cast<int>(state.range(0));
+    std::uint64_t cells = 0;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(run_matrix());
+        const auto m = run_matrix(1001, 2002, jobs);
+        cells += m.size();
+        benchmark::DoNotOptimize(m);
     }
+    state.counters["cells_per_sec"] =
+        benchmark::Counter(static_cast<double>(cells), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_FullMatrix)->Unit(benchmark::kMillisecond);
+// UseRealTime so the cells_per_sec rate divides by wall clock, not the main
+// thread's CPU time (which undercounts once workers carry the load).
+BENCHMARK(BM_FullMatrix)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Raw VM execution with the per-page decode cache on vs off (arg 1/0):
+// one compile, many runs of a compute-bound workload, so the decode loop
+// dominates and the cache's effect is isolated from compilation cost.
+void BM_VmExecute(benchmark::State& state) {
+    static const std::string src = R"(
+        int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+        int main() { return fib(18); }
+    )";
+    swsec::os::SecurityProfile profile;
+    profile.decode_cache = state.range(0) != 0;
+    state.SetLabel(profile.decode_cache ? "decode_cache=on" : "decode_cache=off");
+    const auto img = swsec::cc::compile_program({src}, {});
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        swsec::os::Process p(img, profile, 99);
+        const auto r = p.run(200'000'000);
+        steps += r.steps;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["insns_per_s"] =
+        benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmExecute)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

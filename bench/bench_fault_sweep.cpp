@@ -53,6 +53,25 @@ void BM_StatecontSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_StatecontSweep)->Arg(9)->Arg(64)->Unit(benchmark::kMillisecond);
 
+// The full sweep (both halves) under the parallel engine.  Arg = --jobs;
+// results are byte-identical across jobs, so this measures pure scaling.
+void BM_FullSweep(benchmark::State& state) {
+    core::FaultSweepOptions opts;
+    opts.windows_per_class = 2;
+    opts.jobs = static_cast<int>(state.range(0));
+    std::uint64_t windows = 0;
+    for (auto _ : state) {
+        const auto rep = core::run_fault_sweep(opts);
+        benchmark::DoNotOptimize(rep.fail_closed());
+        windows += rep.total_windows();
+    }
+    state.counters["windows_per_sec"] =
+        benchmark::Counter(static_cast<double>(windows), benchmark::Counter::kIsRate);
+}
+// UseRealTime so windows_per_sec divides by wall clock, not the main
+// thread's CPU time (which undercounts once workers carry the load).
+BENCHMARK(BM_FullSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 int main(int argc, char** argv) {

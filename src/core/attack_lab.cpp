@@ -5,6 +5,7 @@
 #include "attacks/shellcode.hpp"
 #include "cc/compiler.hpp"
 #include "common/error.hpp"
+#include "core/image_cache.hpp"
 #include "core/scenarios.hpp"
 #include "os/process.hpp"
 #include "vm/syscalls.hpp"
@@ -61,8 +62,14 @@ struct Lab {
     std::uint64_t attacker_seed;
     fault::FaultInjector* victim_faults = nullptr;
 
-    [[nodiscard]] objfmt::Image build(const std::string& src) const {
-        return cc::compile_program({src}, defense.copts);
+    // Keeps the memoized image alive for the duration of the attack; every
+    // cell used to recompile its scenario from scratch, which dominated the
+    // sweep hot path.
+    std::shared_ptr<const objfmt::Image> held_image;
+
+    [[nodiscard]] const objfmt::Image& build(const std::string& src) {
+        held_image = cached_compile(src, defense.copts);
+        return *held_image;
     }
     [[nodiscard]] Process victim(const objfmt::Image& img) const {
         os::SecurityProfile prof = defense.profile;
@@ -84,7 +91,7 @@ struct Lab {
 
     // --- SMASH: stack smashing with direct code injection ------------------
     AttackOutcome stack_smash_inject() {
-        const auto img = build(scenarios::fig1_server(32));
+        const auto& img = build(scenarios::fig1_server(32));
         // Reconnaissance: where does buf live?  (Exact under no ASLR.)
         Process pr = probe(img);
         pr.feed_input("x");
@@ -110,7 +117,7 @@ struct Lab {
 
     // --- CODEPTR: function-pointer overwrite --------------------------------
     AttackOutcome code_ptr_hijack(bool mid_function) {
-        const auto img = build(scenarios::fnptr_server());
+        const auto& img = build(scenarios::fnptr_server());
         Process pr = probe(img);
         // The mid-function variant skips the prologue (push bp; mov bp, sp =
         // 4 bytes): still a working attack on a machine without CFI, but the
@@ -130,7 +137,7 @@ struct Lab {
 
     // --- CODECORR: patch the text segment -----------------------------------
     AttackOutcome code_corruption() {
-        const auto img = build(scenarios::arbwrite_server());
+        const auto& img = build(scenarios::arbwrite_server());
         // The attacker studies its copy of the binary: find the
         // "mov r0, 0" inside check_auth and patch its immediate to 1.
         const auto& sym = img.symbol("check_auth");
@@ -168,7 +175,7 @@ struct Lab {
 
     // --- RET2LIBC ------------------------------------------------------------
     AttackOutcome ret2libc() {
-        const auto img = build(scenarios::rop_server());
+        const auto& img = build(scenarios::rop_server());
         Process pr = probe(img);
         pr.feed_input("x");
         (void)pr.run(kMaxSteps);
@@ -202,7 +209,7 @@ struct Lab {
 
     // --- ROP: exfiltrate the API key under DEP -------------------------------
     AttackOutcome rop() {
-        const auto img = build(scenarios::rop_server());
+        const auto& img = build(scenarios::rop_server());
         Process pr = probe(img);
         pr.feed_input("x");
         (void)pr.run(kMaxSteps);
@@ -229,7 +236,7 @@ struct Lab {
 
     // --- DATAONLY -------------------------------------------------------------
     AttackOutcome data_only() {
-        const auto img = build(scenarios::dataonly_server());
+        const auto& img = build(scenarios::dataonly_server());
         PayloadBuilder pb;
         pb.fill(16).word(1); // flip isAdmin; no addresses required at all
         Process v = victim(img);
@@ -241,7 +248,7 @@ struct Lab {
 
     // --- INFOLEAK: leak canary + addresses, then bypass [5] -------------------
     AttackOutcome info_leak_bypass() {
-        const auto img = build(scenarios::leak_server());
+        const auto& img = build(scenarios::leak_server());
 
         // Phase 0 (reconnaissance on the attacker's copy): leak its own
         // stack to learn the *static* relationship between the leaked
@@ -290,7 +297,7 @@ struct Lab {
 
     // --- HEAPMETA: heap overflow into allocator metadata ------------------------
     AttackOutcome heap_metadata() {
-        const auto img = build(scenarios::heap_server());
+        const auto& img = build(scenarios::heap_server());
         // Reconnaissance: the write-what-where target.  The forged free-list
         // entry must look like a chunk: *(target-8) >= 16, which the
         // scenario's `pad` global provides (data layout is attacker-known).
@@ -311,7 +318,7 @@ struct Lab {
 
     // --- UAF --------------------------------------------------------------------
     AttackOutcome use_after_free() {
-        const auto img = build(scenarios::uaf_server());
+        const auto& img = build(scenarios::uaf_server());
         PayloadBuilder pb;
         pb.word(1).word(0); // stale session reads is_admin == 1
         Process v = victim(img);
@@ -362,7 +369,7 @@ const std::vector<AttackKind>& all_attacks() {
 
 AttackOutcome run_attack(AttackKind kind, const Defense& defense, std::uint64_t victim_seed,
                          std::uint64_t attacker_seed, fault::FaultInjector* victim_faults) {
-    Lab lab{defense, victim_seed, attacker_seed, victim_faults};
+    Lab lab{defense, victim_seed, attacker_seed, victim_faults, {}};
     switch (kind) {
     case AttackKind::StackSmashInject:
         return lab.stack_smash_inject();

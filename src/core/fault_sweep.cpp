@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "core/parallel.hpp"
 #include "os/layout.hpp"
 #include "statecont/protocol.hpp"
 
@@ -195,42 +196,58 @@ void run_statecont_window(int which, const fault::FaultEvent& event, int state_b
     }
 }
 
+/// The full crash/torn-write sweep for one protocol.  Self-contained so the
+/// three protocols can run on different workers.
+void sweep_protocol(int which, int state_bytes, StatecontSweep& out) {
+    // Trace a healthy committed+in-flight pair of saves to learn every
+    // device-op window and every blob write of the second save.
+    std::uint64_t k0 = 0;
+    std::uint64_t k1 = 0;
+    fault::FaultInjector tracer;
+    tracer.set_nv_trace(true);
+    {
+        NvStore nv;
+        nv.set_fault_injector(&tracer);
+        auto p = make_protocol(which, nv, /*nonce_seed=*/101);
+        p->save(make_state('C', state_bytes));
+        k0 = nv.ops_performed();
+        p->save(make_state('F', state_bytes));
+        k1 = nv.ops_performed();
+        nv.set_fault_injector(nullptr);
+    }
+
+    // Exhaustive: cut power before/after every device op of the save...
+    for (std::uint64_t op = k0 + 1; op <= k1; ++op) {
+        run_statecont_window(which, fault::FaultEvent::nv_power_cut(op), state_bytes, out);
+    }
+    // ...and tear every blob write of the save at every byte prefix.
+    for (const auto& rec : tracer.nv_trace()) {
+        if (!rec.is_write || rec.ordinal <= k0 || rec.ordinal > k1) {
+            continue;
+        }
+        for (std::uint32_t keep = 0; keep <= rec.write_size; ++keep) {
+            run_statecont_window(which, fault::FaultEvent::nv_torn_write(rec.ordinal, keep),
+                                 state_bytes, out);
+        }
+    }
+}
+
 } // namespace
 
-StatecontSweep run_statecont_fault_sweep(int state_bytes) {
+StatecontSweep run_statecont_fault_sweep(int state_bytes, int jobs) {
+    // One sub-sweep per protocol, merged in protocol order: parallel output
+    // is byte-identical to serial.
+    std::vector<StatecontSweep> parts(3);
+    parallel_for(parts.size(), jobs, [&](std::size_t which) {
+        sweep_protocol(static_cast<int>(which), state_bytes, parts[which]);
+    });
     StatecontSweep out;
-    for (int which = 0; which < 3; ++which) {
-        // Trace a healthy committed+in-flight pair of saves to learn every
-        // device-op window and every blob write of the second save.
-        std::uint64_t k0 = 0;
-        std::uint64_t k1 = 0;
-        fault::FaultInjector tracer;
-        tracer.set_nv_trace(true);
-        {
-            NvStore nv;
-            nv.set_fault_injector(&tracer);
-            auto p = make_protocol(which, nv, /*nonce_seed=*/101);
-            p->save(make_state('C', state_bytes));
-            k0 = nv.ops_performed();
-            p->save(make_state('F', state_bytes));
-            k1 = nv.ops_performed();
-            nv.set_fault_injector(nullptr);
-        }
-
-        // Exhaustive: cut power before/after every device op of the save...
-        for (std::uint64_t op = k0 + 1; op <= k1; ++op) {
-            run_statecont_window(which, fault::FaultEvent::nv_power_cut(op), state_bytes, out);
-        }
-        // ...and tear every blob write of the save at every byte prefix.
-        for (const auto& rec : tracer.nv_trace()) {
-            if (!rec.is_write || rec.ordinal <= k0 || rec.ordinal > k1) {
-                continue;
-            }
-            for (std::uint32_t keep = 0; keep <= rec.write_size; ++keep) {
-                run_statecont_window(which, fault::FaultEvent::nv_torn_write(rec.ordinal, keep),
-                                     state_bytes, out);
-            }
-        }
+    for (auto& p : parts) {
+        out.windows += p.windows;
+        out.crashes += p.crashes;
+        out.violations.insert(out.violations.end(),
+                              std::make_move_iterator(p.violations.begin()),
+                              std::make_move_iterator(p.violations.end()));
     }
     return out;
 }
@@ -248,6 +265,70 @@ std::uint64_t FaultSweepReport::total_windows() const noexcept {
     return n;
 }
 
+namespace {
+
+/// Everything one (attack, defense) cell contributes to the report.  Workers
+/// fill these independently; the merge below folds them in cell-index order,
+/// so the report is byte-identical for any jobs value.
+struct CellSweep {
+    bool baseline_success = false;
+    std::vector<ClassTally> tallies;  // one per opts.classes entry
+    std::vector<FailOpenViolation> violations;  // class-major, window order
+};
+
+CellSweep sweep_cell(const FaultSweepOptions& opts, std::size_t ai, std::size_t di,
+                     AttackKind kind, const Defense& defense) {
+    CellSweep cell;
+    cell.tallies.reserve(opts.classes.size());
+    for (const auto cls : opts.classes) {
+        cell.tallies.push_back(ClassTally{cls});
+    }
+
+    const AttackOutcome baseline =
+        run_attack(kind, defense, opts.victim_seed, opts.attacker_seed);
+    if (baseline.succeeded) {
+        // The attack wins on a healthy platform: a fault cannot make
+        // that cell any worse, so the sweep has nothing to assert.
+        cell.baseline_success = true;
+        return cell;
+    }
+    const std::uint64_t horizon = std::max<std::uint64_t>(baseline.steps, 1);
+
+    for (std::size_t ci = 0; ci < opts.classes.size(); ++ci) {
+        ClassTally& tally = cell.tallies[ci];
+        for (int w = 0; w < opts.windows_per_class; ++w) {
+            Rng rng(window_seed(opts.fault_seed, ai, di, ci, w));
+            const fault::FaultEvent event = draw_event(rng, opts.classes[ci], horizon);
+            fault::FaultInjector inj{fault::FaultPlan().add(event)};
+            AttackOutcome out;
+            try {
+                out = run_attack(kind, defense, opts.victim_seed, opts.attacker_seed, &inj);
+            } catch (const Error& e) {
+                // The attacker's own interaction can abort: addresses
+                // computed from glitched victim state (a corrupted
+                // leak, a flipped stack pointer) may point at
+                // unmapped memory.  An aborted exploitation attempt
+                // is fail-closed — the attack did not succeed.
+                out.succeeded = false;
+                out.note = std::string("attacker interaction aborted: ") + e.what();
+            }
+            ++tally.windows;
+            if (out.succeeded) {
+                ++tally.fail_open;
+                cell.violations.push_back({attack_name(kind), defense.name, event, out.note});
+            } else {
+                ++tally.still_blocked;
+                if (out.trap.kind == vm::TrapKind::PowerCut) {
+                    ++tally.power_cut;
+                }
+            }
+        }
+    }
+    return cell;
+}
+
+} // namespace
+
 FaultSweepReport run_fault_sweep(const FaultSweepOptions& opts) {
     FaultSweepReport rep;
     const auto& attacks = opts.attacks.empty() ? all_attacks() : opts.attacks;
@@ -258,59 +339,40 @@ FaultSweepReport run_fault_sweep(const FaultSweepOptions& opts) {
         rep.tallies.push_back(ClassTally{cls});
     }
 
-    for (std::size_t ai = 0; ai < attacks.size(); ++ai) {
-        for (std::size_t di = 0; di < defenses.size(); ++di) {
-            const AttackKind kind = attacks[ai];
-            const Defense& defense = defenses[di];
-            ++rep.cells;
-            const AttackOutcome baseline =
-                run_attack(kind, defense, opts.victim_seed, opts.attacker_seed);
-            if (baseline.succeeded) {
-                // The attack wins on a healthy platform: a fault cannot make
-                // that cell any worse, so the sweep has nothing to assert.
-                ++rep.baseline_success;
-                continue;
-            }
-            ++rep.baseline_blocked;
-            const std::uint64_t horizon = std::max<std::uint64_t>(baseline.steps, 1);
+    // Fan the attack x defense grid out over workers.  Each cell is
+    // share-nothing (its own Machines, its own FaultInjector, seeds derived
+    // from the cell index) and lands in its own slot.
+    std::vector<CellSweep> cells(attacks.size() * defenses.size());
+    parallel_for(cells.size(), opts.jobs, [&](std::size_t i) {
+        const std::size_t ai = i / defenses.size();
+        const std::size_t di = i % defenses.size();
+        cells[i] = sweep_cell(opts, ai, di, attacks[ai], defenses[di]);
+    });
 
-            for (std::size_t ci = 0; ci < opts.classes.size(); ++ci) {
-                ClassTally& tally = rep.tallies[ci];
-                for (int w = 0; w < opts.windows_per_class; ++w) {
-                    Rng rng(window_seed(opts.fault_seed, ai, di, ci, w));
-                    const fault::FaultEvent event = draw_event(rng, opts.classes[ci], horizon);
-                    fault::FaultInjector inj{fault::FaultPlan().add(event)};
-                    AttackOutcome out;
-                    try {
-                        out = run_attack(kind, defense, opts.victim_seed, opts.attacker_seed,
-                                         &inj);
-                    } catch (const Error& e) {
-                        // The attacker's own interaction can abort: addresses
-                        // computed from glitched victim state (a corrupted
-                        // leak, a flipped stack pointer) may point at
-                        // unmapped memory.  An aborted exploitation attempt
-                        // is fail-closed — the attack did not succeed.
-                        out.succeeded = false;
-                        out.note = std::string("attacker interaction aborted: ") + e.what();
-                    }
-                    ++tally.windows;
-                    if (out.succeeded) {
-                        ++tally.fail_open;
-                        rep.violations.push_back(
-                            {attack_name(kind), defense.name, event, out.note});
-                    } else {
-                        ++tally.still_blocked;
-                        if (out.trap.kind == vm::TrapKind::PowerCut) {
-                            ++tally.power_cut;
-                        }
-                    }
-                }
-            }
+    // Deterministic merge: fold cells in index order, which is exactly the
+    // order the old serial loops visited them.
+    for (auto& cell : cells) {
+        ++rep.cells;
+        if (cell.baseline_success) {
+            ++rep.baseline_success;
+            continue;
         }
+        ++rep.baseline_blocked;
+        for (std::size_t ci = 0; ci < rep.tallies.size(); ++ci) {
+            ClassTally& t = rep.tallies[ci];
+            const ClassTally& c = cell.tallies[ci];
+            t.windows += c.windows;
+            t.power_cut += c.power_cut;
+            t.still_blocked += c.still_blocked;
+            t.fail_open += c.fail_open;
+        }
+        rep.violations.insert(rep.violations.end(),
+                              std::make_move_iterator(cell.violations.begin()),
+                              std::make_move_iterator(cell.violations.end()));
     }
 
     if (opts.include_statecont) {
-        rep.statecont = run_statecont_fault_sweep(opts.statecont_state_bytes);
+        rep.statecont = run_statecont_fault_sweep(opts.statecont_state_bytes, opts.jobs);
     }
     return rep;
 }

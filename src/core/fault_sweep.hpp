@@ -50,6 +50,11 @@ struct FaultSweepOptions {
     std::vector<Defense> defenses;    // empty = standard_defenses()
     bool include_statecont = true;    // also run the NV liveness sweep
     int statecont_state_bytes = 9;    // protocol state blob size for the sweep
+    /// Worker threads for the sweep.  Cells are share-nothing (every window
+    /// builds its own Machine and NvStore), handed out by index and merged
+    /// by index, so any jobs value produces byte-identical reports.
+    /// 0 = one worker per hardware thread.
+    int jobs = 1;
 };
 
 /// A blocked matrix cell that a fault flipped into a success — the one
@@ -101,7 +106,8 @@ struct FaultSweepReport {
 
 /// The state-continuity half alone: exhaustively sweep every power-cut
 /// window and every torn-write byte prefix of a save, for all three
-/// protocols.  Used by run_fault_sweep, tests and the bench.
-[[nodiscard]] StatecontSweep run_statecont_fault_sweep(int state_bytes = 9);
+/// protocols.  Used by run_fault_sweep, tests and the bench.  `jobs`
+/// parallelises across protocols (deterministic merge in protocol order).
+[[nodiscard]] StatecontSweep run_statecont_fault_sweep(int state_bytes = 9, int jobs = 1);
 
 } // namespace swsec::core

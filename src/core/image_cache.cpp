@@ -1,0 +1,66 @@
+#include "core/image_cache.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace swsec::core {
+
+namespace {
+
+/// Every field of CompilerOptions participates in the key: two option sets
+/// that could produce different code must never share an entry.
+std::string options_key(const cc::CompilerOptions& o) {
+    std::string k;
+    k += o.stack_canaries ? 'c' : '-';
+    k += o.bounds_checks ? 'b' : '-';
+    k += o.fortify_reads ? 'f' : '-';
+    k += o.memcheck ? 'm' : '-';
+    k += o.emit_comments ? 'e' : '-';
+    k += static_cast<char>('0' + static_cast<int>(o.pma_mode));
+    return k;
+}
+
+struct Cache {
+    std::mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<const objfmt::Image>> images;
+};
+
+Cache& cache() {
+    static Cache c;
+    return c;
+}
+
+} // namespace
+
+std::shared_ptr<const objfmt::Image> cached_compile(const std::string& source,
+                                                    const cc::CompilerOptions& opts) {
+    const std::string key = options_key(opts) + '\x1f' + source;
+    Cache& c = cache();
+    {
+        const std::lock_guard<std::mutex> lock(c.mutex);
+        const auto it = c.images.find(key);
+        if (it != c.images.end()) {
+            return it->second;
+        }
+    }
+    // Compile outside the lock: a racing thread may duplicate the work, but
+    // compilation is deterministic, so whichever insert wins is correct.
+    auto img = std::make_shared<const objfmt::Image>(cc::compile_program({source}, opts));
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    const auto [it, inserted] = c.images.emplace(key, std::move(img));
+    return it->second;
+}
+
+void clear_image_cache() {
+    Cache& c = cache();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    c.images.clear();
+}
+
+std::size_t image_cache_size() {
+    Cache& c = cache();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    return c.images.size();
+}
+
+} // namespace swsec::core

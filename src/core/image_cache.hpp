@@ -1,0 +1,34 @@
+// Memoized scenario compilation — the other half of the harness hot path.
+//
+// Profiling the sweep engines showed that MiniC compilation + assembly of
+// the victim scenario dominates a matrix cell (~1.2 ms against a victim run
+// of a few hundred instructions), and the harnesses recompile the *same*
+// (source, options) pair for every cell and every fault window.  Scenario
+// sources and CompilerOptions are pure values and compilation is
+// deterministic, so the compiled Image can be memoized machine-wide.
+//
+// The cache is thread-safe (one mutex around the map; compilation happens
+// outside the lock, and a racing duplicate compile is deterministic so
+// either result is correct) and returns shared_ptr<const Image>: workers
+// only read the image and copy it into their own Process.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "assembler/object.hpp"
+#include "cc/compiler.hpp"
+
+namespace swsec::core {
+
+/// compile_program({source}, opts), memoized on (source, opts).
+[[nodiscard]] std::shared_ptr<const objfmt::Image>
+cached_compile(const std::string& source, const cc::CompilerOptions& opts);
+
+/// Drop every cached image (tests; bounds memory in long campaigns).
+void clear_image_cache();
+
+/// Number of distinct (source, options) images currently cached.
+[[nodiscard]] std::size_t image_cache_size();
+
+} // namespace swsec::core

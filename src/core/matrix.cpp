@@ -2,19 +2,24 @@
 
 #include <algorithm>
 
+#include "core/parallel.hpp"
+
 namespace swsec::core {
 
-std::vector<MatrixCell> run_matrix(std::uint64_t victim_seed, std::uint64_t attacker_seed) {
-    std::vector<MatrixCell> cells;
-    for (const AttackKind kind : all_attacks()) {
-        for (const Defense& d : standard_defenses()) {
-            MatrixCell cell;
-            cell.attack = kind;
-            cell.defense = d.name;
-            cell.outcome = run_attack(kind, d, victim_seed, attacker_seed);
-            cells.push_back(std::move(cell));
-        }
-    }
+std::vector<MatrixCell> run_matrix(std::uint64_t victim_seed, std::uint64_t attacker_seed,
+                                   int jobs) {
+    const auto& attacks = all_attacks();
+    const auto& defenses = standard_defenses();
+    // Pre-size and fill by index: completion order never affects the result.
+    std::vector<MatrixCell> cells(attacks.size() * defenses.size());
+    parallel_for(cells.size(), jobs, [&](std::size_t i) {
+        const AttackKind kind = attacks[i / defenses.size()];
+        const Defense& d = defenses[i % defenses.size()];
+        MatrixCell& cell = cells[i];
+        cell.attack = kind;
+        cell.defense = d.name;
+        cell.outcome = run_attack(kind, d, victim_seed, attacker_seed);
+    });
     return cells;
 }
 

@@ -20,9 +20,14 @@ struct MatrixCell {
     AttackOutcome outcome;
 };
 
-/// Run the full matrix.  Deterministic given the seeds.
+/// Run the full matrix.  Deterministic given the seeds — including under
+/// `jobs` > 1: cells are share-nothing (each worker builds its own Machine
+/// and Process), handed out by index and merged by index, so the parallel
+/// result is cell-for-cell identical to the serial one.  jobs == 0 means
+/// one worker per hardware thread.
 [[nodiscard]] std::vector<MatrixCell> run_matrix(std::uint64_t victim_seed = 1001,
-                                                 std::uint64_t attacker_seed = 2002);
+                                                 std::uint64_t attacker_seed = 2002,
+                                                 int jobs = 1);
 
 /// Render as an aligned text table ("yes" = attack succeeded, otherwise the
 /// trap that stopped it).

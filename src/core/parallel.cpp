@@ -1,0 +1,71 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swsec::core {
+
+int resolve_jobs(int jobs) noexcept {
+    if (jobs >= 1) {
+        return jobs;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallel_for(std::size_t n, int jobs, const std::function<void(std::size_t)>& body) {
+    jobs = resolve_jobs(jobs);
+    if (n == 0) {
+        return;
+    }
+    if (jobs <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            body(i);
+        }
+        return;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) {
+                return;
+            }
+            try {
+                body(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+                // Keep draining: sibling cells are independent, and stopping
+                // early would make "which cells ran" scheduler-dependent.
+            }
+        }
+    };
+
+    const int spawned = static_cast<int>(std::min<std::size_t>(
+                            static_cast<std::size_t>(jobs), n)) - 1;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(spawned));
+    for (int t = 0; t < spawned; ++t) {
+        threads.emplace_back(worker);
+    }
+    worker(); // the calling thread participates
+    for (auto& t : threads) {
+        t.join();
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+} // namespace swsec::core

@@ -1,0 +1,28 @@
+// A small share-nothing parallel-for engine for the sweep harnesses.
+//
+// The attack matrix and the fault sweeps are embarrassingly parallel: every
+// (attack x defense x fault-window) cell builds its own Machine, Process
+// and fault injector, and cells never share mutable state.  The engine
+// hands cell indices to `jobs` worker threads through one atomic cursor;
+// callers write results into a pre-sized vector *by index* and merge in
+// index order, so parallel output is byte-identical to a serial run no
+// matter how the scheduler interleaves completions.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace swsec::core {
+
+/// Resolve a --jobs request: values >= 1 pass through; 0 (or negative)
+/// means "one worker per hardware thread" (min 1).
+[[nodiscard]] int resolve_jobs(int jobs) noexcept;
+
+/// Run body(i) for every i in [0, n).  jobs <= 1 runs inline on the calling
+/// thread (no thread is ever spawned — the serial path stays the serial
+/// path).  With jobs > 1, min(jobs, n) workers (including the caller) pull
+/// indices from an atomic cursor.  The first exception thrown by any body
+/// is captured and rethrown on the calling thread after all workers join.
+void parallel_for(std::size_t n, int jobs, const std::function<void(std::size_t)>& body);
+
+} // namespace swsec::core

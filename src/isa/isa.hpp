@@ -38,6 +38,13 @@ enum class Reg : std::uint8_t {
 
 inline constexpr int kNumRegs = 10;
 
+/// Upper bound on the encoded length of any instruction (the longest real
+/// encoding is 6 bytes; fetch paths round up to 8 for headroom).  Shared by
+/// the machine's slow fetch path and the per-page decode cache, which treats
+/// the last kMaxInsnLength-1 bytes of a page as "may straddle" slow-path
+/// territory.
+inline constexpr std::uint32_t kMaxInsnLength = 8;
+
 /// True if `v` denotes a valid register index.
 [[nodiscard]] constexpr bool is_valid_reg(std::uint8_t v) noexcept { return v < kNumRegs; }
 

@@ -54,6 +54,7 @@ std::int32_t ManagedRuntime::invoke(int method_index, std::span<const std::int32
     if (method_index < 0 || method_index >= static_cast<int>(methods_.size())) {
         throw ManagedError("bad method index");
     }
+    steps_ = 0; // fresh watchdog budget per top-level invocation
     return run(methods_[static_cast<std::size_t>(method_index)], args, 0);
 }
 

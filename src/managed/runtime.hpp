@@ -113,6 +113,9 @@ public:
     /// runtime's access control does not exist at this level.
     [[nodiscard]] std::span<const std::int32_t> raw_heap() const noexcept { return heap_; }
 
+    /// Bytecode steps of the most recent top-level invoke() (the watchdog
+    /// budget is per invocation, like Machine::run's step budget — a
+    /// long-lived runtime serving many calls must not accumulate into it).
     [[nodiscard]] std::uint64_t steps_executed() const noexcept { return steps_; }
 
 private:

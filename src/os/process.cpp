@@ -8,6 +8,7 @@ Process::Process(objfmt::Image image, const SecurityProfile& profile, std::uint6
     machine_.options().hardware_shadow_stack = profile.shadow_stack;
     machine_.options().coarse_cfi = profile.coarse_cfi;
     machine_.options().memcheck = profile.memcheck;
+    machine_.options().decode_cache = profile.decode_cache;
 
     if (profile.fault_injector != nullptr) {
         machine_.set_fault_injector(profile.fault_injector);

@@ -26,6 +26,9 @@ struct SecurityProfile {
     bool shadow_stack = false; // hardware return-address protection
     bool coarse_cfi = false;   // indirect-branch target restriction
     bool memcheck = false;     // ASan-style run-time checker (testing mode)
+    bool decode_cache = true;  // per-page predecode cache (perf only; the
+                               // regression tests flip this off to prove
+                               // trap-for-trap equivalence)
 
     /// The platform's fault environment (non-owning; may be null).  When
     /// set, the machine's step loop and the kernel's I/O syscalls probe

@@ -1,0 +1,65 @@
+#include "vm/decode_cache.hpp"
+
+#include <span>
+
+namespace swsec::vm {
+
+DecodeCache::PageEntry* DecodeCache::entry_for(std::uint32_t page_index) {
+    auto& slot = pages_[page_index];
+    if (!slot) {
+        slot = std::make_unique<PageEntry>();
+    }
+    mru_index_ = page_index;
+    mru_ = slot.get();
+    return mru_;
+}
+
+const isa::Insn* DecodeCache::lookup(const Memory& mem, std::uint32_t addr,
+                                     Perm need) noexcept {
+    const std::uint32_t off = addr & (kPageSize - 1);
+    if (off > kPageSize - isa::kMaxInsnLength) {
+        return nullptr; // may straddle into the next page: slow path
+    }
+    const PageView view = mem.page_view(addr);
+    if (view.data == nullptr ||
+        (static_cast<std::uint8_t>(view.perms) & static_cast<std::uint8_t>(need)) !=
+            static_cast<std::uint8_t>(need)) {
+        return nullptr; // unmapped / permission fault: slow path traps
+    }
+    const std::uint32_t page_index = addr >> kPageShift;
+    PageEntry* e = (page_index == mru_index_) ? mru_ : entry_for(page_index);
+    if (e->generation != view.generation) {
+        if (e->generation != 0) {
+            ++invalidations_;
+        }
+        e->slots.fill(Slot::Unknown);
+        e->generation = view.generation;
+    }
+    Slot& s = e->slots[off];
+    if (s == Slot::Unknown) {
+        ++decodes_;
+        // The guard above keeps [off, off + kMaxInsnLength) inside the page,
+        // so the decode window never crosses a permission boundary.
+        const auto insn =
+            isa::decode(std::span<const std::uint8_t>(view.data + off, isa::kMaxInsnLength));
+        if (insn) {
+            e->insns[off] = *insn;
+            s = Slot::Valid;
+        } else {
+            s = Slot::SlowPath;
+        }
+    }
+    if (s != Slot::Valid) {
+        return nullptr;
+    }
+    ++hits_;
+    return &e->insns[off];
+}
+
+void DecodeCache::clear() noexcept {
+    pages_.clear();
+    mru_index_ = 0xffffffff;
+    mru_ = nullptr;
+}
+
+} // namespace swsec::vm

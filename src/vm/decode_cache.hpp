@@ -1,0 +1,76 @@
+// Per-page instruction decode cache (QEMU-style predecode, von Neumann safe).
+//
+// Machine::step() used to re-decode every instruction byte-by-byte through
+// per-byte permission checks.  This cache decodes each (page, offset) pair
+// at most once per page *generation* and serves subsequent fetches from a
+// flat array — while keeping the paper's self-modifying attacks honest:
+//
+//  * Keyed by generation, not by "code is read-only".  Memory bumps a
+//    page's generation on every write (checked, raw or fault-injected),
+//    protect and remap, so injected shellcode, DEP flips and MemBitFlip
+//    faults invalidate the predecoded stream precisely.  Stale-cache
+//    execution would silently falsify the attack matrix.
+//  * Every byte offset is cacheable, not just "intended" instruction
+//    starts: ROP executes the same bytes at skewed offsets (unintended
+//    gadgets), so the cache is a lazily-filled per-offset array.
+//  * Anything irregular — offsets within kMaxInsnLength-1 of the page end
+//    (the instruction may straddle into a page with different perms or no
+//    mapping), bytes that do not decode, unmapped pages, missing R/X
+//    permission — falls back to the machine's slow fetch path, which is the
+//    single source of truth for trap kinds and details.  The cache only
+//    ever serves instructions the slow path would have fetched identically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "isa/isa.hpp"
+#include "vm/memory.hpp"
+
+namespace swsec::vm {
+
+class DecodeCache {
+public:
+    /// The decoded instruction starting at `addr`, or nullptr when the
+    /// fetch must take the slow path (which then reports the precise trap).
+    /// `need` is the permission set fetching requires (R, or R|X under DEP).
+    [[nodiscard]] const isa::Insn* lookup(const Memory& mem, std::uint32_t addr,
+                                          Perm need) noexcept;
+
+    /// Drop every cached page (the generation check makes this unnecessary
+    /// for correctness; exposed for tests and memory pressure).
+    void clear() noexcept;
+
+    // --- statistics (tests + benches) --------------------------------------
+    [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+    [[nodiscard]] std::uint64_t decodes() const noexcept { return decodes_; }
+    [[nodiscard]] std::uint64_t invalidations() const noexcept { return invalidations_; }
+
+private:
+    enum class Slot : std::uint8_t {
+        Unknown = 0, // not decoded at this generation yet
+        Valid,       // insns_[off] holds the decoded instruction
+        SlowPath,    // byte does not decode here; let the slow fetch trap
+    };
+
+    struct PageEntry {
+        std::uint64_t generation = 0;
+        std::array<isa::Insn, kPageSize> insns{};
+        std::array<Slot, kPageSize> slots{};
+    };
+
+    [[nodiscard]] PageEntry* entry_for(std::uint32_t page_index);
+
+    std::unordered_map<std::uint32_t, std::unique_ptr<PageEntry>> pages_;
+    // One-entry MRU: straight-line execution stays within a page.
+    std::uint32_t mru_index_ = 0xffffffff;
+    PageEntry* mru_ = nullptr;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t decodes_ = 0;
+    std::uint64_t invalidations_ = 0;
+};
+
+} // namespace swsec::vm

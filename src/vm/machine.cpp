@@ -185,15 +185,10 @@ bool Machine::kernel_read8(std::uint32_t addr, std::uint8_t& out) const noexcept
 }
 
 bool Machine::kernel_read32(std::uint32_t addr, std::uint32_t& out) const noexcept {
-    std::uint32_t v = 0;
-    for (int i = 3; i >= 0; --i) {
-        std::uint8_t b = 0;
-        if (!kernel_read8(addr + static_cast<std::uint32_t>(i), b)) {
-            return false;
-        }
-        v = (v << 8) | b;
+    if (!kernel_word_allowed(addr)) {
+        return false;
     }
-    out = v;
+    out = mem_.read32(addr);
     return true;
 }
 
@@ -208,13 +203,33 @@ bool Machine::kernel_write8(std::uint32_t addr, std::uint8_t v) noexcept {
     return true;
 }
 
-bool Machine::kernel_write32(std::uint32_t addr, std::uint32_t v) noexcept {
-    for (int i = 0; i < 4; ++i) {
-        if (!kernel_write8(addr + static_cast<std::uint32_t>(i),
-                           static_cast<std::uint8_t>((v >> (8 * i)) & 0xff))) {
-            return false;
+bool Machine::kernel_word_allowed(std::uint32_t addr) const noexcept {
+    // Validate the whole word up front: each byte must be mapped and lie
+    // outside every protected module.  Within one page a single is_mapped
+    // check covers all four bytes; a module boundary can still cut through
+    // the word, so the PMA test stays per byte (and is skipped entirely in
+    // the common moduleless configuration).
+    if (!modules_.empty()) {
+        for (std::uint32_t i = 0; i < 4; ++i) {
+            if (module_containing(addr + i) != kNoModule) {
+                return false;
+            }
         }
     }
+    if ((addr & (kPageSize - 1)) <= kPageSize - 4) {
+        return mem_.is_mapped(addr);
+    }
+    return mem_.is_mapped(addr) && mem_.is_mapped(addr + 3);
+}
+
+bool Machine::kernel_write32(std::uint32_t addr, std::uint32_t v) noexcept {
+    // All-or-nothing: validate every byte before mutating any.  The old
+    // byte-at-a-time loop could fail on byte 2 with bytes 0-1 already
+    // written — a torn kernel write the fault sweeps would misattribute.
+    if (!kernel_word_allowed(addr)) {
+        return false;
+    }
+    mem_.write32(addr, v);
     return true;
 }
 
@@ -223,13 +238,9 @@ bool Machine::kernel_write32(std::uint32_t addr, std::uint32_t v) noexcept {
 // ---------------------------------------------------------------------------
 
 bool Machine::fetch(Insn& out) {
-    if (!pma_allows_fetch(ip_)) {
-        set_trap(TrapKind::PmaViolation, ip_, "illegal entry into protected module");
-        return false;
-    }
     // Read up to the longest encoding; the span may be cut short by the end
-    // of mapped memory.
-    std::array<std::uint8_t, 8> buf{};
+    // of mapped memory.  (The PMA fetch check already ran in step().)
+    std::array<std::uint8_t, isa::kMaxInsnLength> buf{};
     std::size_t have = 0;
     const Perm need = opts_.enforce_nx ? (Perm::R | Perm::X) : Perm::R;
     for (; have < buf.size(); ++have) {
@@ -349,14 +360,29 @@ void Machine::step() {
             return; // the power cut wins: no further instruction executes
         }
     }
-    Insn insn;
-    if (!fetch(insn)) {
+    if (!pma_allows_fetch(ip_)) {
+        set_trap(TrapKind::PmaViolation, ip_, "illegal entry into protected module");
         return;
+    }
+    // Fast path: serve the instruction from the per-page decode cache (the
+    // generation check inside lookup() guarantees no stale predecode after
+    // any write, protect or fault-injected flip).  Anything the cache cannot
+    // vouch for goes through the slow fetch, which owns all trap reporting.
+    const Insn* insn = nullptr;
+    Insn slow;
+    if (opts_.decode_cache) {
+        insn = dcache_.lookup(mem_, ip_, opts_.enforce_nx ? (Perm::R | Perm::X) : Perm::R);
+    }
+    if (insn == nullptr) {
+        if (!fetch(slow)) {
+            return;
+        }
+        insn = &slow;
     }
     // The executing module is determined by where the IP points now; data
     // accesses made by this instruction are judged against it.
     current_module_ = module_containing(ip_);
-    execute(insn);
+    execute(*insn);
     ++steps_;
 }
 

@@ -23,6 +23,7 @@
 
 #include "fault/fault.hpp"
 #include "isa/isa.hpp"
+#include "vm/decode_cache.hpp"
 #include "vm/memory.hpp"
 #include "vm/pma_model.hpp"
 #include "vm/trap.hpp"
@@ -52,6 +53,8 @@ struct MachineOptions {
     bool capability_mode = false;     // enable the CHERI-style cap opcodes
     bool pure_capability = false;     // pure-cap mode: plain memory ops trap
                                       // (integers can never act as pointers)
+    bool decode_cache = true;         // per-page predecode cache (perf only:
+                                      // trap-for-trap identical when off)
 };
 
 /// A CHERI-style capability (Section IV-A, [21]): an unforgeable pointer to
@@ -175,6 +178,9 @@ public:
     [[nodiscard]] std::uint64_t steps_executed() const noexcept { return steps_; }
     /// Shadow stack depth (tests use this to validate call/return pairing).
     [[nodiscard]] std::size_t shadow_stack_depth() const noexcept { return shadow_stack_.size(); }
+    /// Decode-cache counters (tests assert invalidation behaviour; benches
+    /// report hit rates).
+    [[nodiscard]] const DecodeCache& decode_cache() const noexcept { return dcache_; }
 
 private:
     struct Flags {
@@ -183,6 +189,9 @@ private:
         bool b = false;  // unsigned below
     };
 
+    /// Slow-path fetch: per-byte checked reads + decode.  The single source
+    /// of truth for fetch trap kinds; the decode cache only serves
+    /// instructions this path would fetch identically.
     [[nodiscard]] bool fetch(isa::Insn& out);
     void execute(const isa::Insn& insn);
     [[nodiscard]] bool push32(std::uint32_t v);
@@ -195,6 +204,9 @@ private:
     void do_ret();
     void do_sys(std::uint8_t number);
 
+    /// True when the kernel may touch the whole word at [addr, addr+4):
+    /// every byte mapped and outside every protected module.
+    [[nodiscard]] bool kernel_word_allowed(std::uint32_t addr) const noexcept;
     /// PMA access-control decision for a data access from the current module.
     [[nodiscard]] bool pma_allows_data(std::uint32_t addr, bool write) const noexcept;
     /// PMA decision for executing at `addr` given the previously executing
@@ -202,6 +214,7 @@ private:
     [[nodiscard]] bool pma_allows_fetch(std::uint32_t addr) const noexcept;
 
     Memory mem_;
+    DecodeCache dcache_;
     std::array<std::uint32_t, isa::kNumRegs> regs_{};
     std::uint32_t ip_ = 0;
     Flags flags_;

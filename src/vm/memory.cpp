@@ -4,6 +4,7 @@
 #include "common/hexdump.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace swsec::vm {
 
@@ -52,6 +53,7 @@ void Memory::map(std::uint32_t addr, std::uint32_t size, Perm perms) {
             slot = std::make_unique<Page>();
         }
         slot->perms = perms;
+        touch(*slot);
         if (idx == last) {
             break;
         }
@@ -72,6 +74,7 @@ void Memory::protect(std::uint32_t addr, std::uint32_t size, Perm perms) {
             throw Error("protect of unmapped page at " + hex32(idx << kPageShift));
         }
         it->second->perms = perms;
+        touch(*it->second);
         if (idx == last) {
             break;
         }
@@ -101,10 +104,27 @@ Perm Memory::perms_at(std::uint32_t addr) const noexcept {
     return p ? p->perms : Perm::None;
 }
 
+PageView Memory::page_view(std::uint32_t addr) const noexcept {
+    const Page* p = page_at(addr);
+    if (p == nullptr) {
+        return PageView{};
+    }
+    return PageView{p->data.data(), p->perms, p->generation};
+}
+
+std::uint64_t Memory::generation_of(std::uint32_t addr) const noexcept {
+    const Page* p = page_at(addr);
+    return p ? p->generation : 0;
+}
+
 AccessFault Memory::check(std::uint32_t addr, std::uint32_t size, Perm need,
                           bool honour_poison) const noexcept {
-    for (std::uint32_t i = 0; i < size; ++i) {
-        const std::uint32_t a = addr + i;
+    // Page-level walk: one permission test covers every byte the access
+    // touches within a page; the per-byte poison scan runs only when the
+    // page actually has a poison map.
+    std::uint32_t a = addr;
+    std::uint32_t remaining = size;
+    while (remaining > 0) {
         const Page* p = page_at(a);
         if (p == nullptr) {
             return AccessFault::Unmapped;
@@ -113,9 +133,17 @@ AccessFault Memory::check(std::uint32_t addr, std::uint32_t size, Perm need,
             static_cast<std::uint8_t>(need)) {
             return AccessFault::Permission;
         }
-        if (honour_poison && p->poison && p->poison->test(page_offset(a))) {
-            return AccessFault::Poisoned;
+        const std::uint32_t off = page_offset(a);
+        const std::uint32_t chunk = std::min(remaining, kPageSize - off);
+        if (honour_poison && p->poison) {
+            for (std::uint32_t i = 0; i < chunk; ++i) {
+                if (p->poison->test(off + i)) {
+                    return AccessFault::Poisoned;
+                }
+            }
         }
+        a += chunk;
+        remaining -= chunk;
     }
     return AccessFault::None;
 }
@@ -126,7 +154,15 @@ std::uint8_t Memory::read8(std::uint32_t addr) const noexcept {
 }
 
 std::uint32_t Memory::read32(std::uint32_t addr) const noexcept {
-    // Little-endian assembly from bytes; the address may straddle pages.
+    const std::uint32_t off = page_offset(addr);
+    if (off <= kPageSize - 4) {
+        // Fast path: the word lives in one page — assemble little-endian
+        // from the backing array directly (a single load after optimisation).
+        const std::uint8_t* d = page_at(addr)->data.data() + off;
+        return static_cast<std::uint32_t>(d[0]) | (static_cast<std::uint32_t>(d[1]) << 8) |
+               (static_cast<std::uint32_t>(d[2]) << 16) | (static_cast<std::uint32_t>(d[3]) << 24);
+    }
+    // Slow path: the word straddles a page boundary.
     return static_cast<std::uint32_t>(read8(addr)) |
            (static_cast<std::uint32_t>(read8(addr + 1)) << 8) |
            (static_cast<std::uint32_t>(read8(addr + 2)) << 16) |
@@ -136,9 +172,21 @@ std::uint32_t Memory::read32(std::uint32_t addr) const noexcept {
 void Memory::write8(std::uint32_t addr, std::uint8_t v) noexcept {
     Page* p = page_at(addr);
     p->data[page_offset(addr)] = v;
+    touch(*p);
 }
 
 void Memory::write32(std::uint32_t addr, std::uint32_t v) noexcept {
+    const std::uint32_t off = page_offset(addr);
+    if (off <= kPageSize - 4) {
+        Page* p = page_at(addr);
+        std::uint8_t* d = p->data.data() + off;
+        d[0] = static_cast<std::uint8_t>(v & 0xff);
+        d[1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+        d[2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+        d[3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+        touch(*p);
+        return;
+    }
     write8(addr, static_cast<std::uint8_t>(v & 0xff));
     write8(addr + 1, static_cast<std::uint8_t>((v >> 8) & 0xff));
     write8(addr + 2, static_cast<std::uint8_t>((v >> 16) & 0xff));
@@ -181,7 +229,9 @@ std::uint32_t Memory::raw_read32(std::uint32_t addr) const {
 }
 
 void Memory::raw_write8(std::uint32_t addr, std::uint8_t v) {
-    page_or_throw(addr).data[page_offset(addr)] = v;
+    Page& p = page_or_throw(addr);
+    p.data[page_offset(addr)] = v;
+    touch(p);
 }
 
 void Memory::raw_write32(std::uint32_t addr, std::uint32_t v) {
@@ -192,15 +242,31 @@ void Memory::raw_write32(std::uint32_t addr, std::uint32_t v) {
 }
 
 void Memory::raw_write(std::uint32_t addr, std::span<const std::uint8_t> data) {
-    for (std::size_t i = 0; i < data.size(); ++i) {
-        raw_write8(addr + static_cast<std::uint32_t>(i), data[i]);
+    // Page-sized chunks: one lookup, one memcpy, one generation bump per
+    // page instead of per byte (the loader writes whole segments this way).
+    std::size_t done = 0;
+    while (done < data.size()) {
+        const std::uint32_t a = addr + static_cast<std::uint32_t>(done);
+        Page& p = page_or_throw(a);
+        const std::uint32_t off = page_offset(a);
+        const std::size_t chunk =
+            std::min<std::size_t>(data.size() - done, kPageSize - off);
+        std::memcpy(p.data.data() + off, data.data() + done, chunk);
+        touch(p);
+        done += chunk;
     }
 }
 
 std::vector<std::uint8_t> Memory::raw_read(std::uint32_t addr, std::uint32_t len) const {
     std::vector<std::uint8_t> out(len);
-    for (std::uint32_t i = 0; i < len; ++i) {
-        out[i] = raw_read8(addr + i);
+    std::uint32_t done = 0;
+    while (done < len) {
+        const std::uint32_t a = addr + done;
+        const Page& p = page_or_throw(a);
+        const std::uint32_t off = page_offset(a);
+        const std::uint32_t chunk = std::min(len - done, kPageSize - off);
+        std::memcpy(out.data() + done, p.data.data() + off, chunk);
+        done += chunk;
     }
     return out;
 }

@@ -12,6 +12,14 @@
 //  * raw accessors model *hardware-level* access (the loader writing the
 //    process image, the attestation hardware hashing module code).  They
 //    throw swsec::Error only for unmapped addresses.
+//
+// Every page carries a *generation counter*, bumped (from one machine-wide
+// monotonic counter) by every mutation that could change what execution at
+// an address means: byte/word writes through any access level, permission
+// changes and remapping.  The per-page decode cache (decode_cache.hpp) keys
+// its predecoded instruction streams on these counters, so self-modifying
+// shellcode, DEP flips and fault-injected bit flips invalidate precisely —
+// a von Neumann machine cannot assume code is read-only.
 #pragma once
 
 #include <array>
@@ -54,6 +62,17 @@ enum class AccessFault : std::uint8_t {
 inline constexpr std::uint32_t kPageSize = 4096;
 inline constexpr std::uint32_t kPageShift = 12;
 
+/// Direct, read-only view of one mapped page (fast-path substrate): the
+/// backing bytes, the page's permissions and its current generation.  The
+/// pointer is invalidated by unmap; the generation changes on any mutation.
+struct PageView {
+    const std::uint8_t* data = nullptr;
+    Perm perms = Perm::None;
+    std::uint64_t generation = 0;
+
+    [[nodiscard]] explicit operator bool() const noexcept { return data != nullptr; }
+};
+
 /// Sparse paged physical memory.
 class Memory {
 public:
@@ -69,6 +88,13 @@ public:
 
     [[nodiscard]] bool is_mapped(std::uint32_t addr) const noexcept;
     [[nodiscard]] Perm perms_at(std::uint32_t addr) const noexcept;
+
+    /// View of the page containing `addr` (null view when unmapped).
+    [[nodiscard]] PageView page_view(std::uint32_t addr) const noexcept;
+    /// Generation of the page containing `addr`; 0 when unmapped.  Every
+    /// mutation (write, protect, map) moves it to a fresh, never-reused
+    /// value, so equality means "unchanged since observed".
+    [[nodiscard]] std::uint64_t generation_of(std::uint32_t addr) const noexcept;
 
     // --- checked access (machine level) -------------------------------
     [[nodiscard]] AccessFault check(std::uint32_t addr, std::uint32_t size, Perm need,
@@ -101,6 +127,7 @@ private:
     struct Page {
         std::array<std::uint8_t, kPageSize> data{};
         Perm perms = Perm::None;
+        std::uint64_t generation = 0;
         std::unique_ptr<std::bitset<kPageSize>> poison; // lazily allocated
     };
 
@@ -108,8 +135,12 @@ private:
     [[nodiscard]] const Page* page_at(std::uint32_t addr) const noexcept;
     Page& page_or_throw(std::uint32_t addr);
     [[nodiscard]] const Page& page_or_throw(std::uint32_t addr) const;
+    void touch(Page& p) noexcept { p.generation = ++gen_counter_; }
 
     std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
+    // Machine-wide monotonic mutation counter: generations are never reused,
+    // even across an unmap/map cycle of the same page index.
+    std::uint64_t gen_counter_ = 0;
     // One-entry lookup cache: page indices are dense in practice.
     mutable std::uint32_t cached_index_ = 0xffffffff;
     mutable Page* cached_page_ = nullptr;

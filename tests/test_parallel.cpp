@@ -1,0 +1,123 @@
+// Parallel sweep engine tests: parallel_for's contract (every index exactly
+// once, exceptions propagate, serial path spawns no threads) and the
+// determinism guarantee the sweeps build on it — `--jobs N` must produce
+// results cell-for-cell and byte-for-byte identical to serial.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/fault_sweep.hpp"
+#include "core/matrix.hpp"
+#include "core/parallel.hpp"
+
+namespace {
+
+using namespace swsec::core;
+
+// --- parallel_for ------------------------------------------------------------
+
+TEST(ParallelFor, EveryIndexExactlyOnce) {
+    for (const int jobs : {1, 2, 4, 0}) {
+        std::vector<std::atomic<int>> hits(257);
+        parallel_for(hits.size(), jobs, [&](std::size_t i) { ++hits[i]; });
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+            EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " i=" << i;
+        }
+    }
+}
+
+TEST(ParallelFor, EmptyAndSingle) {
+    int calls = 0;
+    parallel_for(0, 4, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallel_for(1, 4, [&](std::size_t i) {
+        ++calls;
+        EXPECT_EQ(i, 0u);
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, ExceptionPropagates) {
+    for (const int jobs : {1, 4}) {
+        EXPECT_THROW(
+            parallel_for(64, jobs,
+                         [&](std::size_t i) {
+                             if (i == 37) {
+                                 throw std::runtime_error("boom");
+                             }
+                         }),
+            std::runtime_error)
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelFor, ResolveJobs) {
+    EXPECT_EQ(resolve_jobs(1), 1);
+    EXPECT_EQ(resolve_jobs(7), 7);
+    EXPECT_GE(resolve_jobs(0), 1);  // hardware concurrency, at least one
+    EXPECT_GE(resolve_jobs(-3), 1);
+}
+
+// --- deterministic parallel sweeps -------------------------------------------
+
+void expect_same_cells(const std::vector<MatrixCell>& a, const std::vector<MatrixCell>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].attack, b[i].attack) << "cell " << i;
+        EXPECT_EQ(a[i].defense, b[i].defense) << "cell " << i;
+        EXPECT_EQ(a[i].outcome.succeeded, b[i].outcome.succeeded) << "cell " << i;
+        EXPECT_EQ(a[i].outcome.trap.kind, b[i].outcome.trap.kind) << "cell " << i;
+        EXPECT_EQ(a[i].outcome.trap.ip, b[i].outcome.trap.ip) << "cell " << i;
+        EXPECT_EQ(a[i].outcome.steps, b[i].outcome.steps) << "cell " << i;
+        EXPECT_EQ(a[i].outcome.note, b[i].outcome.note) << "cell " << i;
+    }
+}
+
+TEST(ParallelMatrix, JobsProduceIdenticalCells) {
+    const std::uint64_t seeds[][2] = {{1001, 2002}, {7, 13}, {0xdeadbeef, 0xfeedface}};
+    for (const auto& s : seeds) {
+        const auto serial = run_matrix(s[0], s[1], 1);
+        const auto parallel4 = run_matrix(s[0], s[1], 4);
+        expect_same_cells(serial, parallel4);
+        EXPECT_EQ(format_matrix(serial), format_matrix(parallel4));
+    }
+}
+
+TEST(ParallelFaultSweep, JobsProduceIdenticalReport) {
+    FaultSweepOptions serial_opts;
+    serial_opts.windows_per_class = 2;
+    FaultSweepOptions par_opts = serial_opts;
+    par_opts.jobs = 4;
+
+    const auto a = run_fault_sweep(serial_opts);
+    const auto b = run_fault_sweep(par_opts);
+    EXPECT_EQ(a.cells, b.cells);
+    EXPECT_EQ(a.baseline_blocked, b.baseline_blocked);
+    EXPECT_EQ(a.baseline_success, b.baseline_success);
+    ASSERT_EQ(a.tallies.size(), b.tallies.size());
+    for (std::size_t i = 0; i < a.tallies.size(); ++i) {
+        EXPECT_EQ(a.tallies[i].windows, b.tallies[i].windows);
+        EXPECT_EQ(a.tallies[i].power_cut, b.tallies[i].power_cut);
+        EXPECT_EQ(a.tallies[i].still_blocked, b.tallies[i].still_blocked);
+        EXPECT_EQ(a.tallies[i].fail_open, b.tallies[i].fail_open);
+    }
+    ASSERT_EQ(a.violations.size(), b.violations.size());
+    for (std::size_t i = 0; i < a.violations.size(); ++i) {
+        EXPECT_EQ(a.violations[i].to_string(), b.violations[i].to_string());
+    }
+    // The rendered report — tallies, violation order, statecont — must be
+    // byte-identical.
+    EXPECT_EQ(a.summary(), b.summary());
+}
+
+TEST(ParallelStatecont, JobsProduceIdenticalSweep) {
+    const auto a = run_statecont_fault_sweep(9, 1);
+    const auto b = run_statecont_fault_sweep(9, 4);
+    EXPECT_EQ(a.windows, b.windows);
+    EXPECT_EQ(a.crashes, b.crashes);
+    EXPECT_EQ(a.violations, b.violations);
+}
+
+} // namespace

@@ -427,4 +427,27 @@ TEST(PmaMachine, KernelAccessRespectsModules) {
     EXPECT_FALSE(r.m.kernel_read32(0x7f000000, v)); // unmapped
 }
 
+TEST(Machine, KernelWriteIsAllOrNothing) {
+    // A word straddling the end of mapped memory must be refused without
+    // touching any byte — the old byte-at-a-time path wrote bytes 0-1
+    // before discovering byte 2 was unmapped (a torn kernel write).
+    Machine m;
+    m.memory().map(0x1000, 0x1000, Perm::RW);
+    m.memory().raw_write32(0x1ffc, 0xa1b2c3d4);
+    EXPECT_FALSE(m.kernel_write32(0x1ffe, 0x11223344)); // crosses into unmapped
+    EXPECT_EQ(m.memory().raw_read32(0x1ffc), 0xa1b2c3d4u) << "partial write leaked";
+    // A word straddling into a protected module is refused the same way.
+    ProtectedModule mod;
+    mod.code_base = 0x2000;
+    mod.code_size = 0x1000;
+    mod.data_base = 0x3000;
+    mod.data_size = 0x1000;
+    Machine pm;
+    pm.memory().map(0x1000, 0x3000, Perm::RW);
+    pm.add_protected_module(mod);
+    pm.memory().raw_write32(0x1ffc, 0xa1b2c3d4);
+    EXPECT_FALSE(pm.kernel_write32(0x1ffe, 0x11223344));
+    EXPECT_EQ(pm.memory().raw_read32(0x1ffc), 0xa1b2c3d4u) << "partial write leaked";
+}
+
 } // namespace

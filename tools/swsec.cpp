@@ -6,10 +6,14 @@
 //   swsec lint <file.mc>               static memory-safety analysis
 //   swsec gadgets <file.mc>            ROP-gadget census of the binary
 //   swsec fig1                         regenerate the paper's Fig. 1
-//   swsec matrix                       the attack/defense matrix
+//   swsec matrix [--jobs N]            the attack/defense matrix
 //   swsec fault-sweep [options]        fail-closed fault-injection sweep
-//                                      (--fault-seed N, --windows N;
+//                                      (--fault-seed N, --windows N, --jobs N;
 //                                       exit 0 iff the invariant holds)
+//
+// Both sweeps are deterministic for any --jobs value: cells are handed out
+// by index and merged by index, so parallel output is byte-identical to
+// serial.  --jobs 0 means one worker per hardware thread.
 //
 // Hardening options (run/asm/disasm):
 //   --canary --bounds --fortify --memcheck     compiler passes
@@ -51,7 +55,8 @@ int usage() {
         "usage: swsec <run|asm|disasm|lint|gadgets|fig1|matrix|fault-sweep> [file.mc] [options]\n"
         "options: --canary --bounds --fortify --memcheck --dep --aslr\n"
         "         --shadow-stack --cfi --seed N --input STR\n"
-        "fault-sweep options: --fault-seed N --windows N\n",
+        "matrix options: --jobs N\n"
+        "fault-sweep options: --fault-seed N --windows N --jobs N\n",
         stderr);
     return 2;
 }
@@ -159,6 +164,21 @@ int cmd_gadgets(const Options& opt) {
     return 0;
 }
 
+int cmd_matrix(int argc, char** argv) {
+    int jobs = 1;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else {
+            std::fprintf(stderr, "unknown matrix option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    std::fputs(core::format_matrix(core::run_matrix(1001, 2002, jobs)).c_str(), stdout);
+    return 0;
+}
+
 int cmd_fault_sweep(int argc, char** argv) {
     core::FaultSweepOptions opts;
     for (int i = 2; i < argc; ++i) {
@@ -167,6 +187,8 @@ int cmd_fault_sweep(int argc, char** argv) {
             opts.fault_seed = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg == "--windows" && i + 1 < argc) {
             opts.windows_per_class = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opts.jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
         } else {
             std::fprintf(stderr, "unknown fault-sweep option '%s'\n", arg.c_str());
             return 2;
@@ -190,8 +212,7 @@ int main(int argc, char** argv) {
             return 0;
         }
         if (cmd == "matrix") {
-            std::fputs(core::format_matrix(core::run_matrix()).c_str(), stdout);
-            return 0;
+            return cmd_matrix(argc, argv);
         }
         if (cmd == "fault-sweep") {
             return cmd_fault_sweep(argc, argv);
