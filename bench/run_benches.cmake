@@ -8,7 +8,9 @@
 # Required -D vars: BENCH_DIR (binary dir), BENCH_NAMES (comma-separated),
 # OUTPUT (aggregate path).  Optional: MIN_TIME (per-benchmark seconds,
 # default 0.05 — enough for stable medians on these millisecond-scale
-# benches without CI-hostile runtimes).
+# benches without CI-hostile runtimes); OUTPUT_COPY (second path for the
+# aggregate — bench-all points it at <repo>/BENCH_PR<N>.json so each PR can
+# commit its snapshot and the repo accumulates a performance trajectory).
 cmake_minimum_required(VERSION 3.19) # string(JSON)
 
 if(NOT DEFINED MIN_TIME)
@@ -38,3 +40,7 @@ endforeach()
 
 file(WRITE "${OUTPUT}" "${agg}")
 message(STATUS "bench-all: wrote ${OUTPUT}")
+if(DEFINED OUTPUT_COPY AND NOT OUTPUT_COPY STREQUAL "")
+  file(WRITE "${OUTPUT_COPY}" "${agg}")
+  message(STATUS "bench-all: wrote ${OUTPUT_COPY}")
+endif()

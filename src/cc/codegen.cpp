@@ -342,7 +342,8 @@ private:
             ins("load r2, [bp-4]");
             ins("cmp r1, r2");
             ins("jz " + ok);
-            ins("sys 5"); // abort: smashing detected
+            ins("mov r0, 1"); // AbortReason::Canary
+            ins("sys 5");     // abort: smashing detected
             text(ok + ":");
         }
         ins("leave");
@@ -818,6 +819,7 @@ private:
                 ins("load r1, [sp+8]"); // the length argument
                 ins("cmp r1, " + std::to_string(cap + 1));
                 ins("jb " + ok);
+                ins("mov r0, 3"); // AbortReason::Fortify
                 ins("sys 5");
                 text(ok + ":");
             }
@@ -872,7 +874,8 @@ private:
         ins("mov r6, __pma_text_end");
         ins("cmp r0, r6");
         ins("jae " + ok);
-        ins("sys 5"); // abort: entry-point abuse attempt
+        ins("mov r0, 4"); // AbortReason::PmaGuard
+        ins("sys 5");     // abort: entry-point abuse attempt
         text(ok + ":");
         ins("mov r6, r0");
         comment("marshal arguments to the outside stack");
@@ -933,6 +936,7 @@ private:
                 const std::string ok = fresh_label("bounds_ok");
                 ins("cmp r0, " + std::to_string(len));
                 ins("jb " + ok); // unsigned: also rejects negative indices
+                ins("mov r0, 2"); // AbortReason::Bounds
                 ins("sys 5");
                 text(ok + ":");
             }

@@ -59,6 +59,7 @@ getrandom:             ; void getrandom(char* buf, int n)
 .global abort
 .func abort
 abort:                 ; void abort(void)
+  mov r0, 0            ; AbortReason::Generic
   sys 5
   ret
 

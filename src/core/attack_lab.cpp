@@ -61,6 +61,7 @@ struct Lab {
     std::uint64_t victim_seed;
     std::uint64_t attacker_seed;
     fault::FaultInjector* victim_faults = nullptr;
+    trace::Tracer* victim_tracer = nullptr;
 
     // Keeps the memoized image alive for the duration of the attack; every
     // cell used to recompile its scenario from scratch, which dominated the
@@ -74,6 +75,7 @@ struct Lab {
     [[nodiscard]] Process victim(const objfmt::Image& img) const {
         os::SecurityProfile prof = defense.profile;
         prof.fault_injector = victim_faults; // only the deployed machine glitches
+        prof.tracer = victim_tracer;         // only the deployed machine is observed
         return Process(img, prof, victim_seed);
     }
     [[nodiscard]] Process probe(const objfmt::Image& img) const {
@@ -368,8 +370,9 @@ const std::vector<AttackKind>& all_attacks() {
 }
 
 AttackOutcome run_attack(AttackKind kind, const Defense& defense, std::uint64_t victim_seed,
-                         std::uint64_t attacker_seed, fault::FaultInjector* victim_faults) {
-    Lab lab{defense, victim_seed, attacker_seed, victim_faults, {}};
+                         std::uint64_t attacker_seed, fault::FaultInjector* victim_faults,
+                         trace::Tracer* victim_tracer) {
+    Lab lab{defense, victim_seed, attacker_seed, victim_faults, victim_tracer, {}};
     switch (kind) {
     case AttackKind::StackSmashInject:
         return lab.stack_smash_inject();

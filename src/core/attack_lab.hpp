@@ -15,6 +15,7 @@
 
 #include "core/defense.hpp"
 #include "fault/fault.hpp"
+#include "trace/trace.hpp"
 #include "vm/trap.hpp"
 
 namespace swsec::core {
@@ -53,10 +54,13 @@ struct AttackOutcome {
 /// platform runs under that fault injector (the attacker's probe stays
 /// clean — the attacker rehearses on healthy hardware; only the deployed
 /// machine glitches).  The fault-sweep harness uses this to check that no
-/// glitch can flip a blocked cell into a success.
+/// glitch can flip a blocked cell into a success.  When `victim_tracer` is
+/// given, the victim machine records its full event trace into it (the probe
+/// never traces — only the deployed machine is observed).
 [[nodiscard]] AttackOutcome run_attack(AttackKind kind, const Defense& defense,
                                        std::uint64_t victim_seed = 1001,
                                        std::uint64_t attacker_seed = 2002,
-                                       fault::FaultInjector* victim_faults = nullptr);
+                                       fault::FaultInjector* victim_faults = nullptr,
+                                       trace::Tracer* victim_tracer = nullptr);
 
 } // namespace swsec::core

@@ -272,6 +272,7 @@ namespace {
 /// so the report is byte-identical for any jobs value.
 struct CellSweep {
     bool baseline_success = false;
+    MatrixCell record;                // baseline outcome with trap provenance
     std::vector<ClassTally> tallies;  // one per opts.classes entry
     std::vector<FailOpenViolation> violations;  // class-major, window order
 };
@@ -286,6 +287,7 @@ CellSweep sweep_cell(const FaultSweepOptions& opts, std::size_t ai, std::size_t 
 
     const AttackOutcome baseline =
         run_attack(kind, defense, opts.victim_seed, opts.attacker_seed);
+    cell.record = MatrixCell{kind, defense.name, baseline};
     if (baseline.succeeded) {
         // The attack wins on a healthy platform: a fault cannot make
         // that cell any worse, so the sweep has nothing to assert.
@@ -351,8 +353,10 @@ FaultSweepReport run_fault_sweep(const FaultSweepOptions& opts) {
 
     // Deterministic merge: fold cells in index order, which is exactly the
     // order the old serial loops visited them.
+    rep.baseline_cells.reserve(cells.size());
     for (auto& cell : cells) {
         ++rep.cells;
+        rep.baseline_cells.push_back(std::move(cell.record));
         if (cell.baseline_success) {
             ++rep.baseline_success;
             continue;

@@ -30,6 +30,7 @@
 
 #include "core/attack_lab.hpp"
 #include "core/defense.hpp"
+#include "core/matrix.hpp"
 #include "fault/fault.hpp"
 
 namespace swsec::core {
@@ -91,6 +92,11 @@ struct FaultSweepReport {
     std::vector<ClassTally> tallies;    // one per fault class swept
     std::vector<FailOpenViolation> violations;
     StatecontSweep statecont;
+    /// Per-cell baseline outcomes with full trap provenance (which check
+    /// fired, module, kernel/user, ip/addr) in cell-index order — the *why*
+    /// behind baseline_blocked/baseline_success.  Serialise with
+    /// matrix_cells_jsonl(); identical for any jobs value.
+    std::vector<MatrixCell> baseline_cells;
 
     [[nodiscard]] std::uint64_t total_windows() const noexcept;
     /// The invariant the harness enforces: no fail-open flips and no

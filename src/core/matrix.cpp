@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/hexdump.hpp"
 #include "core/parallel.hpp"
+#include "trace/trace.hpp"
 
 namespace swsec::core {
 
@@ -71,6 +73,27 @@ std::string format_matrix(const std::vector<MatrixCell>& cells) {
             out += "  " + t + std::string(col_w[j] - t.size(), ' ');
         }
         out += "\n";
+    }
+    return out;
+}
+
+std::string matrix_cells_jsonl(const std::vector<MatrixCell>& cells) {
+    std::string out;
+    for (const auto& c : cells) {
+        const vm::Trap& t = c.outcome.trap;
+        out += "{\"attack\":\"" + attack_name(c.attack) + "\"";
+        out += ",\"defense\":\"" + trace::json_escape(c.defense) + "\"";
+        out += c.outcome.succeeded ? ",\"succeeded\":true" : ",\"succeeded\":false";
+        out += ",\"trap\":\"" + vm::trap_name(t.kind) + "\"";
+        out += ",\"origin\":\"";
+        out += trace::check_origin_name(t.origin);
+        out += "\",\"module\":" + std::to_string(t.module);
+        out += ",\"mode\":\"";
+        out += t.kernel ? "kernel" : "user";
+        out += "\",\"ip\":\"" + hex32(t.ip) + "\"";
+        out += ",\"addr\":\"" + hex32(t.addr) + "\"";
+        out += ",\"steps\":" + std::to_string(c.outcome.steps);
+        out += ",\"note\":\"" + trace::json_escape(c.outcome.note) + "\"}\n";
     }
     return out;
 }

@@ -33,4 +33,11 @@ struct MatrixCell {
 /// trap that stopped it).
 [[nodiscard]] std::string format_matrix(const std::vector<MatrixCell>& cells);
 
+/// One JSONL line per cell carrying the full trap provenance: which check
+/// fired (origin), in which module, kernel or user mode, at which ip/addr —
+/// i.e. *why* the cell passed or failed, not just the trap kind.  Cells are
+/// emitted in input order, so a serial and a `--jobs N` sweep (which merges
+/// by index) serialise byte-identically.
+[[nodiscard]] std::string matrix_cells_jsonl(const std::vector<MatrixCell>& cells);
+
 } // namespace swsec::core

@@ -16,6 +16,10 @@ std::vector<DisasmLine> disassemble(std::span<const std::uint8_t> code, std::uin
             line.text = to_string(*insn, line.addr);
             off += insn->length;
         } else {
+            // Resynchronise one byte at a time.  The placeholder Insn keeps
+            // length 1 so byte-coverage invariants hold, but is_data is the
+            // authoritative marker: no real Halt was decoded here.
+            line.is_data = true;
             line.insn = Insn{Op::Halt, Reg::R0, Reg::R0, 0, 1};
             line.bytes_hex = hex_bytes(code.subspan(off, 1));
             line.text = ".byte " + hex8(code[off]);
@@ -30,7 +34,10 @@ std::string format_listing(const std::vector<DisasmLine>& lines) {
     std::string out;
     for (const auto& line : lines) {
         std::string bytes = line.bytes_hex;
-        bytes.resize(20, ' '); // widest encoding is 6 bytes = 17 chars
+        // Column width 20: the widest encoding is 6 bytes, which renders as
+        // 17 chars ("xx " * 5 + "xx"); 20 leaves a 3-space gutter.  Existing
+        // golden listings depend on this width.
+        bytes.resize(20, ' ');
         out += hex32(line.addr) + ":  " + bytes + " " + line.text + "\n";
     }
     return out;

@@ -17,9 +17,13 @@ namespace swsec::isa {
 /// One disassembled line.
 struct DisasmLine {
     std::uint32_t addr = 0;
-    Insn insn;
+    Insn insn;             // meaningless when is_data (length 1 for resync)
     std::string bytes_hex; // "55" / "89 e5" / ...
-    std::string text;      // "push bp"
+    std::string text;      // "push bp" / ".byte 0x04"
+    bool is_data = false;  // the byte did not decode: this is a ".byte" line,
+                           // not a real instruction.  Consumers iterating
+                           // `insn` must skip these — previously they saw a
+                           // fabricated Halt and mistook raw data for code.
 };
 
 /// Disassemble `code` assuming it starts at virtual address `base`.

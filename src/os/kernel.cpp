@@ -27,7 +27,7 @@ std::string Kernel::output_string(int fd) {
     return std::string(out.begin(), out.end());
 }
 
-fault::SyscallFault Kernel::probe_io_fault(std::uint8_t number) {
+fault::SyscallFault Kernel::probe_io_fault(vm::Machine& m, std::uint8_t number) {
     fault::SyscallFault f{};
     if (injector_ == nullptr) {
         return f;
@@ -36,6 +36,11 @@ fault::SyscallFault Kernel::probe_io_fault(std::uint8_t number) {
     unsigned attempt = 0;
     while (f.fail) {
         ++fault_stats_.injected_failures;
+        if (m.tracer() != nullptr) {
+            m.tracer()->record({trace::EventKind::FaultInjected, m.steps_executed(), m.ip(),
+                                m.current_module(), true, trace::CheckOrigin::FaultInjector,
+                                number, attempt, 0, "syscall failure injected"});
+        }
         ++attempt;
         if (attempt >= retry_.max_attempts) {
             ++fault_stats_.reported_errors;
@@ -49,7 +54,7 @@ fault::SyscallFault Kernel::probe_io_fault(std::uint8_t number) {
 }
 
 bool Kernel::sys_read(vm::Machine& m) {
-    const auto f = probe_io_fault(vm::sys_num(Sys::Read));
+    const auto f = probe_io_fault(m, vm::sys_num(Sys::Read));
     if (f.fail) {
         m.set_reg(Reg::R0, 0xffffffff); // EIO after bounded retries
         return true;
@@ -59,6 +64,12 @@ bool Kernel::sys_read(vm::Machine& m) {
     std::uint32_t len = m.reg(Reg::R2);
     if (f.short_read && f.max_bytes < len) {
         ++fault_stats_.short_reads;
+        if (m.tracer() != nullptr) {
+            m.tracer()->record({trace::EventKind::FaultInjected, m.steps_executed(), m.ip(),
+                                m.current_module(), true, trace::CheckOrigin::FaultInjector,
+                                vm::sys_num(Sys::Read), len, f.max_bytes,
+                                "short read injected"});
+        }
         len = f.max_bytes;
     }
     auto& ch = channels_[fd];
@@ -78,7 +89,7 @@ bool Kernel::sys_read(vm::Machine& m) {
 }
 
 bool Kernel::sys_write(vm::Machine& m) {
-    if (probe_io_fault(vm::sys_num(Sys::Write)).fail) {
+    if (probe_io_fault(m, vm::sys_num(Sys::Write)).fail) {
         m.set_reg(Reg::R0, 0xffffffff);
         return true;
     }
@@ -111,8 +122,18 @@ bool Kernel::sys_sbrk(vm::Machine& m) {
         }
         m.memory().map(old_brk, static_cast<std::uint32_t>(delta), vm::Perm::RW);
         layout_->brk = new_brk;
+        if (m.tracer() != nullptr) {
+            m.tracer()->record({trace::EventKind::HeapAlloc, m.steps_executed(), m.ip(),
+                                m.current_module(), true, trace::CheckOrigin::None, 0, old_brk,
+                                static_cast<std::uint32_t>(delta), {}});
+        }
     } else if (delta < 0) {
         layout_->brk = old_brk + static_cast<std::uint32_t>(delta);
+        if (m.tracer() != nullptr) {
+            m.tracer()->record({trace::EventKind::HeapFree, m.steps_executed(), m.ip(),
+                                m.current_module(), true, trace::CheckOrigin::None, 0,
+                                layout_->brk, static_cast<std::uint32_t>(-delta), {}});
+        }
     }
     m.set_reg(Reg::R0, old_brk);
     return true;
@@ -145,7 +166,32 @@ bool Kernel::handle_syscall(vm::Machine& m, std::uint8_t number) {
     case Sys::GetRandom:
         return sys_getrandom(m);
     case Sys::Abort:
-        m.set_trap(TrapKind::Abort, 0, "program aborted (countermeasure check failed)");
+        // r0 carries the abort reason (vm::AbortReason): compiler-inserted
+        // checks all funnel through this one syscall, and without the reason
+        // code a canary hit, a bounds hit and a fortify hit are
+        // indistinguishable in the trap record.
+        switch (static_cast<vm::AbortReason>(m.reg(Reg::R0))) {
+        case vm::AbortReason::Canary:
+            m.set_trap(TrapKind::Abort, 0, "stack canary check failed (stack smashing detected)",
+                       trace::CheckOrigin::Canary);
+            break;
+        case vm::AbortReason::Bounds:
+            m.set_trap(TrapKind::Abort, 0, "array bounds check failed",
+                       trace::CheckOrigin::Bounds);
+            break;
+        case vm::AbortReason::Fortify:
+            m.set_trap(TrapKind::Abort, 0, "fortified read exceeded destination capacity",
+                       trace::CheckOrigin::Fortify);
+            break;
+        case vm::AbortReason::PmaGuard:
+            m.set_trap(TrapKind::Abort, 0, "module entry-point sanitisation failed",
+                       trace::CheckOrigin::Pma);
+            break;
+        case vm::AbortReason::Generic:
+        default:
+            m.set_trap(TrapKind::Abort, 0, "program aborted (countermeasure check failed)");
+            break;
+        }
         return true;
     case Sys::Poison:
         if (m.options().memcheck) {

@@ -102,8 +102,9 @@ private:
     bool sys_getrandom(vm::Machine& m);
     /// Probe the injector for this syscall, running the bounded-retry loop.
     /// The returned decision is the post-retry verdict: if it still says
-    /// fail, the kernel reports the error to the program.
-    [[nodiscard]] fault::SyscallFault probe_io_fault(std::uint8_t number);
+    /// fail, the kernel reports the error to the program.  Injected failures
+    /// are reported to the machine's tracer as FaultInjected events.
+    [[nodiscard]] fault::SyscallFault probe_io_fault(vm::Machine& m, std::uint8_t number);
 
     std::map<int, Channel> channels_;
     std::vector<SyscallRecord> trace_;

@@ -1,6 +1,7 @@
 #include "os/loader.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/error.hpp"
 
@@ -23,25 +24,65 @@ std::uint32_t randomized(std::uint32_t base, std::uint32_t entropy_bits, Rng& rn
     return downward ? base - shift : base + shift;
 }
 
+std::uint32_t page_round_up(std::uint32_t v) noexcept {
+    return (v + vm::kPageSize - 1) & ~(vm::kPageSize - 1);
+}
+
 } // namespace
+
+void assert_disjoint_layout(const ProcessLayout& layout, std::uint32_t stack_size) {
+    struct Region {
+        const char* name;
+        std::uint32_t lo;
+        std::uint32_t hi; // exclusive, page-rounded
+    };
+    const Region regions[] = {
+        {"text", layout.text_base,
+         layout.text_base + page_round_up(std::max<std::uint32_t>(layout.text_size, 1))},
+        {"data", layout.data_base,
+         layout.data_base + page_round_up(std::max<std::uint32_t>(layout.data_size, 1))},
+        // The heap is unmapped until sbrk; reserve its first page so a brk
+        // landing inside another segment is rejected up front.
+        {"heap", layout.heap_base, layout.heap_base + vm::kPageSize},
+        {"stack", layout.stack_high - stack_size, layout.stack_high},
+    };
+    for (std::size_t i = 0; i < std::size(regions); ++i) {
+        for (std::size_t j = i + 1; j < std::size(regions); ++j) {
+            const Region& a = regions[i];
+            const Region& b = regions[j];
+            if (a.lo < b.hi && b.lo < a.hi) {
+                throw Error(std::string("ASLR layout collision: ") + a.name + " [" +
+                            std::to_string(a.lo) + ", " + std::to_string(a.hi) + ") overlaps " +
+                            b.name + " [" + std::to_string(b.lo) + ", " + std::to_string(b.hi) +
+                            ")");
+            }
+        }
+    }
+}
 
 ProcessLayout load_image(vm::Machine& machine, const Image& image, const LoadOptions& opts,
                          Rng& rng, const std::string& entry_symbol) {
+    const std::uint32_t entropy = std::min(opts.aslr_entropy_bits, kMaxAslrEntropyBits);
     ProcessLayout layout;
-    layout.text_base = opts.aslr ? randomized(kDefaultTextBase, opts.aslr_entropy_bits, rng)
+    layout.text_base = opts.aslr ? randomized(kDefaultTextBase, entropy, rng)
                                  : kDefaultTextBase;
     layout.text_size = static_cast<std::uint32_t>(image.text.size());
-    layout.data_base = opts.aslr ? randomized(kDefaultDataBase, opts.aslr_entropy_bits, rng)
+    layout.data_base = opts.aslr ? randomized(kDefaultDataBase, entropy, rng)
                                  : kDefaultDataBase;
     layout.data_size = image.data_total_size();
-    layout.heap_base = opts.aslr ? randomized(kDefaultHeapBase, opts.aslr_entropy_bits, rng)
+    layout.heap_base = opts.aslr ? randomized(kDefaultHeapBase, entropy, rng)
                                  : kDefaultHeapBase;
     layout.brk = layout.heap_base;
     layout.stack_high = opts.aslr
-                            ? randomized(kDefaultStackTop, opts.aslr_entropy_bits, rng,
+                            ? randomized(kDefaultStackTop, entropy, rng,
                                          /*downward=*/true)
                             : kDefaultStackTop;
     layout.stack_low = layout.stack_high - opts.stack_size;
+
+    // The four offsets above are independent draws: nothing stops two
+    // segments landing on the same pages at high entropy.  Refuse to build a
+    // self-overlapping address space rather than load and corrupt.
+    assert_disjoint_layout(layout, opts.stack_size);
 
     auto& mem = machine.memory();
     // Map with permissive RW first so relocation patching can use raw writes,

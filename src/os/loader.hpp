@@ -32,6 +32,19 @@ struct LoadOptions {
     bool install_cfi_targets = true; // publish function starts to the machine
 };
 
+/// Largest supported per-segment ASLR entropy; load_image clamps to this.
+/// Beyond it the independently drawn segment shifts would overlap more often
+/// than they would load.
+inline constexpr std::uint32_t kMaxAslrEntropyBits = 14;
+
+/// Post-randomization sanity check: text, data, heap (first page) and stack
+/// extents must be pairwise disjoint.  Each segment's offset is drawn from
+/// its own slice of one RNG stream with no coordination, so a collision is
+/// possible at high entropy — loading anyway would silently corrupt one
+/// segment with another (relocation patches landing in stack pages, stack
+/// growth overwriting text, ...).  Throws Error naming the colliding pair.
+void assert_disjoint_layout(const ProcessLayout& layout, std::uint32_t stack_size);
+
 /// Load `image` into `machine`.  Returns the resulting layout.  The entry
 /// symbol (normally "_start") must exist in the image.
 ProcessLayout load_image(vm::Machine& machine, const objfmt::Image& image,

@@ -15,6 +15,9 @@ Process::Process(objfmt::Image image, const SecurityProfile& profile, std::uint6
         kernel_.set_fault_injector(profile.fault_injector);
         kernel_.set_retry_policy(profile.syscall_retry);
     }
+    if (profile.tracer != nullptr) {
+        machine_.set_tracer(profile.tracer);
+    }
 
     LoadOptions lo;
     lo.dep = profile.dep;

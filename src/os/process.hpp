@@ -37,6 +37,11 @@ struct SecurityProfile {
     fault::FaultInjector* fault_injector = nullptr;
     RetryPolicy syscall_retry; // kernel bounded-retry policy under faults
 
+    /// Observability tracer attached to the machine (non-owning; may be
+    /// null).  Events flow from every platform layer; a null tracer costs
+    /// one guarded branch per hook site.  Must outlive the Process.
+    trace::Tracer* tracer = nullptr;
+
     [[nodiscard]] static SecurityProfile none() noexcept { return {}; }
     [[nodiscard]] static SecurityProfile hardened() noexcept {
         SecurityProfile p;

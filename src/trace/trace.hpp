@@ -1,0 +1,152 @@
+// Machine-wide observability: typed trace events, per-run counters and a
+// JSONL exporter.
+//
+// The paper's whole argument turns on *attributing* behaviour: which
+// instruction smashed the stack, which check (canary/DEP/PMA/...) fired,
+// which module was executing when a trap landed.  This layer is the software
+// analogue of the branch-monitoring hardware in the CFI literature: a
+// low-overhead ring buffer of TraceEvents that every platform layer
+// (vm::Machine, os::Kernel, the fault injector probes, harnesses) can emit
+// into, plus aggregate Counters for the run.
+//
+// Design rules the rest of the tree relies on:
+//
+//  * The event stream is part of the machine's *observable semantics*: two
+//    runs that execute identically must emit byte-identical JSONL, whether
+//    the decode cache is on or off and whether a sweep ran serial or with
+//    --jobs N.  Anything that may differ between equivalent executions
+//    (decode-cache hit rates) lives only in Counters, never in events.
+//  * Hooks are guarded by a null pointer check at every emission site, so a
+//    detached tracer costs one predictable branch — the disabled-tracer
+//    overhead budget is <= 5% on the attack-matrix bench.
+//  * trace depends only on common.  The VM, OS and harness layers all sit
+//    above it; trap kinds and syscall numbers are carried as raw codes with
+//    the emitting layer supplying the human-readable name in `detail`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swsec::trace {
+
+/// Which countermeasure (or platform mechanism) a trap/event originated
+/// from — the provenance taxonomy.  `None` means "no check involved"
+/// (normal termination, plain segfault on an unprotected platform).
+enum class CheckOrigin : std::uint8_t {
+    None = 0,
+    Canary,        // compiler-inserted stack canary compare
+    Bounds,        // compiler-inserted array bounds check
+    Fortify,       // fortified read capacity check
+    Memcheck,      // run-time poison-map checker (ASan analogue)
+    Dep,           // W^X fetch permission (hardware/OS)
+    Pma,           // protected-module access-control rules
+    Sfi,           // software-fault-isolation verifier/rewriter
+    ShadowStack,   // hardware shadow stack mismatch
+    Cfi,           // coarse CFI indirect-branch target check
+    Capability,    // capability-machine bounds/permission check
+    Watchdog,      // step-budget watchdog (OutOfGas)
+    FaultInjector, // injected platform fault (power cut etc.)
+};
+
+[[nodiscard]] const char* check_origin_name(CheckOrigin o) noexcept;
+
+/// Typed trace events.  One enumerator per hook point in the platform.
+enum class EventKind : std::uint8_t {
+    InsnRetired = 0, // an instruction completed without trapping
+    TrapRaised,      // the machine stopped (or an access faulted): code = TrapKind
+    MemFault,        // non-trapping denied access (e.g. PMA-denied kernel read)
+    SyscallEnter,    // code = syscall number; a/b = r0/r1 at entry
+    SyscallExit,     // code = syscall number; a = r0 at exit
+    PmaEnter,        // execution entered protected module `module`
+    PmaExit,         // execution left protected module `module`
+    FaultInjected,   // a scheduled fault fired: code = fault::FaultClass
+    HeapAlloc,       // program break grew: a = old brk, b = bytes
+    HeapFree,        // program break shrank: a = new brk, b = bytes
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind k) noexcept;
+
+/// One trace record.  Fixed numeric fields keep the ring buffer cheap; the
+/// optional `detail` string is only populated for rare events (traps,
+/// injected faults), never on the per-instruction hot path.
+struct TraceEvent {
+    EventKind kind = EventKind::InsnRetired;
+    std::uint64_t step = 0;   // instructions retired when the event fired
+    std::uint32_t pc = 0;     // instruction pointer at emission
+    std::int32_t module = -1; // protected-module id, -1 = unprotected memory
+    bool kernel = false;      // emitted while servicing a syscall
+    CheckOrigin origin = CheckOrigin::None;
+    std::uint8_t code = 0;    // trap kind / syscall number / fault class
+    std::uint32_t a = 0;      // event-specific (address, register, size)
+    std::uint32_t b = 0;      // event-specific (value, bit index, size)
+    std::string detail;       // human-readable name/context (rare events only)
+
+    /// One JSON object, fixed key order, no trailing newline.
+    [[nodiscard]] std::string to_json() const;
+};
+
+/// Aggregate per-run tallies.  Counters may legitimately differ between
+/// equivalent executions (decode-cache hits); they are therefore reported
+/// separately and never serialised into the event stream.
+struct Counters {
+    std::uint64_t instructions = 0;
+    std::uint64_t traps = 0;
+    std::uint64_t mem_faults = 0;
+    std::uint64_t syscalls = 0;
+    std::uint64_t pma_transitions = 0;
+    std::uint64_t faults_injected = 0;
+    std::uint64_t heap_allocs = 0;
+    std::uint64_t heap_frees = 0;
+    std::uint64_t dcache_hits = 0;
+    std::uint64_t dcache_misses = 0;
+
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Fixed-capacity ring buffer of TraceEvents plus Counters.  When the
+/// buffer is full the oldest event is dropped (and counted) — a long run
+/// keeps its tail, which is where the trap provenance lives.
+class Tracer {
+public:
+    static constexpr std::size_t kDefaultCapacity = 65536;
+
+    explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+    void record(TraceEvent e);
+    /// Counters-only decode-cache tally (never emits an event: the event
+    /// stream must be identical with the cache on or off).
+    void count_dcache(bool hit) noexcept {
+        if (hit) {
+            ++counters_.dcache_hits;
+        } else {
+            ++counters_.dcache_misses;
+        }
+    }
+
+    [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+    /// Events in emission order (oldest first).
+    [[nodiscard]] std::vector<TraceEvent> events() const;
+    [[nodiscard]] std::uint64_t total_recorded() const noexcept { return total_; }
+    [[nodiscard]] std::uint64_t dropped() const noexcept {
+        return total_ - static_cast<std::uint64_t>(size_);
+    }
+
+    /// The whole buffer as JSONL (one event per line, oldest first).
+    [[nodiscard]] std::string to_jsonl() const;
+
+    void clear() noexcept;
+
+private:
+    std::vector<TraceEvent> ring_;
+    std::size_t capacity_;
+    std::size_t head_ = 0; // next write position
+    std::size_t size_ = 0;
+    std::uint64_t total_ = 0;
+    Counters counters_;
+};
+
+/// Escape a string for embedding in a JSON value.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+} // namespace swsec::trace

@@ -37,20 +37,62 @@ void Machine::reset() {
     trap_ = Trap{};
     shadow_stack_.clear();
     current_module_ = kNoModule;
+    in_kernel_ = false;
     steps_ = 0;
 }
 
-void Machine::set_trap(TrapKind kind, std::uint32_t addr, std::string detail) {
+trace::CheckOrigin Machine::default_origin(TrapKind kind) const noexcept {
+    switch (kind) {
+    case TrapKind::SegvExec:
+        // Only a DEP "catch" when NX is actually enforced; a fetch of
+        // unmapped memory on the unprotected machine is a plain segfault.
+        return opts_.enforce_nx ? trace::CheckOrigin::Dep : trace::CheckOrigin::None;
+    case TrapKind::PoisonedAccess:
+        return trace::CheckOrigin::Memcheck;
+    case TrapKind::PmaViolation:
+        return trace::CheckOrigin::Pma;
+    case TrapKind::ShadowStackViolation:
+        return trace::CheckOrigin::ShadowStack;
+    case TrapKind::CfiViolation:
+        return trace::CheckOrigin::Cfi;
+    case TrapKind::CapViolation:
+        return trace::CheckOrigin::Capability;
+    case TrapKind::OutOfGas:
+        return trace::CheckOrigin::Watchdog;
+    case TrapKind::PowerCut:
+        return trace::CheckOrigin::FaultInjector;
+    default:
+        return trace::CheckOrigin::None;
+    }
+}
+
+void Machine::set_trap(TrapKind kind, std::uint32_t addr, std::string detail,
+                       trace::CheckOrigin origin) {
     trap_.kind = kind;
     trap_.ip = ip_;
     trap_.addr = addr;
     trap_.detail = std::move(detail);
+    trap_.origin = (origin != trace::CheckOrigin::None) ? origin : default_origin(kind);
+    trap_.module = current_module_;
+    trap_.kernel = in_kernel_;
+    if (tracer_ != nullptr) {
+        tracer_->record({trace::EventKind::TrapRaised, steps_, ip_, current_module_, in_kernel_,
+                         trap_.origin, static_cast<std::uint8_t>(kind), addr, 0, trap_name(kind)});
+    }
 }
 
 void Machine::set_exit(std::int32_t code) {
     trap_.kind = TrapKind::Exit;
     trap_.ip = ip_;
     trap_.code = code;
+    trap_.origin = trace::CheckOrigin::None;
+    trap_.module = current_module_;
+    trap_.kernel = in_kernel_;
+    if (tracer_ != nullptr) {
+        tracer_->record({trace::EventKind::TrapRaised, steps_, ip_, current_module_, in_kernel_,
+                         trace::CheckOrigin::None, static_cast<std::uint8_t>(TrapKind::Exit),
+                         static_cast<std::uint32_t>(code), 0, "exit"});
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -175,6 +217,11 @@ bool Machine::store8(std::uint32_t addr, std::uint8_t v) {
 
 bool Machine::kernel_read8(std::uint32_t addr, std::uint8_t& out) const noexcept {
     if (module_containing(addr) != kNoModule) {
+        if (tracer_ != nullptr) {
+            tracer_->record({trace::EventKind::MemFault, steps_, ip_, module_containing(addr),
+                             true, trace::CheckOrigin::Pma, 0, addr, 1,
+                             "pma denied kernel read"});
+        }
         return false;
     }
     if (!mem_.is_mapped(addr)) {
@@ -186,6 +233,11 @@ bool Machine::kernel_read8(std::uint32_t addr, std::uint8_t& out) const noexcept
 
 bool Machine::kernel_read32(std::uint32_t addr, std::uint32_t& out) const noexcept {
     if (!kernel_word_allowed(addr)) {
+        if (tracer_ != nullptr && module_containing(addr) != kNoModule) {
+            tracer_->record({trace::EventKind::MemFault, steps_, ip_, module_containing(addr),
+                             true, trace::CheckOrigin::Pma, 0, addr, 4,
+                             "pma denied kernel read"});
+        }
         return false;
     }
     out = mem_.read32(addr);
@@ -194,6 +246,11 @@ bool Machine::kernel_read32(std::uint32_t addr, std::uint32_t& out) const noexce
 
 bool Machine::kernel_write8(std::uint32_t addr, std::uint8_t v) noexcept {
     if (module_containing(addr) != kNoModule) {
+        if (tracer_ != nullptr) {
+            tracer_->record({trace::EventKind::MemFault, steps_, ip_, module_containing(addr),
+                             true, trace::CheckOrigin::Pma, 0, addr, 1,
+                             "pma denied kernel write"});
+        }
         return false;
     }
     if (!mem_.is_mapped(addr)) {
@@ -227,6 +284,11 @@ bool Machine::kernel_write32(std::uint32_t addr, std::uint32_t v) noexcept {
     // byte-at-a-time loop could fail on byte 2 with bytes 0-1 already
     // written — a torn kernel write the fault sweeps would misattribute.
     if (!kernel_word_allowed(addr)) {
+        if (tracer_ != nullptr && module_containing(addr) != kNoModule) {
+            tracer_->record({trace::EventKind::MemFault, steps_, ip_, module_containing(addr),
+                             true, trace::CheckOrigin::Pma, 0, addr, 4,
+                             "pma denied kernel write"});
+        }
         return false;
     }
     mem_.write32(addr, v);
@@ -324,8 +386,19 @@ void Machine::do_ret() {
 }
 
 void Machine::do_sys(std::uint8_t number) {
-    if (syscalls_ == nullptr || !syscalls_->handle_syscall(*this, number)) {
+    if (tracer_ != nullptr) {
+        tracer_->record({trace::EventKind::SyscallEnter, steps_, ip_, current_module_, false,
+                         trace::CheckOrigin::None, number, reg(Reg::R0), reg(Reg::R1), {}});
+    }
+    in_kernel_ = true;
+    const bool handled = syscalls_ != nullptr && syscalls_->handle_syscall(*this, number);
+    in_kernel_ = false;
+    if (!handled) {
         set_trap(TrapKind::BadSyscall, number, "unhandled syscall");
+    }
+    if (tracer_ != nullptr) {
+        tracer_->record({trace::EventKind::SyscallExit, steps_, ip_, current_module_, false,
+                         trace::CheckOrigin::None, number, reg(Reg::R0), 0, {}});
     }
 }
 
@@ -334,15 +407,30 @@ void Machine::apply_step_fault(const fault::StepFault& f) {
     case fault::StepFault::Kind::None:
         break;
     case fault::StepFault::Kind::PowerCut:
+        if (tracer_ != nullptr) {
+            tracer_->record({trace::EventKind::FaultInjected, steps_, ip_, current_module_,
+                             false, trace::CheckOrigin::FaultInjector,
+                             static_cast<std::uint8_t>(f.kind), 0, 0, "power cut"});
+        }
         set_trap(TrapKind::PowerCut, 0, "power lost at instruction boundary (injected)");
         break;
     case fault::StepFault::Kind::RegBitFlip:
+        if (tracer_ != nullptr) {
+            tracer_->record({trace::EventKind::FaultInjected, steps_, ip_, current_module_,
+                             false, trace::CheckOrigin::FaultInjector,
+                             static_cast<std::uint8_t>(f.kind), f.a, f.b, "reg bit flip"});
+        }
         regs_[f.a % regs_.size()] ^= (1u << (f.b & 31));
         break;
     case fault::StepFault::Kind::MemBitFlip:
         // A hardware upset is not subject to page permissions — it can hit
         // code, a canary, a saved return address, anything mapped.  Flips
         // aimed at unmapped space dissipate harmlessly.
+        if (tracer_ != nullptr) {
+            tracer_->record({trace::EventKind::FaultInjected, steps_, ip_, current_module_,
+                             false, trace::CheckOrigin::FaultInjector,
+                             static_cast<std::uint8_t>(f.kind), f.a, f.b, "mem bit flip"});
+        }
         if (mem_.is_mapped(f.a)) {
             mem_.write8(f.a, static_cast<std::uint8_t>(mem_.read8(f.a) ^ (1u << (f.b & 7))));
         }
@@ -373,6 +461,10 @@ void Machine::step() {
     if (opts_.decode_cache) {
         insn = dcache_.lookup(mem_, ip_, opts_.enforce_nx ? (Perm::R | Perm::X) : Perm::R);
     }
+    if (tracer_ != nullptr) {
+        // Counters only — the event stream must not depend on the cache.
+        tracer_->count_dcache(insn != nullptr);
+    }
     if (insn == nullptr) {
         if (!fetch(slow)) {
             return;
@@ -381,14 +473,39 @@ void Machine::step() {
     }
     // The executing module is determined by where the IP points now; data
     // accesses made by this instruction are judged against it.
+    const int prev_module = current_module_;
     current_module_ = module_containing(ip_);
+    if (tracer_ != nullptr && current_module_ != prev_module) {
+        if (prev_module != kNoModule) {
+            tracer_->record({trace::EventKind::PmaExit, steps_, ip_, prev_module, false,
+                             trace::CheckOrigin::Pma, 0, 0, 0, {}});
+        }
+        if (current_module_ != kNoModule) {
+            tracer_->record({trace::EventKind::PmaEnter, steps_, ip_, current_module_, false,
+                             trace::CheckOrigin::Pma, 0, 0, 0, {}});
+        }
+    }
+    const std::uint32_t pc = ip_;
     execute(*insn);
+    if (tracer_ != nullptr && !trap_.is_set()) {
+        tracer_->record({trace::EventKind::InsnRetired, steps_, pc, current_module_, false,
+                         trace::CheckOrigin::None, static_cast<std::uint8_t>(insn->op), 0, 0,
+                         {}});
+    }
     ++steps_;
 }
 
 RunResult Machine::run(std::uint64_t max_steps) {
+    // Per-call budget: `max_steps` further instructions from here, however
+    // many a previous run() already retired.  (The old check compared the
+    // machine's absolute step counter against the budget, so a resumed run
+    // was shortchanged by everything executed before it.)
+    const std::uint64_t end =
+        (max_steps > std::numeric_limits<std::uint64_t>::max() - steps_)
+            ? std::numeric_limits<std::uint64_t>::max()
+            : steps_ + max_steps;
     while (!trap_.is_set()) {
-        if (steps_ >= max_steps) {
+        if (steps_ >= end) {
             set_trap(TrapKind::OutOfGas, 0,
                      "watchdog: step budget of " + std::to_string(max_steps) +
                          " instructions exhausted");

@@ -23,6 +23,7 @@
 
 #include "fault/fault.hpp"
 #include "isa/isa.hpp"
+#include "trace/trace.hpp"
 #include "vm/decode_cache.hpp"
 #include "vm/memory.hpp"
 #include "vm/pma_model.hpp"
@@ -137,15 +138,33 @@ public:
     /// machine stops making progress.
     void step();
 
-    /// Run until trap or until `max_steps` instructions executed.
+    /// Run until trap or until `max_steps` further instructions executed.
+    /// The budget is per call: a resumed run (clear_trap + run) gets a fresh
+    /// allowance of `max_steps`, so budget N always retires exactly N
+    /// instructions before the watchdog fires.
     RunResult run(std::uint64_t max_steps = 10'000'000);
 
     [[nodiscard]] const Trap& trap() const noexcept { return trap_; }
-    void set_trap(TrapKind kind, std::uint32_t addr = 0, std::string detail = {});
+    /// Record a trap.  `origin` names the check that fired; when left at
+    /// None the machine derives it from the trap kind (DEP, PMA, shadow
+    /// stack, ... are unambiguous) — callers that know better (the kernel's
+    /// abort handler) pass it explicitly.
+    void set_trap(TrapKind kind, std::uint32_t addr = 0, std::string detail = {},
+                  trace::CheckOrigin origin = trace::CheckOrigin::None);
     void set_exit(std::int32_t code);
     void clear_trap() noexcept { trap_ = Trap{}; }
 
     void set_syscall_handler(SyscallHandler* handler) noexcept { syscalls_ = handler; }
+
+    /// Attach an observability tracer (trace::Tracer).  Non-owning; pass
+    /// nullptr to detach.  Every hook is guarded by this pointer, so a
+    /// detached tracer costs one predictable branch per site.
+    void set_tracer(trace::Tracer* t) noexcept { tracer_ = t; }
+    [[nodiscard]] trace::Tracer* tracer() const noexcept { return tracer_; }
+    /// True while the machine is servicing a syscall (kernel mode).  Traps
+    /// and events raised inside a syscall handler are attributed to the
+    /// kernel — e.g. a read() faulting while copying to a bad user buffer.
+    [[nodiscard]] bool in_kernel() const noexcept { return in_kernel_; }
 
     /// Attach a fault injector probed at every instruction boundary: power
     /// cuts stop the machine with TrapKind::PowerCut; register/memory
@@ -204,6 +223,9 @@ private:
     void do_ret();
     void do_sys(std::uint8_t number);
 
+    /// Provenance implied by a trap kind alone (None when ambiguous).
+    [[nodiscard]] trace::CheckOrigin default_origin(TrapKind kind) const noexcept;
+
     /// True when the kernel may touch the whole word at [addr, addr+4):
     /// every byte mapped and outside every protected module.
     [[nodiscard]] bool kernel_word_allowed(std::uint32_t addr) const noexcept;
@@ -222,6 +244,8 @@ private:
     MachineOptions opts_;
     SyscallHandler* syscalls_ = nullptr;      // non-owning; must outlive run()
     fault::FaultInjector* faults_ = nullptr;  // non-owning; may be null
+    trace::Tracer* tracer_ = nullptr;         // non-owning; may be null
+    bool in_kernel_ = false;                  // inside a syscall handler
 
     std::array<Capability, kNumCaps> caps_{};
     std::vector<std::uint32_t> shadow_stack_;

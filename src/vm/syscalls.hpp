@@ -27,4 +27,18 @@ enum class Sys : std::uint8_t {
 
 inline constexpr std::uint8_t sys_num(Sys s) noexcept { return static_cast<std::uint8_t>(s); }
 
+/// Abort reason ABI: the value of r0 at `sys 5` names the check that failed,
+/// so the kernel can attribute the Abort trap to the originating
+/// countermeasure (compiler-inserted checks all funnel through the same
+/// syscall; without this they are indistinguishable in the trap record).
+/// Out-of-range values are treated as Generic — hand-written code that never
+/// sets r0 keeps the old behaviour.
+enum class AbortReason : std::uint32_t {
+    Generic = 0,  // library abort() / unknown
+    Canary = 1,   // stack canary mismatch at function exit
+    Bounds = 2,   // array index out of bounds
+    Fortify = 3,  // fortified read exceeds destination capacity
+    PmaGuard = 4, // protected-module entry/indirect-call sanitisation
+};
+
 } // namespace swsec::vm

@@ -58,4 +58,12 @@ std::string Trap::to_string() const {
     return out;
 }
 
+std::string Trap::provenance() const {
+    std::string out = "origin=";
+    out += trace::check_origin_name(origin);
+    out += " module=" + std::to_string(module);
+    out += kernel ? " mode=kernel" : " mode=user";
+    return out;
+}
+
 } // namespace swsec::vm

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "trace/trace.hpp"
+
 namespace swsec::vm {
 
 /// Why the machine stopped (or why an instruction faulted).
@@ -35,16 +37,25 @@ enum class TrapKind : std::uint8_t {
 
 [[nodiscard]] std::string trap_name(TrapKind k);
 
-/// Full trap record: kind plus the faulting context.
+/// Full trap record: kind plus the faulting context and its provenance —
+/// which check fired, which protected module was executing, and whether the
+/// machine was in kernel mode (servicing a syscall) when the trap landed.
 struct Trap {
     TrapKind kind = TrapKind::None;
     std::uint32_t ip = 0;      // instruction pointer at the faulting instruction
     std::uint32_t addr = 0;    // faulting memory address (when applicable)
     std::int32_t code = 0;     // exit code for TrapKind::Exit
     std::string detail;        // human-readable context
+    trace::CheckOrigin origin = trace::CheckOrigin::None; // which check fired
+    std::int32_t module = -1;  // protected module executing at the trap, or -1
+    bool kernel = false;       // raised while servicing a syscall
 
     [[nodiscard]] bool is_set() const noexcept { return kind != TrapKind::None; }
+    /// Classic one-line rendering (kind/ip/addr/detail) — unchanged format,
+    /// existing harness output depends on it.
     [[nodiscard]] std::string to_string() const;
+    /// Provenance rendering: "origin=canary module=-1 mode=kernel".
+    [[nodiscard]] std::string provenance() const;
 };
 
 } // namespace swsec::vm

@@ -207,6 +207,12 @@ TEST(Disasm, UndecodableBytesBecomeByteLines) {
     ASSERT_EQ(lines.size(), 2u);
     EXPECT_EQ(lines[0].text, ".byte 0x04");
     EXPECT_EQ(lines[1].text, "nop");
+    // The structured marker distinguishes data lines from real instructions
+    // so consumers no longer have to sniff the ".byte" text prefix — and the
+    // placeholder `insn` of a data line is never mistaken for a decoded one.
+    EXPECT_TRUE(lines[0].is_data);
+    EXPECT_EQ(lines[0].insn.length, 1u) << "data lines resync one byte at a time";
+    EXPECT_FALSE(lines[1].is_data);
 }
 
 } // namespace

@@ -207,6 +207,14 @@ TEST(Managed, InterpretationHasMeasurableOverhead) {
     const std::int32_t args[] = {15};
     EXPECT_EQ(rt.invoke(fib_idx, args), 610);
     EXPECT_GT(rt.steps_executed(), 10'000u) << "interpretation is not free";
+
+    // The watchdog budget is per top-level invoke, like Machine::run's step
+    // budget: a long-lived runtime serving many calls must not accumulate
+    // earlier invocations into later ones.  Each repeat costs the same
+    // fresh-budget step count as the first.
+    const std::uint64_t first = rt.steps_executed();
+    EXPECT_EQ(rt.invoke(fib_idx, args), 610);
+    EXPECT_EQ(rt.steps_executed(), first) << "second invoke starts from zero";
 }
 
 } // namespace

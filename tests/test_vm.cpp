@@ -3,6 +3,8 @@
 // level, and kernel-privilege access.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.hpp"
 #include "isa/encoder.hpp"
 #include "vm/machine.hpp"
@@ -277,6 +279,38 @@ TEST(Machine, OutOfGas) {
     const auto res = r.run(e, 100);
     EXPECT_EQ(res.trap.kind, TrapKind::OutOfGas);
     EXPECT_EQ(res.steps, 100u);
+}
+
+// The budget contract: run(N) retires exactly N instructions for this call —
+// the budget is per invocation, not a lifetime watermark against the
+// machine's cumulative step counter.
+TEST(Machine, RunBudgetIsPerCall) {
+    Encoder e;
+    const auto j = e.rel32(Op::Jmp, 0);
+    e.patch_rel32(j, 0); // jmp self
+    Runner r;
+    EXPECT_EQ(r.run(e, 5).trap.kind, TrapKind::OutOfGas);
+    EXPECT_EQ(r.m.steps_executed(), 5u);
+
+    // A resumed run gets a fresh budget of 5, not "5 minus what's already
+    // on the odometer" (which would be zero and trap instantly).
+    r.m.clear_trap();
+    const auto res = r.m.run(5);
+    EXPECT_EQ(res.trap.kind, TrapKind::OutOfGas);
+    EXPECT_EQ(r.m.steps_executed(), 10u) << "second call must retire 5 more";
+}
+
+TEST(Machine, RunBudgetSaturatesNearUint64Max) {
+    // A huge budget on a machine with steps already on the clock must not
+    // wrap around to a tiny one.
+    Encoder e;
+    e.none(Op::Halt);
+    Runner r;
+    (void)r.run(e, 10); // halts after 1 step; odometer now nonzero
+    r.m.clear_trap();
+    r.m.set_ip(0x1000);
+    const auto res = r.m.run(std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(res.trap.kind, TrapKind::Halted) << "saturated budget still runs";
 }
 
 TEST(Machine, InvalidOpcodeTraps) {

@@ -7,13 +7,23 @@
 //   swsec gadgets <file.mc>            ROP-gadget census of the binary
 //   swsec fig1                         regenerate the paper's Fig. 1
 //   swsec matrix [--jobs N]            the attack/defense matrix
+//                                      (--trace-out FILE: per-cell trap
+//                                       provenance as JSONL)
 //   swsec fault-sweep [options]        fail-closed fault-injection sweep
-//                                      (--fault-seed N, --windows N, --jobs N;
+//                                      (--fault-seed N, --windows N, --jobs N,
+//                                       --trace-out FILE for the baseline
+//                                       cells' provenance;
 //                                       exit 0 iff the invariant holds)
+//   swsec trace <scenario>             run one observability scenario and
+//                                      emit its event trace as JSONL on
+//                                      stdout (counters go to stderr);
+//                                      --trace-out FILE, --no-decode-cache
 //
 // Both sweeps are deterministic for any --jobs value: cells are handed out
-// by index and merged by index, so parallel output is byte-identical to
-// serial.  --jobs 0 means one worker per hardware thread.
+// by index and merged by index, so parallel output — including --trace-out
+// provenance JSONL — is byte-identical to serial.  --jobs 0 means one
+// worker per hardware thread.  Traces are likewise byte-identical with the
+// decode cache on or off.
 //
 // Hardening options (run/asm/disasm):
 //   --canary --bounds --fortify --memcheck     compiler passes
@@ -35,6 +45,7 @@
 #include "core/fault_sweep.hpp"
 #include "core/fig1.hpp"
 #include "core/matrix.hpp"
+#include "core/trace_scenarios.hpp"
 #include "isa/disasm.hpp"
 #include "os/process.hpp"
 
@@ -52,13 +63,29 @@ struct Options {
 
 int usage() {
     std::fputs(
-        "usage: swsec <run|asm|disasm|lint|gadgets|fig1|matrix|fault-sweep> [file.mc] [options]\n"
+        "usage: swsec <run|asm|disasm|lint|gadgets|fig1|matrix|fault-sweep|trace>"
+        " [file.mc|scenario] [options]\n"
         "options: --canary --bounds --fortify --memcheck --dep --aslr\n"
         "         --shadow-stack --cfi --seed N --input STR\n"
-        "matrix options: --jobs N\n"
-        "fault-sweep options: --fault-seed N --windows N --jobs N\n",
+        "matrix options: --jobs N --trace-out FILE\n"
+        "fault-sweep options: --fault-seed N --windows N --jobs N --trace-out FILE\n"
+        "trace scenarios: baseline canary dep shadow-stack cfi memcheck pma sfi fault\n"
+        "trace options: --trace-out FILE --no-decode-cache --seed N --attacker-seed N\n",
         stderr);
     return 2;
+}
+
+/// Write `text` to `path`, or to stdout when path is "-" / empty.
+void write_out(const std::string& path, const std::string& text) {
+    if (path.empty() || path == "-") {
+        std::fputs(text.c_str(), stdout);
+        return;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        throw Error("cannot write '" + path + "'");
+    }
+    out << text;
 }
 
 std::string read_file(const std::string& path) {
@@ -166,21 +193,67 @@ int cmd_gadgets(const Options& opt) {
 
 int cmd_matrix(int argc, char** argv) {
     int jobs = 1;
+    std::string trace_out;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--jobs" && i + 1 < argc) {
             jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            trace_out = argv[++i];
         } else {
             std::fprintf(stderr, "unknown matrix option '%s'\n", arg.c_str());
             return 2;
         }
     }
-    std::fputs(core::format_matrix(core::run_matrix(1001, 2002, jobs)).c_str(), stdout);
+    const auto cells = core::run_matrix(1001, 2002, jobs);
+    std::fputs(core::format_matrix(cells).c_str(), stdout);
+    if (!trace_out.empty()) {
+        write_out(trace_out, core::matrix_cells_jsonl(cells));
+    }
+    return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+    std::string scenario;
+    std::string trace_out;
+    core::TraceScenarioOptions opts;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--no-decode-cache") {
+            opts.decode_cache = false;
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            trace_out = argv[++i];
+        } else if (arg == "--seed" && i + 1 < argc) {
+            opts.victim_seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--attacker-seed" && i + 1 < argc) {
+            opts.attacker_seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (!arg.empty() && arg[0] != '-' && scenario.empty()) {
+            scenario = arg;
+        } else {
+            std::fprintf(stderr, "unknown trace option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (scenario.empty()) {
+        std::fputs("trace scenarios:", stderr);
+        for (const auto& n : core::trace_scenario_names()) {
+            std::fprintf(stderr, " %s", n.c_str());
+        }
+        std::fputs("\n", stderr);
+        return 2;
+    }
+    const auto run = core::run_trace_scenario(scenario, opts);
+    write_out(trace_out, run.events_jsonl);
+    std::fprintf(stderr, "[%s] %s\n", run.scenario.c_str(), run.outcome.verdict().c_str());
+    std::fprintf(stderr, "[%s] %s\n", run.scenario.c_str(),
+                 run.outcome.trap.provenance().c_str());
+    std::fprintf(stderr, "[%s] %s\n", run.scenario.c_str(), run.counters.summary().c_str());
     return 0;
 }
 
 int cmd_fault_sweep(int argc, char** argv) {
     core::FaultSweepOptions opts;
+    std::string trace_out;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--fault-seed" && i + 1 < argc) {
@@ -189,6 +262,8 @@ int cmd_fault_sweep(int argc, char** argv) {
             opts.windows_per_class = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
         } else if (arg == "--jobs" && i + 1 < argc) {
             opts.jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            trace_out = argv[++i];
         } else {
             std::fprintf(stderr, "unknown fault-sweep option '%s'\n", arg.c_str());
             return 2;
@@ -196,6 +271,9 @@ int cmd_fault_sweep(int argc, char** argv) {
     }
     const auto report = core::run_fault_sweep(opts);
     std::fputs(report.summary().c_str(), stdout);
+    if (!trace_out.empty()) {
+        write_out(trace_out, core::matrix_cells_jsonl(report.baseline_cells));
+    }
     return report.fail_closed() ? 0 : 1;
 }
 
@@ -216,6 +294,9 @@ int main(int argc, char** argv) {
         }
         if (cmd == "fault-sweep") {
             return cmd_fault_sweep(argc, argv);
+        }
+        if (cmd == "trace") {
+            return cmd_trace(argc, argv);
         }
         Options opt;
         if (!parse_options(argc, argv, 2, opt)) {
