@@ -1,65 +1,83 @@
 #include "cc/codegen.hpp"
 
 #include <functional>
+#include <limits>
 
 #include "common/error.hpp"
 
 namespace swsec::cc {
 
-namespace {
-
-int round4(int n) { return (n + 3) & ~3; }
-
-constexpr int kRedZone = 16; // bytes of poison around each stack array (memcheck)
-
-/// Constant folding for global initialisers.
-std::int32_t fold_const(const Expr& e) {
+// Constant folding for global initialisers.
+//
+// The compiler must agree with the machine about what an expression means:
+// a folded initialiser and the identical expression executed at run time
+// have to produce the same 32-bit value.  The VM defines two's-complement
+// wrap for Add/Sub/Mul/Neg, Divs/Rems define INT_MIN / -1 (wrap / 0), and
+// shifts mask the count to 5 bits with >> arithmetic (codegen emits `sar`
+// for MiniC's signed >>).  Folding therefore runs on uint32 — host-UB-free
+// — and special-cases division exactly like vm::Machine does.
+std::int32_t fold_constant_expr(const Expr& e) {
+    constexpr std::int32_t kIntMin = std::numeric_limits<std::int32_t>::min();
+    const auto wrap = [](std::uint32_t u) {
+        return static_cast<std::int32_t>(u);
+    };
     switch (e.kind) {
     case Expr::Kind::IntLit:
         return e.value;
     case Expr::Kind::Unary: {
-        const std::int32_t v = fold_const(*e.lhs);
+        const std::int32_t v = fold_constant_expr(*e.lhs);
+        const auto vu = static_cast<std::uint32_t>(v);
         switch (e.un_op) {
         case UnOp::Neg:
-            return -v;
+            return wrap(0U - vu); // vm Op::Neg; -INT_MIN wraps to INT_MIN
         case UnOp::Not:
             return v == 0 ? 1 : 0;
         case UnOp::BitNot:
-            return ~v;
+            return wrap(~vu);
         default:
             throw Error("non-constant global initialiser");
         }
     }
     case Expr::Kind::Binary: {
-        const std::int32_t a = fold_const(*e.lhs);
-        const std::int32_t b = fold_const(*e.rhs);
+        const std::int32_t a = fold_constant_expr(*e.lhs);
+        const std::int32_t b = fold_constant_expr(*e.rhs);
+        const auto au = static_cast<std::uint32_t>(a);
+        const auto bu = static_cast<std::uint32_t>(b);
         switch (e.bin_op) {
         case BinOp::Add:
-            return a + b;
+            return wrap(au + bu);
         case BinOp::Sub:
-            return a - b;
+            return wrap(au - bu);
         case BinOp::Mul:
-            return a * b;
+            return wrap(au * bu);
         case BinOp::Div:
             if (b == 0) {
                 throw Error("division by zero in constant initialiser");
+            }
+            if (a == kIntMin && b == -1) {
+                return kIntMin; // vm Op::Divs defines wrap where x86 traps
             }
             return a / b;
         case BinOp::Rem:
             if (b == 0) {
                 throw Error("division by zero in constant initialiser");
             }
+            if (a == kIntMin && b == -1) {
+                return 0; // vm Op::Rems
+            }
             return a % b;
         case BinOp::Shl:
-            return a << (b & 31);
+            return wrap(au << (bu & 31));
         case BinOp::Shr:
-            return a >> (b & 31);
+            // MiniC >> on int is arithmetic (codegen emits `sar`): shift the
+            // signed value, count masked to 5 bits like vm Op::Sar.
+            return wrap(static_cast<std::uint32_t>(a >> (bu & 31)));
         case BinOp::BitAnd:
-            return a & b;
+            return wrap(au & bu);
         case BinOp::BitOr:
-            return a | b;
+            return wrap(au | bu);
         case BinOp::BitXor:
-            return a ^ b;
+            return wrap(au ^ bu);
         case BinOp::Lt:
             return a < b ? 1 : 0;
         case BinOp::Gt:
@@ -83,6 +101,12 @@ std::int32_t fold_const(const Expr& e) {
         throw Error("non-constant global initialiser");
     }
 }
+
+namespace {
+
+int round4(int n) { return (n + 3) & ~3; }
+
+constexpr int kRedZone = 16; // bytes of poison around each stack array (memcheck)
 
 class CodeGen {
 public:
@@ -189,10 +213,10 @@ private:
                     data(label + ": .space " + std::to_string(g.type->size()));
                 }
             } else if (g.type->is_char()) {
-                const std::int32_t v = g.init ? fold_const(*g.init) : 0;
+                const std::int32_t v = g.init ? fold_constant_expr(*g.init) : 0;
                 data(label + ": .byte " + std::to_string(v & 0xff));
             } else {
-                const std::int32_t v = g.init ? fold_const(*g.init) : 0;
+                const std::int32_t v = g.init ? fold_constant_expr(*g.init) : 0;
                 data(label + ": .word " + std::to_string(v));
             }
         }

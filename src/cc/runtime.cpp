@@ -106,6 +106,12 @@ static int free_head = 0;
 
 char* malloc(int n) {
   if (n <= 0) { return (char*)0; }
+  /* Overflow guard: past this, (n + 3) & ~3 plus the 8-byte header and the
+   * 16-byte red zone wraps to a tiny (or negative) total — a huge request
+   * would be satisfied by a small free chunk or a wrapped sbrk and corrupt
+   * the heap.  2147483620 is the largest n whose rounded total stays
+   * representable: ((n + 3) & ~3) + 24 <= 2147483644. */
+  if (n > 2147483620) { return (char*)0; }
   n = (n + 3) & ~3;
   int prev = 0;
   int cur = free_head;

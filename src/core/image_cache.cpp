@@ -5,11 +5,17 @@
 
 namespace swsec::core {
 
-namespace {
+// Drift guard: options_key() below enumerates CompilerOptions by hand, so a
+// field added to the struct without a matching key component would silently
+// alias cached images across defense configurations — a wrong-code-reuse
+// bug a differential fuzzer would misattribute to the compiler.  Fail the
+// build instead: adding a field changes the size, and whoever does it must
+// extend options_key() (and this constant) in the same change.
+static_assert(sizeof(cc::CompilerOptions) == 6,
+              "cc::CompilerOptions changed: update compiler_options_key() in "
+              "core/image_cache.cpp to include the new field, then bump this guard");
 
-/// Every field of CompilerOptions participates in the key: two option sets
-/// that could produce different code must never share an entry.
-std::string options_key(const cc::CompilerOptions& o) {
+std::string compiler_options_key(const cc::CompilerOptions& o) {
     std::string k;
     k += o.stack_canaries ? 'c' : '-';
     k += o.bounds_checks ? 'b' : '-';
@@ -19,6 +25,8 @@ std::string options_key(const cc::CompilerOptions& o) {
     k += static_cast<char>('0' + static_cast<int>(o.pma_mode));
     return k;
 }
+
+namespace {
 
 struct Cache {
     std::mutex mutex;
@@ -34,7 +42,7 @@ Cache& cache() {
 
 std::shared_ptr<const objfmt::Image> cached_compile(const std::string& source,
                                                     const cc::CompilerOptions& opts) {
-    const std::string key = options_key(opts) + '\x1f' + source;
+    const std::string key = compiler_options_key(opts) + '\x1f' + source;
     Cache& c = cache();
     {
         const std::lock_guard<std::mutex> lock(c.mutex);

@@ -21,6 +21,13 @@
 
 namespace swsec::core {
 
+/// The options half of the cache key: a short string in which every
+/// CompilerOptions field participates, so two option sets that could
+/// produce different code never share a cache entry.  Exposed so tests can
+/// assert the no-collision property and other layers (the fuzzer's
+/// per-program compile memo) can key on compiler output identity.
+[[nodiscard]] std::string compiler_options_key(const cc::CompilerOptions& o);
+
 /// compile_program({source}, opts), memoized on (source, opts).
 [[nodiscard]] std::shared_ptr<const objfmt::Image>
 cached_compile(const std::string& source, const cc::CompilerOptions& opts);

@@ -1,0 +1,490 @@
+#include "fuzz/fuzz.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "cc/compiler.hpp"
+#include "common/error.hpp"
+#include "core/defense.hpp"
+#include "core/image_cache.hpp"
+#include "core/parallel.hpp"
+#include "os/process.hpp"
+
+namespace swsec::fuzz {
+
+namespace {
+
+/// Ring capacity for the engine oracle's tracers: big enough to hold every
+/// event of a generated program (they retire well under 8k instructions per
+/// chunk tail), small enough to keep per-run allocation cheap.
+constexpr std::size_t kTraceCapacity = 8192;
+
+/// Observable behaviour of one run.  Steps are excluded from equality:
+/// configurations legitimately execute different instruction counts.
+struct Observed {
+    std::string out;
+    std::string trap;
+    std::uint64_t steps = 0;
+
+    [[nodiscard]] bool same(const Observed& o) const { return out == o.out && trap == o.trap; }
+    [[nodiscard]] std::string describe() const { return out + "[trap] " + trap + "\n"; }
+};
+
+void add_counters(trace::Counters& into, const trace::Counters& c) {
+    into.instructions += c.instructions;
+    into.traps += c.traps;
+    into.mem_faults += c.mem_faults;
+    into.syscalls += c.syscalls;
+    into.pma_transitions += c.pma_transitions;
+    into.faults_injected += c.faults_injected;
+    into.heap_allocs += c.heap_allocs;
+    into.heap_frees += c.heap_frees;
+    into.dcache_hits += c.dcache_hits;
+    into.dcache_misses += c.dcache_misses;
+}
+
+/// Per-program compile memo.  Images depend only on CompilerOptions (the
+/// platform half of a Defense never reaches the compiler), so the ~10
+/// standard defenses share ~4 compiles, keyed by the same options key the
+/// machine-wide image cache uses.
+class CompileMemo {
+public:
+    explicit CompileMemo(std::string source) : source_(std::move(source)) {}
+
+    const objfmt::Image& get(const cc::CompilerOptions& copts) {
+        const std::string key = core::compiler_options_key(copts);
+        auto it = images_.find(key);
+        if (it == images_.end()) {
+            it = images_.emplace(key, cc::compile_program({source_}, copts)).first;
+        }
+        return it->second;
+    }
+
+private:
+    std::string source_;
+    std::map<std::string, objfmt::Image> images_;
+};
+
+Observed run_once(const objfmt::Image& image, const os::SecurityProfile& profile,
+                  std::uint64_t seed, std::uint64_t max_steps, FuzzReport* stats,
+                  trace::Tracer* tracer = nullptr) {
+    os::SecurityProfile p = profile;
+    p.tracer = tracer;
+    os::Process proc(image, p, seed);
+    const vm::RunResult r = proc.run(max_steps);
+    // Observable termination is the trap *kind and code* — never ip/addr,
+    // which ASLR legitimately randomizes for identical behaviour.  (The
+    // engine oracle still compares pc-exact traces: there the two runs
+    // share one layout.)
+    Observed obs{proc.output(),
+                 vm::trap_name(r.trap.kind) + " code=" + std::to_string(r.trap.code), r.steps};
+    if (stats != nullptr) {
+        ++stats->runs;
+        if (tracer != nullptr) {
+            add_counters(stats->counters, tracer->counters());
+        } else {
+            stats->counters.instructions += r.steps;
+            ++stats->counters.traps;
+        }
+    }
+    return obs;
+}
+
+/// Event-for-event trace equality (the byte-identical-JSONL oracle without
+/// the string building).  On mismatch returns the first differing index,
+/// else -1.
+std::ptrdiff_t first_trace_mismatch(const trace::Tracer& x, const trace::Tracer& y) {
+    const auto xe = x.events();
+    const auto ye = y.events();
+    const std::size_t n = xe.size() < ye.size() ? xe.size() : ye.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const trace::TraceEvent& a = xe[i];
+        const trace::TraceEvent& b = ye[i];
+        if (a.kind != b.kind || a.step != b.step || a.pc != b.pc || a.module != b.module ||
+            a.kernel != b.kernel || a.origin != b.origin || a.code != b.code || a.a != b.a ||
+            a.b != b.b || a.detail != b.detail) {
+            return static_cast<std::ptrdiff_t>(i);
+        }
+    }
+    if (xe.size() != ye.size() || x.total_recorded() != y.total_recorded()) {
+        return static_cast<std::ptrdiff_t>(n);
+    }
+    return -1;
+}
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size())) {
+        ++n;
+    }
+    return n;
+}
+
+// ---- repro escaping -----------------------------------------------------
+
+std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        default:
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string unescape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 >= s.size()) {
+            out.push_back(s[i]);
+            continue;
+        }
+        ++i;
+        switch (s[i]) {
+        case 'n':
+            out.push_back('\n');
+            break;
+        case 'r':
+            out.push_back('\r');
+            break;
+        case 't':
+            out.push_back('\t');
+            break;
+        default:
+            out.push_back(s[i]);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const char* oracle_name(Oracle o) noexcept {
+    switch (o) {
+    case Oracle::Defense:
+        return "defense";
+    case Oracle::Engine:
+        return "engine";
+    case Oracle::ConstFold:
+        return "const-fold";
+    }
+    return "?";
+}
+
+bool oracle_from_name(const std::string& name, Oracle& out) noexcept {
+    if (name == "defense") {
+        out = Oracle::Defense;
+    } else if (name == "engine") {
+        out = Oracle::Engine;
+    } else if (name == "const-fold") {
+        out = Oracle::ConstFold;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+std::vector<Divergence> check_program(const std::string& source, std::uint64_t seed,
+                                      std::uint64_t max_steps, FuzzReport* stats) {
+    std::vector<Divergence> divs;
+    const auto& defenses = core::standard_defenses();
+    CompileMemo memo(source);
+
+    const auto report = [&](Oracle oracle, const std::string& a, const std::string& b,
+                            std::string out_a, std::string out_b) {
+        divs.push_back(Divergence{seed, oracle, a, b, std::move(out_a), std::move(out_b), source});
+    };
+
+    // ---- oracle 1: every benign defense preserves behaviour --------------
+    Observed baseline;
+    for (std::size_t i = 0; i < defenses.size(); ++i) {
+        const core::Defense& d = defenses[i];
+        const objfmt::Image* image = nullptr;
+        try {
+            image = &memo.get(d.copts);
+        } catch (const Error& e) {
+            report(Oracle::Defense, "<compile>", d.name, e.what(), "");
+            continue;
+        }
+        const Observed obs = run_once(*image, d.profile, seed, max_steps, stats);
+        if (i == 0) {
+            baseline = obs;
+        } else if (!obs.same(baseline)) {
+            report(Oracle::Defense, defenses[0].name, d.name, baseline.describe(), obs.describe());
+        }
+    }
+
+    // ---- oracle 2: the execution engine's fast paths are invisible -------
+    // Decode cache on vs off must agree on observable output *and* on the
+    // event trace (the PR2/PR3 equivalence property, applied per program).
+    for (const core::Defense& d : defenses) {
+        if (d.name != defenses[0].name && d.name != "all-mitigations") {
+            continue;
+        }
+        const objfmt::Image* image = nullptr;
+        try {
+            image = &memo.get(d.copts);
+        } catch (const Error&) {
+            continue; // already reported by oracle 1
+        }
+        trace::Tracer on_trace(kTraceCapacity);
+        trace::Tracer off_trace(kTraceCapacity);
+        os::SecurityProfile on_profile = d.profile;
+        on_profile.decode_cache = true;
+        os::SecurityProfile off_profile = d.profile;
+        off_profile.decode_cache = false;
+        const Observed on = run_once(*image, on_profile, seed, max_steps, stats, &on_trace);
+        const Observed off = run_once(*image, off_profile, seed, max_steps, stats, &off_trace);
+        const std::ptrdiff_t mismatch = first_trace_mismatch(on_trace, off_trace);
+        if (!on.same(off) || mismatch >= 0) {
+            std::string out_a = on.describe();
+            std::string out_b = off.describe();
+            if (mismatch >= 0) {
+                const auto idx = static_cast<std::size_t>(mismatch);
+                const auto on_events = on_trace.events();
+                const auto off_events = off_trace.events();
+                out_a += "[trace #" + std::to_string(idx) + "] " +
+                         (idx < on_events.size() ? on_events[idx].to_json() : "<missing>") + "\n";
+                out_b += "[trace #" + std::to_string(idx) + "] " +
+                         (idx < off_events.size() ? off_events[idx].to_json() : "<missing>") + "\n";
+            }
+            report(Oracle::Engine, d.name + "+dcache", d.name + "-dcache", std::move(out_a),
+                   std::move(out_b));
+        }
+    }
+
+    // ---- oracle 3: compile-time folding agrees with run-time -------------
+    // The program self-checks each folded global against the identical
+    // expression recomputed through the VM's ALU and prints a marker (plus
+    // both values) on disagreement.
+    if (stats != nullptr) {
+        stats->const_checks += count_occurrences(source, kFoldMismatchMarker);
+    }
+    if (baseline.out.find(kFoldMismatchMarker) != std::string::npos) {
+        report(Oracle::ConstFold, "fold", "runtime", baseline.describe(), "");
+    }
+
+    return divs;
+}
+
+FuzzReport run_fuzz(const FuzzOptions& opts) {
+    struct SeedResult {
+        std::vector<Divergence> divs;
+        FuzzReport stats;
+    };
+    const auto n = static_cast<std::size_t>(opts.seeds < 0 ? 0 : opts.seeds);
+    std::vector<SeedResult> results(n);
+
+    core::parallel_for(n, opts.jobs, [&](std::size_t i) {
+        const std::uint64_t seed = opts.seed_base + i;
+        const GenProgram prog = generate_program(seed);
+        SeedResult& r = results[i];
+        r.divs = check_program(prog.render(), seed, opts.max_steps, &r.stats);
+        if (opts.minimize) {
+            for (Divergence& d : r.divs) {
+                const Divergence target = d;
+                const GenProgram small = minimize(prog, [&](const std::string& candidate) {
+                    for (const Divergence& x :
+                         check_program(candidate, seed, opts.max_steps, nullptr)) {
+                        if (x.oracle == target.oracle && x.config_a == target.config_a &&
+                            x.config_b == target.config_b) {
+                            return true;
+                        }
+                    }
+                    return false;
+                });
+                d.source = small.render();
+            }
+        }
+    });
+
+    // Index-ordered merge: byte-identical for any jobs value.
+    FuzzReport report;
+    report.programs = static_cast<int>(n);
+    for (SeedResult& r : results) {
+        report.runs += r.stats.runs;
+        report.const_checks += r.stats.const_checks;
+        add_counters(report.counters, r.stats.counters);
+        for (Divergence& d : r.divs) {
+            report.divergences.push_back(std::move(d));
+        }
+    }
+    return report;
+}
+
+std::string FuzzReport::summary() const {
+    std::string s = "fuzz: programs=" + std::to_string(programs) +
+                    " runs=" + std::to_string(runs) +
+                    " instructions=" + std::to_string(counters.instructions) +
+                    " const-checks=" + std::to_string(const_checks) +
+                    " divergences=" + std::to_string(divergences.size()) + "\n";
+    for (const Divergence& d : divergences) {
+        s += "divergence: seed=" + std::to_string(d.seed) + " oracle=" + oracle_name(d.oracle) +
+             " configs='" + d.config_a + "' vs '" + d.config_b + "'\n";
+    }
+    return s;
+}
+
+GenProgram minimize(const GenProgram& prog,
+                    const std::function<bool(const std::string&)>& still_diverges) {
+    std::vector<bool> keep(prog.chunks.size(), true);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i < keep.size(); ++i) {
+            if (!keep[i]) {
+                continue;
+            }
+            keep[i] = false;
+            if (still_diverges(prog.render_subset(keep))) {
+                changed = true;
+            } else {
+                keep[i] = true;
+            }
+        }
+    }
+    GenProgram out;
+    out.seed = prog.seed;
+    out.globals = prog.globals;
+    out.helpers = prog.helpers;
+    for (std::size_t i = 0; i < prog.chunks.size(); ++i) {
+        if (keep[i]) {
+            out.chunks.push_back(prog.chunks[i]);
+        }
+    }
+    return out;
+}
+
+// ---- repro records ------------------------------------------------------
+
+std::string to_repro(const Divergence& d) {
+    std::string s = "repro-v1\n";
+    s += "seed " + std::to_string(d.seed) + "\n";
+    s += "oracle " + std::string(oracle_name(d.oracle)) + "\n";
+    s += "config-a " + escape(d.config_a) + "\n";
+    s += "config-b " + escape(d.config_b) + "\n";
+    s += "output-a " + escape(d.output_a) + "\n";
+    s += "output-b " + escape(d.output_b) + "\n";
+    s += "source " + escape(d.source) + "\n";
+    s += "end\n";
+    return s;
+}
+
+std::string to_repro_file(const std::vector<Divergence>& ds) {
+    std::string s;
+    for (const Divergence& d : ds) {
+        s += to_repro(d);
+    }
+    return s;
+}
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::string cur;
+    for (const char c : text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty()) {
+        lines.push_back(cur);
+    }
+    return lines;
+}
+
+/// "key value..." -> value for a required field; throws otherwise.
+std::string field(const std::string& line, const std::string& key) {
+    if (line.size() < key.size() + 1 || line.compare(0, key.size(), key) != 0 ||
+        line[key.size()] != ' ') {
+        throw Error("malformed repro record: expected '" + key + "', got '" + line + "'");
+    }
+    return line.substr(key.size() + 1);
+}
+
+Divergence parse_record(const std::vector<std::string>& lines, std::size_t& i) {
+    if (i >= lines.size() || lines[i] != "repro-v1") {
+        throw Error("malformed repro record: missing 'repro-v1' header");
+    }
+    if (i + 8 > lines.size()) {
+        throw Error("malformed repro record: truncated");
+    }
+    Divergence d;
+    d.seed = std::strtoull(field(lines[i + 1], "seed").c_str(), nullptr, 10);
+    const std::string oracle = field(lines[i + 2], "oracle");
+    if (!oracle_from_name(oracle, d.oracle)) {
+        throw Error("malformed repro record: unknown oracle '" + oracle + "'");
+    }
+    d.config_a = unescape(field(lines[i + 3], "config-a"));
+    d.config_b = unescape(field(lines[i + 4], "config-b"));
+    d.output_a = unescape(field(lines[i + 5], "output-a"));
+    d.output_b = unescape(field(lines[i + 6], "output-b"));
+    d.source = unescape(field(lines[i + 7], "source"));
+    if (i + 8 >= lines.size() || lines[i + 8] != "end") {
+        throw Error("malformed repro record: missing 'end'");
+    }
+    i += 9;
+    return d;
+}
+
+} // namespace
+
+Divergence parse_repro(const std::string& text) {
+    const std::vector<std::string> lines = split_lines(text);
+    std::size_t i = 0;
+    while (i < lines.size() && lines[i].empty()) {
+        ++i;
+    }
+    return parse_record(lines, i);
+}
+
+std::vector<Divergence> parse_repro_file(const std::string& text) {
+    const std::vector<std::string> lines = split_lines(text);
+    std::vector<Divergence> out;
+    std::size_t i = 0;
+    while (i < lines.size()) {
+        if (lines[i].empty() || lines[i][0] == '#') {
+            ++i;
+            continue;
+        }
+        out.push_back(parse_record(lines, i));
+    }
+    return out;
+}
+
+std::vector<Divergence> replay_repros(const std::vector<Divergence>& records,
+                                      std::uint64_t max_steps, FuzzReport* stats) {
+    std::vector<Divergence> out;
+    for (const Divergence& r : records) {
+        for (Divergence& d : check_program(r.source, r.seed, max_steps, stats)) {
+            out.push_back(std::move(d));
+        }
+        if (stats != nullptr) {
+            ++stats->programs;
+        }
+    }
+    return out;
+}
+
+} // namespace swsec::fuzz

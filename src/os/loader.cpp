@@ -64,25 +64,37 @@ ProcessLayout load_image(vm::Machine& machine, const Image& image, const LoadOpt
                          Rng& rng, const std::string& entry_symbol) {
     const std::uint32_t entropy = std::min(opts.aslr_entropy_bits, kMaxAslrEntropyBits);
     ProcessLayout layout;
-    layout.text_base = opts.aslr ? randomized(kDefaultTextBase, entropy, rng)
-                                 : kDefaultTextBase;
-    layout.text_size = static_cast<std::uint32_t>(image.text.size());
-    layout.data_base = opts.aslr ? randomized(kDefaultDataBase, entropy, rng)
-                                 : kDefaultDataBase;
-    layout.data_size = image.data_total_size();
-    layout.heap_base = opts.aslr ? randomized(kDefaultHeapBase, entropy, rng)
-                                 : kDefaultHeapBase;
-    layout.brk = layout.heap_base;
-    layout.stack_high = opts.aslr
-                            ? randomized(kDefaultStackTop, entropy, rng,
-                                         /*downward=*/true)
-                            : kDefaultStackTop;
-    layout.stack_low = layout.stack_high - opts.stack_size;
-
-    // The four offsets above are independent draws: nothing stops two
-    // segments landing on the same pages at high entropy.  Refuse to build a
-    // self-overlapping address space rather than load and corrupt.
-    assert_disjoint_layout(layout, opts.stack_size);
+    // The four segment offsets are independent draws: nothing stops two
+    // segments landing on the same pages at high entropy.  Like a real
+    // kernel's mmap, re-draw the whole layout on a collision (deterministic:
+    // the retry consumes the same seeded stream) instead of refusing the
+    // exec; if the space is so exhausted that kMaxLayoutAttempts layouts all
+    // collide, fail closed via the assertion rather than load and corrupt.
+    constexpr int kMaxLayoutAttempts = 64;
+    for (int attempt = 1;; ++attempt) {
+        layout.text_base = opts.aslr ? randomized(kDefaultTextBase, entropy, rng)
+                                     : kDefaultTextBase;
+        layout.text_size = static_cast<std::uint32_t>(image.text.size());
+        layout.data_base = opts.aslr ? randomized(kDefaultDataBase, entropy, rng)
+                                     : kDefaultDataBase;
+        layout.data_size = image.data_total_size();
+        layout.heap_base = opts.aslr ? randomized(kDefaultHeapBase, entropy, rng)
+                                     : kDefaultHeapBase;
+        layout.brk = layout.heap_base;
+        layout.stack_high = opts.aslr
+                                ? randomized(kDefaultStackTop, entropy, rng,
+                                             /*downward=*/true)
+                                : kDefaultStackTop;
+        layout.stack_low = layout.stack_high - opts.stack_size;
+        try {
+            assert_disjoint_layout(layout, opts.stack_size);
+            break;
+        } catch (const Error&) {
+            if (!opts.aslr || attempt == kMaxLayoutAttempts) {
+                throw; // a fixed layout cannot be re-drawn; entropy exhausted
+            }
+        }
+    }
 
     auto& mem = machine.memory();
     // Map with permissive RW first so relocation patching can use raw writes,

@@ -18,6 +18,14 @@
 //                                      emit its event trace as JSONL on
 //                                      stdout (counters go to stderr);
 //                                      --trace-out FILE, --no-decode-cache
+//   swsec fuzz [options]               differential semantics-preservation
+//                                      fuzzing: seeded benign MiniC programs
+//                                      checked under every defense config,
+//                                      decode-cache on/off, and compile-vs-
+//                                      run constant folding (--seeds N,
+//                                      --seed-base B, --jobs N, --minimize,
+//                                      --replay FILE, --out FILE;
+//                                      exit 0 iff zero divergences)
 //
 // Both sweeps are deterministic for any --jobs value: cells are handed out
 // by index and merged by index, so parallel output — including --trace-out
@@ -46,6 +54,7 @@
 #include "core/fig1.hpp"
 #include "core/matrix.hpp"
 #include "core/trace_scenarios.hpp"
+#include "fuzz/fuzz.hpp"
 #include "isa/disasm.hpp"
 #include "os/process.hpp"
 
@@ -63,14 +72,15 @@ struct Options {
 
 int usage() {
     std::fputs(
-        "usage: swsec <run|asm|disasm|lint|gadgets|fig1|matrix|fault-sweep|trace>"
+        "usage: swsec <run|asm|disasm|lint|gadgets|fig1|matrix|fault-sweep|trace|fuzz>"
         " [file.mc|scenario] [options]\n"
         "options: --canary --bounds --fortify --memcheck --dep --aslr\n"
         "         --shadow-stack --cfi --seed N --input STR\n"
         "matrix options: --jobs N --trace-out FILE\n"
         "fault-sweep options: --fault-seed N --windows N --jobs N --trace-out FILE\n"
         "trace scenarios: baseline canary dep shadow-stack cfi memcheck pma sfi fault\n"
-        "trace options: --trace-out FILE --no-decode-cache --seed N --attacker-seed N\n",
+        "trace options: --trace-out FILE --no-decode-cache --seed N --attacker-seed N\n"
+        "fuzz options: --seeds N --seed-base B --jobs N --minimize --replay FILE --out FILE\n",
         stderr);
     return 2;
 }
@@ -251,6 +261,47 @@ int cmd_trace(int argc, char** argv) {
     return 0;
 }
 
+int cmd_fuzz(int argc, char** argv) {
+    fuzz::FuzzOptions opts;
+    std::string replay_path;
+    std::string out_path;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--seeds" && i + 1 < argc) {
+            opts.seeds = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--seed-base" && i + 1 < argc) {
+            opts.seed_base = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opts.jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--minimize") {
+            opts.minimize = true;
+        } else if (arg == "--replay" && i + 1 < argc) {
+            replay_path = argv[++i];
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown fuzz option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    fuzz::FuzzReport report;
+    if (!replay_path.empty()) {
+        const auto records = fuzz::parse_repro_file(read_file(replay_path));
+        report.divergences = fuzz::replay_repros(records, opts.max_steps, &report);
+    } else {
+        report = fuzz::run_fuzz(opts);
+    }
+    std::fputs(report.summary().c_str(), stdout);
+    if (!out_path.empty()) {
+        write_out(out_path, fuzz::to_repro_file(report.divergences));
+    }
+    if (!report.clean()) {
+        std::fputs(fuzz::to_repro_file(report.divergences).c_str(), stderr);
+    }
+    return report.clean() ? 0 : 1;
+}
+
 int cmd_fault_sweep(int argc, char** argv) {
     core::FaultSweepOptions opts;
     std::string trace_out;
@@ -297,6 +348,9 @@ int main(int argc, char** argv) {
         }
         if (cmd == "trace") {
             return cmd_trace(argc, argv);
+        }
+        if (cmd == "fuzz") {
+            return cmd_fuzz(argc, argv);
         }
         Options opt;
         if (!parse_options(argc, argv, 2, opt)) {
