@@ -12,6 +12,7 @@
 #include "cc/compiler.hpp"
 #include "core/trace_scenarios.hpp"
 #include "os/process.hpp"
+#include "profile/profiler.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -45,6 +46,38 @@ void BM_VmExecuteTraced(benchmark::State& state) {
         benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_VmExecuteTraced)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// The profiler holds the same pay-for-what-you-use promise as the tracer
+// (DESIGN.md §11): its only hook sites are the step loop's retire/edge
+// bookkeeping and call/ret, never the memory fast paths, so arg 0 (no
+// profiler) must stay within 5% of the same workload's detached-tracer
+// arm above — that parity is the PR's disabled-overhead acceptance bar.
+// Arg 1 prices exact PC+edge counting with the stack sampler on.
+void BM_VmExecuteProfiled(benchmark::State& state) {
+    static const std::string src = R"(
+        int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+        int main() { return fib(18); }
+    )";
+    const bool profiled = state.range(0) != 0;
+    state.SetLabel(profiled ? "profiler=attached" : "profiler=detached");
+    const auto img = cc::compile_program({src}, {});
+    os::SecurityProfile profile;
+    profile::Profiler prof;
+    if (profiled) {
+        profile.profiler = &prof;
+    }
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        prof.reset();
+        os::Process p(img, profile, 99);
+        const auto r = p.run(200'000'000);
+        steps += r.steps;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["insns_per_s"] =
+        benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmExecuteProfiled)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // End-to-end scenario cost: attack + victim + full trace + JSONL render.
 void BM_TraceScenario(benchmark::State& state) {

@@ -188,7 +188,10 @@ std::string unescape_string(const std::string& tok, int line) {
 
 class Assembler {
 public:
-    explicit Assembler(std::string unit_name) { obj_.name = std::move(unit_name); }
+    explicit Assembler(std::string unit_name) {
+        obj_.name = std::move(unit_name);
+        obj_.source_file = obj_.name;
+    }
 
     ObjectFile run(const std::string& source) {
         std::size_t pos = 0;
@@ -210,6 +213,8 @@ private:
     isa::Encoder text_;
     std::vector<std::uint8_t> data_;
     SectionKind section_ = SectionKind::Text;
+    // Current `.line` value (0 = none seen: fall back to the assembly line).
+    std::uint32_t cur_line_ = 0;
     std::unordered_map<std::string, std::pair<SectionKind, std::uint32_t>> labels_;
     std::vector<std::string> globals_;
     std::vector<std::string> funcs_;
@@ -308,6 +313,14 @@ private:
             while (here() % static_cast<std::uint32_t>(*v) != 0) {
                 emit_byte(section_ == SectionKind::Text ? 0x90 : 0x00); // NOP-pad text
             }
+        } else if (name == ".line") {
+            const auto v = parse_number(args);
+            if (!v || *v <= 0) {
+                throw ParseError("bad .line operand", line_no);
+            }
+            cur_line_ = static_cast<std::uint32_t>(*v);
+        } else if (name == ".file") {
+            obj_.source_file = unescape_string(args, line_no);
         } else if (name == ".bss") {
             const auto v = parse_number(args);
             if (!v || *v < 0) {
@@ -413,6 +426,13 @@ private:
     void instruction(const std::string& line, int line_no) {
         if (section_ != SectionKind::Text) {
             throw ParseError("instruction outside .text", line_no);
+        }
+        // Line table: MiniC line if a `.line` is active, else the assembly
+        // source line — so every instruction symbolizes to function:line.
+        const std::uint32_t src_line = cur_line_ != 0 ? cur_line_
+                                                      : static_cast<std::uint32_t>(line_no);
+        if (obj_.lines.empty() || obj_.lines.back().line != src_line) {
+            obj_.lines.push_back(objfmt::LineEntry{text_.size(), src_line});
         }
         std::size_t sp = line.find_first_of(" \t");
         std::string mn = (sp == std::string::npos) ? line : line.substr(0, sp);

@@ -70,6 +70,29 @@ objfmt::Image link(std::span<const ObjectFile> objects) {
     }
     (void)data_init_size;
 
+    // Merge debug line tables.  Offsets are biased per unit, so entries stay
+    // sorted; the inter-unit NOP padding inherits the previous unit's last
+    // entry, which is harmless (padding only executes as a stray gadget).
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+        if (objects[i].lines.empty()) {
+            continue;
+        }
+        const std::string& file = objects[i].source_file.empty() ? objects[i].name
+                                                                 : objects[i].source_file;
+        std::uint16_t file_id = 0;
+        const auto found = std::find(img.line_files.begin(), img.line_files.end(), file);
+        if (found == img.line_files.end()) {
+            file_id = static_cast<std::uint16_t>(img.line_files.size());
+            img.line_files.push_back(file);
+        } else {
+            file_id = static_cast<std::uint16_t>(found - img.line_files.begin());
+        }
+        for (const auto& le : objects[i].lines) {
+            img.line_table.push_back(
+                objfmt::ImageLineEntry{le.offset + biases[i].text, le.line, file_id});
+        }
+    }
+
     // Resolve relocations.
     for (std::size_t i = 0; i < objects.size(); ++i) {
         for (const auto& rel : objects[i].relocs) {

@@ -41,14 +41,27 @@ struct Reloc {
     std::int32_t addend = 0;
 };
 
+/// Debug line table entry: instructions at text offsets in
+/// [offset, next entry's offset) were emitted for source line `line`.
+/// MiniC units carry MiniC line numbers (via `.line`); hand-written assembly
+/// falls back to the assembly source line, so every emitted instruction has
+/// one.  Offsets are section-relative, which keeps the table valid under any
+/// ASLR placement — symbolization only needs the loader's text base.
+struct LineEntry {
+    std::uint32_t offset = 0;
+    std::uint32_t line = 0;
+};
+
 /// Output of one assembler run.
 struct ObjectFile {
     std::string name;
+    std::string source_file; // for line-table attribution; defaults to `name`
     std::vector<std::uint8_t> text;
     std::vector<std::uint8_t> data;
     std::uint32_t bss_size = 0; // zero-initialised space appended after data
     std::vector<Symbol> symbols;
     std::vector<Reloc> relocs;
+    std::vector<LineEntry> lines; // sorted by offset (emission order)
 
     [[nodiscard]] const Symbol* find_symbol(const std::string& sym) const noexcept;
 };
@@ -70,6 +83,13 @@ struct ImageReloc {
     RelocKind kind = RelocKind::Abs32;
 };
 
+/// A line-table entry in a linked image; `file` indexes Image::line_files.
+struct ImageLineEntry {
+    std::uint32_t offset = 0; // text-section offset of the first covered byte
+    std::uint32_t line = 0;
+    std::uint16_t file = 0;
+};
+
 /// A fully linked, relocatable program image.
 struct Image {
     std::vector<std::uint8_t> text;
@@ -79,6 +99,8 @@ struct Image {
     std::vector<ImageReloc> relocs;
     std::vector<std::uint32_t> func_offsets;  // text offsets of function starts
     std::vector<std::uint32_t> entry_offsets; // text offsets of PMA entry points
+    std::vector<ImageLineEntry> line_table;   // sorted by offset
+    std::vector<std::string> line_files;      // source file names, indexed by `file`
 
     [[nodiscard]] std::uint32_t data_total_size() const noexcept {
         return static_cast<std::uint32_t>(data.size()) + bss_size;

@@ -117,6 +117,7 @@ public:
         emit_globals();
         text("");
         text(".text");
+        text(".file \"" + unit_ + ".mc\"");
         for (const auto& fn : prog_.funcs) {
             if (fn.body) {
                 gen_func(fn);
@@ -142,8 +143,19 @@ private:
     std::vector<std::string> break_labels_;
     std::vector<std::string> continue_labels_;
 
+    int cur_line_ = 0; // last `.line` emitted (debug line table)
+
     // ---- emission helpers --------------------------------------------------
     void text(const std::string& line) { text_ += line + "\n"; }
+
+    /// Emit a `.line` directive so the assembler attributes the following
+    /// instructions to MiniC source line `line` (run-length: only on change).
+    void set_line(int line) {
+        if (line > 0 && line != cur_line_) {
+            text_ += "  .line " + std::to_string(line) + "\n";
+            cur_line_ = line;
+        }
+    }
     void data(const std::string& line) { data_ += line + "\n"; }
     void ins(const std::string& line) { text_ += "  " + line + "\n"; }
     void comment(const std::string& c) {
@@ -315,6 +327,7 @@ private:
         }
         text(".func " + label);
         text(label + ":");
+        set_line(fn.line);
         ins("push bp");
         ins("mov bp, sp");
         if (frame_size_ > 0) {
@@ -380,6 +393,7 @@ private:
 
     // ---- statements ----------------------------------------------------------
     void gen_stmt(const Stmt& s) {
+        set_line(s.line);
         switch (s.kind) {
         case Stmt::Kind::Empty:
             break;
@@ -519,6 +533,7 @@ private:
     }
 
     void eval(const Expr& e) {
+        set_line(e.line);
         switch (e.kind) {
         case Expr::Kind::IntLit:
             ins("mov r0, " + std::to_string(e.value));

@@ -8,6 +8,7 @@
 #include "core/image_cache.hpp"
 #include "core/scenarios.hpp"
 #include "os/process.hpp"
+#include "profile/symbolize.hpp"
 #include "vm/syscalls.hpp"
 
 namespace swsec::core {
@@ -62,6 +63,7 @@ struct Lab {
     std::uint64_t attacker_seed;
     fault::FaultInjector* victim_faults = nullptr;
     trace::Tracer* victim_tracer = nullptr;
+    profile::Profiler* victim_profiler = nullptr;
 
     // Keeps the memoized image alive for the duration of the attack; every
     // cell used to recompile its scenario from scratch, which dominated the
@@ -76,6 +78,7 @@ struct Lab {
         os::SecurityProfile prof = defense.profile;
         prof.fault_injector = victim_faults; // only the deployed machine glitches
         prof.tracer = victim_tracer;         // only the deployed machine is observed
+        prof.profiler = victim_profiler;     // ... and profiled
         return Process(img, prof, victim_seed);
     }
     [[nodiscard]] Process probe(const objfmt::Image& img) const {
@@ -88,6 +91,22 @@ struct Lab {
         out.trap = v.machine().trap();
         out.note = std::move(note);
         out.steps = v.machine().steps_executed();
+        out.text_base = v.layout().text_base;
+        out.text_size = v.layout().text_size;
+        out.image = held_image;
+        if (held_image != nullptr) {
+            const profile::SourcePos pos =
+                profile::Symbolizer(*held_image, out.text_base).resolve(out.trap.ip);
+            if (pos.known) {
+                out.trap_sym = pos.function + ":" + std::to_string(pos.line);
+            }
+        }
+        out.dcache_hits = v.machine().decode_cache().hits();
+        out.dcache_decodes = v.machine().decode_cache().decodes();
+        out.syscall_retries = v.kernel().fault_stats().retries;
+        out.io_faults_injected = v.kernel().fault_stats().injected_failures;
+        out.sbrk_calls = v.kernel().heap_stats().sbrk_calls;
+        out.heap_high_water = v.kernel().heap_stats().high_water;
         return out;
     }
 
@@ -371,8 +390,9 @@ const std::vector<AttackKind>& all_attacks() {
 
 AttackOutcome run_attack(AttackKind kind, const Defense& defense, std::uint64_t victim_seed,
                          std::uint64_t attacker_seed, fault::FaultInjector* victim_faults,
-                         trace::Tracer* victim_tracer) {
-    Lab lab{defense, victim_seed, attacker_seed, victim_faults, victim_tracer, {}};
+                         trace::Tracer* victim_tracer, profile::Profiler* victim_profiler) {
+    Lab lab{defense, victim_seed, attacker_seed, victim_faults, victim_tracer,
+            victim_profiler, {}};
     switch (kind) {
     case AttackKind::StackSmashInject:
         return lab.stack_smash_inject();

@@ -10,11 +10,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "assembler/object.hpp"
 #include "core/defense.hpp"
 #include "fault/fault.hpp"
+#include "profile/profiler.hpp"
 #include "trace/trace.hpp"
 #include "vm/trap.hpp"
 
@@ -43,6 +46,30 @@ struct AttackOutcome {
     std::string note;  // what the attacker achieved / what stopped it
     std::uint64_t steps = 0; // instructions the victim executed
 
+    /// The victim's load bias.  trap.ip is a raw run-time PC, meaningless
+    /// across two ASLR draws on its own; (ip - text_base) plus `trap_sym`
+    /// make outcomes from differently-randomized victims comparable.
+    std::uint32_t text_base = 0;
+    std::uint32_t text_size = 0;
+    /// trap.ip symbolized through the image's debug line table as
+    /// "function:line".  Empty when the trap landed outside the text
+    /// segment (e.g. inside injected stack shellcode — itself a signal).
+    std::string trap_sym;
+    /// The victim's compiled image (shared with the machine-wide image
+    /// cache); lets callers symbolize/profile without recompiling.  Null
+    /// for scenarios that never build a process (the static sfi verdict).
+    std::shared_ptr<const objfmt::Image> image;
+
+    // Per-victim-run platform tallies for the metrics registry.  All
+    // deterministic given the seeds (the victim is share-nothing), so a
+    // --jobs N sweep aggregates them byte-identically to a serial one.
+    std::uint64_t dcache_hits = 0;
+    std::uint64_t dcache_decodes = 0;
+    std::uint64_t syscall_retries = 0;
+    std::uint64_t io_faults_injected = 0;
+    std::uint64_t sbrk_calls = 0;
+    std::uint32_t heap_high_water = 0;
+
     [[nodiscard]] std::string verdict() const {
         return succeeded ? "ATTACK SUCCEEDED" : "blocked: " + vm::trap_name(trap.kind);
     }
@@ -56,11 +83,13 @@ struct AttackOutcome {
 /// machine glitches).  The fault-sweep harness uses this to check that no
 /// glitch can flip a blocked cell into a success.  When `victim_tracer` is
 /// given, the victim machine records its full event trace into it (the probe
-/// never traces — only the deployed machine is observed).
+/// never traces — only the deployed machine is observed).  `victim_profiler`
+/// likewise attaches the exact PC/edge profiler to the victim only.
 [[nodiscard]] AttackOutcome run_attack(AttackKind kind, const Defense& defense,
                                        std::uint64_t victim_seed = 1001,
                                        std::uint64_t attacker_seed = 2002,
                                        fault::FaultInjector* victim_faults = nullptr,
-                                       trace::Tracer* victim_tracer = nullptr);
+                                       trace::Tracer* victim_tracer = nullptr,
+                                       profile::Profiler* victim_profiler = nullptr);
 
 } // namespace swsec::core

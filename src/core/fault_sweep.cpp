@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "core/image_cache.hpp"
 #include "core/parallel.hpp"
 #include "os/layout.hpp"
 #include "statecont/protocol.hpp"
@@ -408,6 +409,43 @@ std::string FaultSweepReport::summary() const {
     os << "\nfail-closed invariant: " << (fail_closed() ? "HOLDS" : "VIOLATED") << " across "
        << total_windows() << " fault windows\n";
     return os.str();
+}
+
+profile::Registry fault_sweep_metrics(const FaultSweepReport& report) {
+    profile::Registry reg;
+    const profile::Labels base = {{"harness", "fault-sweep"}};
+    reg.counter_add("sweep_cells_total", base, report.cells);
+    reg.counter_add("baseline_blocked_total", base, report.baseline_blocked);
+    reg.counter_add("baseline_success_total", base, report.baseline_success);
+    reg.counter_add("fail_open_violations_total", base, report.violations.size());
+    for (const ClassTally& t : report.tallies) {
+        const profile::Labels cls = {{"harness", "fault-sweep"},
+                                     {"class", fault::fault_class_name(t.cls)}};
+        reg.counter_add("fault_windows_total", cls, t.windows);
+        reg.counter_add("fault_power_cuts_total", cls, t.power_cut);
+        reg.counter_add("fault_still_blocked_total", cls, t.still_blocked);
+        reg.counter_add("fail_open_flips_total", cls, t.fail_open);
+    }
+    reg.counter_add("statecont_windows_total", base, report.statecont.windows);
+    reg.counter_add("statecont_crashes_total", base, report.statecont.crashes);
+    reg.counter_add("statecont_violations_total", base, report.statecont.violations.size());
+    // The baseline cells carry the same per-victim platform tallies the
+    // matrix aggregates; fold them in under this harness's label.
+    for (const MatrixCell& c : report.baseline_cells) {
+        const AttackOutcome& o = c.outcome;
+        reg.counter_add("victim_instructions_total", base, o.steps);
+        reg.counter_add("dcache_hits_total", base, o.dcache_hits);
+        reg.counter_add("dcache_decodes_total", base, o.dcache_decodes);
+        reg.counter_add("syscall_retries_total", base, o.syscall_retries);
+        reg.counter_add("io_faults_injected_total", base, o.io_faults_injected);
+        reg.counter_add("sbrk_calls_total", base, o.sbrk_calls);
+        reg.gauge_max("heap_high_water_bytes", base, static_cast<double>(o.heap_high_water));
+    }
+    reg.gauge_set("image_cache_images", base, static_cast<double>(image_cache_size()),
+                  profile::Volatile::Yes);
+    reg.gauge_set("image_cache_hits", base, static_cast<double>(image_cache_hits()),
+                  profile::Volatile::Yes);
+    return reg;
 }
 
 } // namespace swsec::core

@@ -32,6 +32,7 @@
 #include "core/defense.hpp"
 #include "core/matrix.hpp"
 #include "fault/fault.hpp"
+#include "profile/metrics.hpp"
 
 namespace swsec::core {
 
@@ -109,6 +110,14 @@ struct FaultSweepReport {
 
 /// Run the whole sweep (both halves, per options).
 [[nodiscard]] FaultSweepReport run_fault_sweep(const FaultSweepOptions& opts = {});
+
+/// Deterministic metrics registry for a finished sweep (labels:
+/// harness=fault-sweep, plus class=<fault class> for the per-class
+/// tallies): cells visited, windows executed, fail-open violations,
+/// state-continuity liveness results and the baseline cells' platform
+/// tallies.  Derived from the (jobs-invariant) report only, so the JSON
+/// export is byte-identical for any jobs value.
+[[nodiscard]] profile::Registry fault_sweep_metrics(const FaultSweepReport& report);
 
 /// The state-continuity half alone: exhaustively sweep every power-cut
 /// window and every torn-write byte prefix of a save, for all three

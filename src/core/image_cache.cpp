@@ -31,6 +31,7 @@ namespace {
 struct Cache {
     std::mutex mutex;
     std::unordered_map<std::string, std::shared_ptr<const objfmt::Image>> images;
+    std::uint64_t hits = 0;
 };
 
 Cache& cache() {
@@ -48,6 +49,7 @@ std::shared_ptr<const objfmt::Image> cached_compile(const std::string& source,
         const std::lock_guard<std::mutex> lock(c.mutex);
         const auto it = c.images.find(key);
         if (it != c.images.end()) {
+            ++c.hits;
             return it->second;
         }
     }
@@ -63,12 +65,19 @@ void clear_image_cache() {
     Cache& c = cache();
     const std::lock_guard<std::mutex> lock(c.mutex);
     c.images.clear();
+    c.hits = 0;
 }
 
 std::size_t image_cache_size() {
     Cache& c = cache();
     const std::lock_guard<std::mutex> lock(c.mutex);
     return c.images.size();
+}
+
+std::uint64_t image_cache_hits() {
+    Cache& c = cache();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    return c.hits;
 }
 
 } // namespace swsec::core

@@ -13,6 +13,7 @@
 // only read the image and copy it into their own Process.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -37,5 +38,12 @@ void clear_image_cache();
 
 /// Number of distinct (source, options) images currently cached.
 [[nodiscard]] std::size_t image_cache_size();
+
+/// Machine-wide cache-hit tally since start (or the last clear).  This is a
+/// *schedule-dependent* number: with --jobs N two workers can race to
+/// compile the same key and one insert loses, so the hit count differs
+/// between equivalent runs.  It therefore feeds the metrics registry only
+/// as a Volatile gauge, never a deterministic report.
+[[nodiscard]] std::uint64_t image_cache_hits();
 
 } // namespace swsec::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hexdump.hpp"
+#include "core/image_cache.hpp"
 #include "core/parallel.hpp"
 #include "trace/trace.hpp"
 
@@ -92,10 +93,44 @@ std::string matrix_cells_jsonl(const std::vector<MatrixCell>& cells) {
         out += t.kernel ? "kernel" : "user";
         out += "\",\"ip\":\"" + hex32(t.ip) + "\"";
         out += ",\"addr\":\"" + hex32(t.addr) + "\"";
+        // Raw ip/addr depend on the victim's ASLR draw; the load bias, the
+        // text-relative offset and the line-table symbolization are the
+        // draw-independent coordinates.  ip_off is null when the trap
+        // landed outside text (injected stack shellcode, data execution).
+        out += ",\"text_base\":\"" + hex32(c.outcome.text_base) + "\"";
+        const bool in_text = t.ip >= c.outcome.text_base &&
+                             t.ip - c.outcome.text_base < c.outcome.text_size;
+        out += ",\"ip_off\":";
+        out += in_text ? "\"" + hex32(t.ip - c.outcome.text_base) + "\"" : "null";
+        out += ",\"sym\":\"" + trace::json_escape(c.outcome.trap_sym) + "\"";
         out += ",\"steps\":" + std::to_string(c.outcome.steps);
         out += ",\"note\":\"" + trace::json_escape(c.outcome.note) + "\"}\n";
     }
     return out;
+}
+
+profile::Registry matrix_metrics(const std::vector<MatrixCell>& cells) {
+    profile::Registry reg;
+    const profile::Labels base = {{"harness", "matrix"}};
+    for (const auto& c : cells) {
+        const AttackOutcome& o = c.outcome;
+        reg.counter_add(o.succeeded ? "attacks_succeeded_total" : "attacks_blocked_total", base);
+        reg.counter_add("victim_instructions_total", base, o.steps);
+        reg.counter_add("dcache_hits_total", base, o.dcache_hits);
+        reg.counter_add("dcache_decodes_total", base, o.dcache_decodes);
+        reg.counter_add("syscall_retries_total", base, o.syscall_retries);
+        reg.counter_add("io_faults_injected_total", base, o.io_faults_injected);
+        reg.counter_add("sbrk_calls_total", base, o.sbrk_calls);
+        reg.gauge_max("heap_high_water_bytes", base, static_cast<double>(o.heap_high_water));
+        // Per-defense verdicts: which configurations are holding the line.
+        reg.counter_add(o.succeeded ? "attacks_succeeded_total" : "attacks_blocked_total",
+                        {{"harness", "matrix"}, {"defense", c.defense}});
+    }
+    reg.gauge_set("image_cache_images", base, static_cast<double>(image_cache_size()),
+                  profile::Volatile::Yes);
+    reg.gauge_set("image_cache_hits", base, static_cast<double>(image_cache_hits()),
+                  profile::Volatile::Yes);
+    return reg;
 }
 
 } // namespace swsec::core

@@ -11,6 +11,7 @@
 
 #include "core/attack_lab.hpp"
 #include "core/defense.hpp"
+#include "profile/metrics.hpp"
 
 namespace swsec::core {
 
@@ -35,9 +36,22 @@ struct MatrixCell {
 
 /// One JSONL line per cell carrying the full trap provenance: which check
 /// fired (origin), in which module, kernel or user mode, at which ip/addr —
-/// i.e. *why* the cell passed or failed, not just the trap kind.  Cells are
-/// emitted in input order, so a serial and a `--jobs N` sweep (which merges
-/// by index) serialise byte-identically.
+/// i.e. *why* the cell passed or failed, not just the trap kind.  Raw
+/// ip/addr are only meaningful relative to the victim's load bias, so each
+/// line also carries `text_base`, the text-relative `ip_off` and the
+/// symbolized `sym` ("function:line"), which *are* comparable across two
+/// ASLR draws.  Cells are emitted in input order, so a serial and a
+/// `--jobs N` sweep (which merges by index) serialise byte-identically.
 [[nodiscard]] std::string matrix_cells_jsonl(const std::vector<MatrixCell>& cells);
+
+/// Aggregate the cells' deterministic platform tallies into a metrics
+/// registry (labels: harness=matrix): attack verdict counts, victim
+/// instructions, decode-cache hits/decodes, syscall retries, injected I/O
+/// faults, sbrk traffic and the heap high-water mark.  Aggregation runs in
+/// cell-index order over per-cell deterministic numbers, so the JSON export
+/// is byte-identical for any jobs value.  The machine-wide image-cache hit
+/// count is added as a Volatile gauge (schedule-dependent; excluded from
+/// the default export).
+[[nodiscard]] profile::Registry matrix_metrics(const std::vector<MatrixCell>& cells);
 
 } // namespace swsec::core

@@ -1,0 +1,67 @@
+#include "core/profile_scenarios.hpp"
+
+#include "common/error.hpp"
+#include "fault/fault.hpp"
+
+namespace swsec::core {
+
+namespace {
+
+struct ScenarioSpec {
+    const char* name;
+    AttackKind attack;
+    Defense (*defense)();
+    bool inject_fault;
+};
+
+/// Same attack-vs-defense pairings as the trace scenarios: each profile
+/// shows where the victim spent its instructions before the paired
+/// countermeasure stopped it (or didn't, for baseline).
+constexpr ScenarioSpec kSpecs[] = {
+    {"baseline", AttackKind::StackSmashInject, &Defense::none, false},
+    {"canary", AttackKind::StackSmashInject, &Defense::canary, false},
+    {"dep", AttackKind::StackSmashInject, &Defense::dep, false},
+    {"shadow-stack", AttackKind::Ret2Libc, &Defense::shadow_stack, false},
+    {"cfi", AttackKind::CodePtrHijackMidFn, &Defense::coarse_cfi, false},
+    {"memcheck", AttackKind::UseAfterFree, &Defense::memcheck, false},
+    {"fault", AttackKind::StackSmashInject, &Defense::none, true},
+};
+
+} // namespace
+
+const std::vector<std::string>& profile_scenario_names() {
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const ScenarioSpec& s : kSpecs) {
+            v.emplace_back(s.name);
+        }
+        return v;
+    }();
+    return names;
+}
+
+ProfileRun run_profile_scenario(const std::string& name, const ProfileScenarioOptions& opts) {
+    for (const ScenarioSpec& spec : kSpecs) {
+        if (name != spec.name) {
+            continue;
+        }
+        profile::Profiler prof;
+        prof.set_sample_interval(opts.sample_interval);
+        fault::FaultInjector injector{fault::FaultPlan{}.add(fault::FaultEvent::power_cut(20))};
+
+        ProfileRun run;
+        run.scenario = name;
+        run.outcome = run_attack(spec.attack, spec.defense(), opts.victim_seed,
+                                 opts.attacker_seed, spec.inject_fault ? &injector : nullptr,
+                                 nullptr, &prof);
+        if (run.outcome.image == nullptr) {
+            throw InternalError("profile scenario '" + name + "' produced no image");
+        }
+        run.report = profile::build_report(prof, *run.outcome.image, run.outcome.text_base);
+        return run;
+    }
+    throw Error("unknown profile scenario: " + name +
+                " (see `swsec profile` usage for the list)");
+}
+
+} // namespace swsec::core

@@ -1,7 +1,9 @@
 #include "fuzz/fuzz.hpp"
 
+#include <bit>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "cc/compiler.hpp"
@@ -10,6 +12,7 @@
 #include "core/image_cache.hpp"
 #include "core/parallel.hpp"
 #include "os/process.hpp"
+#include "profile/profiler.hpp"
 
 namespace swsec::fuzz {
 
@@ -284,10 +287,78 @@ std::vector<Divergence> check_program(const std::string& source, std::uint64_t s
     return divs;
 }
 
+profile::CoverageBitmap program_coverage(const std::string& source, std::uint64_t seed,
+                                         std::uint64_t max_steps) {
+    profile::CoverageBitmap bmp;
+    const core::Defense baseline = core::Defense::none();
+    const auto image = core::cached_compile(source, baseline.copts);
+    profile::Profiler prof;
+    prof.set_sample_interval(0); // coverage only: no stack samples needed
+    os::SecurityProfile p = baseline.profile;
+    p.profiler = &prof;
+    os::Process proc(*image, p, seed);
+    prof.set_coverage(&bmp, proc.layout().text_base, proc.layout().text_size);
+    (void)proc.run(max_steps);
+    return bmp;
+}
+
+namespace {
+
+/// Bucket indices set in `seed_bmp` but not yet in `cumulative`.
+std::vector<std::uint32_t> fresh_buckets(const profile::CoverageBitmap& seed_bmp,
+                                         const profile::CoverageBitmap& cumulative) {
+    std::vector<std::uint32_t> out;
+    const auto& sw = seed_bmp.words();
+    const auto& cw = cumulative.words();
+    for (std::size_t w = 0; w < sw.size(); ++w) {
+        std::uint64_t fresh = sw[w] & ~cw[w];
+        while (fresh != 0) {
+            const auto bit = static_cast<std::uint32_t>(std::countr_zero(fresh));
+            out.push_back(static_cast<std::uint32_t>(w) * 64 + bit);
+            fresh &= fresh - 1;
+        }
+    }
+    return out;
+}
+
+/// Greedy chunk prioritization: drop every chunk whose removal keeps at
+/// least one of `targets` covered, returning the indices that survive —
+/// the part of the program that actually reaches the new edges.
+std::vector<std::size_t> prioritize_chunks(const GenProgram& prog, std::uint64_t seed,
+                                           std::uint64_t max_steps,
+                                           const std::vector<std::uint32_t>& targets) {
+    const auto hits_target = [&](const std::string& source) {
+        const profile::CoverageBitmap bmp = program_coverage(source, seed, max_steps);
+        for (const std::uint32_t b : targets) {
+            if (bmp.test(b)) {
+                return true;
+            }
+        }
+        return false;
+    };
+    std::vector<bool> keep(prog.chunks.size(), true);
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+        keep[i] = false;
+        if (!hits_target(prog.render_subset(keep))) {
+            keep[i] = true;
+        }
+    }
+    std::vector<std::size_t> kept;
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+        if (keep[i]) {
+            kept.push_back(i);
+        }
+    }
+    return kept;
+}
+
+} // namespace
+
 FuzzReport run_fuzz(const FuzzOptions& opts) {
     struct SeedResult {
         std::vector<Divergence> divs;
         FuzzReport stats;
+        std::unique_ptr<profile::CoverageBitmap> bitmap;
     };
     const auto n = static_cast<std::size_t>(opts.seeds < 0 ? 0 : opts.seeds);
     std::vector<SeedResult> results(n);
@@ -297,6 +368,10 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
         const GenProgram prog = generate_program(seed);
         SeedResult& r = results[i];
         r.divs = check_program(prog.render(), seed, opts.max_steps, &r.stats);
+        if (opts.coverage) {
+            r.bitmap = std::make_unique<profile::CoverageBitmap>(
+                program_coverage(prog.render(), seed, opts.max_steps));
+        }
         if (opts.minimize) {
             for (Divergence& d : r.divs) {
                 const Divergence target = d;
@@ -318,6 +393,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
     // Index-ordered merge: byte-identical for any jobs value.
     FuzzReport report;
     report.programs = static_cast<int>(n);
+    report.coverage_batch = opts.coverage_batch;
     for (SeedResult& r : results) {
         report.runs += r.stats.runs;
         report.const_checks += r.stats.const_checks;
@@ -326,7 +402,40 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
             report.divergences.push_back(std::move(d));
         }
     }
+
+    // Cumulative coverage: per-seed bitmaps were computed share-nothing in
+    // the parallel phase; the merge (and the chunk prioritization of the
+    // few interesting seeds) runs serially in seed order, so the curve —
+    // monotone by construction — is identical for any jobs value.
+    if (opts.coverage) {
+        report.coverage.enabled = true;
+        profile::CoverageBitmap cumulative;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t seed = opts.seed_base + i;
+            const std::vector<std::uint32_t> fresh = fresh_buckets(*results[i].bitmap, cumulative);
+            const std::uint32_t grew = cumulative.merge_new(*results[i].bitmap);
+            report.coverage.new_edges.push_back(grew);
+            report.coverage.cumulative.push_back(cumulative.popcount());
+            if (!fresh.empty()) {
+                CoverageReport::InterestingSeed is;
+                is.seed = seed;
+                is.new_buckets = grew;
+                is.chunks = prioritize_chunks(generate_program(seed), seed, opts.max_steps, fresh);
+                report.coverage.interesting.push_back(std::move(is));
+            }
+        }
+        report.coverage.total_edges = cumulative.popcount();
+    }
     return report;
+}
+
+std::string CoverageReport::curve_csv(std::uint64_t seed_base) const {
+    std::string s = "index,seed,new_edges,cumulative\n";
+    for (std::size_t i = 0; i < cumulative.size(); ++i) {
+        s += std::to_string(i) + "," + std::to_string(seed_base + i) + "," +
+             std::to_string(new_edges[i]) + "," + std::to_string(cumulative[i]) + "\n";
+    }
+    return s;
 }
 
 std::string FuzzReport::summary() const {
@@ -335,6 +444,24 @@ std::string FuzzReport::summary() const {
                     " instructions=" + std::to_string(counters.instructions) +
                     " const-checks=" + std::to_string(const_checks) +
                     " divergences=" + std::to_string(divergences.size()) + "\n";
+    if (coverage.enabled) {
+        s += "coverage: edges=" + std::to_string(coverage.total_edges) + "/" +
+             std::to_string(profile::CoverageBitmap::kBuckets) +
+             " interesting-seeds=" + std::to_string(coverage.interesting.size()) + "\n";
+        const auto batch = static_cast<std::size_t>(coverage_batch <= 0 ? 100 : coverage_batch);
+        for (std::size_t i = 0; i < coverage.cumulative.size(); i += batch) {
+            const std::size_t last =
+                i + batch < coverage.cumulative.size() ? i + batch - 1
+                                                       : coverage.cumulative.size() - 1;
+            std::uint64_t fresh = 0;
+            for (std::size_t j = i; j <= last; ++j) {
+                fresh += coverage.new_edges[j];
+            }
+            s += "coverage-batch seeds[" + std::to_string(i) + ".." + std::to_string(last) +
+                 "]: cumulative=" + std::to_string(coverage.cumulative[last]) + " (+" +
+                 std::to_string(fresh) + ")\n";
+        }
+    }
     for (const Divergence& d : divergences) {
         s += "divergence: seed=" + std::to_string(d.seed) + " oracle=" + oracle_name(d.oracle) +
              " configs='" + d.config_a + "' vs '" + d.config_b + "'\n";

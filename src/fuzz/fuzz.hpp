@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "fuzz/generator.hpp"
+#include "profile/profiler.hpp"
 #include "trace/trace.hpp"
 
 namespace swsec::fuzz {
@@ -71,7 +72,43 @@ struct FuzzOptions {
     int jobs = 1;           // core/parallel workers; 0 = one per hardware thread
     bool minimize = false;  // greedily minimize each divergence's source
     std::uint64_t max_steps = 20'000'000; // per-run watchdog budget
+    /// Collect per-seed edge coverage (profiler bitmap over the baseline
+    /// run) and report the cumulative curve; seeds that light new edges are
+    /// chunk-prioritized into a corpus.  Per-seed bitmaps are computed in
+    /// the parallel phase, the cumulative merge runs serially in seed
+    /// order, so the curve is byte-identical for any jobs value.
+    bool coverage = false;
+    int coverage_batch = 100; // seeds per batch line in the summary curve
 };
+
+/// Cumulative edge-coverage accounting of a --coverage campaign.
+struct CoverageReport {
+    bool enabled = false;
+    std::uint64_t total_edges = 0;         // distinct buckets after the last seed
+    std::vector<std::uint32_t> new_edges;  // per seed: buckets newly covered
+    std::vector<std::uint64_t> cumulative; // per seed: running bucket count (monotone)
+
+    /// A seed that reached edges no earlier seed reached, with the minimal
+    /// chunk subset of its generated program that still reaches one of
+    /// them — the corpus entry worth keeping/mutating further.
+    struct InterestingSeed {
+        std::uint64_t seed = 0;
+        std::uint32_t new_buckets = 0;
+        std::vector<std::size_t> chunks; // indices into GenProgram::chunks
+    };
+    std::vector<InterestingSeed> interesting;
+
+    /// One "index,seed,new_edges,cumulative" line per seed (CSV header
+    /// included) — the full curve for plotting.
+    [[nodiscard]] std::string curve_csv(std::uint64_t seed_base) const;
+};
+
+/// Edge-coverage bitmap of one program's baseline (undefended) run,
+/// windowed to the text segment so the bits are ASLR-draw-independent and
+/// exclude injected/stack code.  Deterministic given (source, seed).
+[[nodiscard]] profile::CoverageBitmap program_coverage(const std::string& source,
+                                                       std::uint64_t seed,
+                                                       std::uint64_t max_steps);
 
 struct FuzzReport {
     int programs = 0;
@@ -82,6 +119,9 @@ struct FuzzReport {
     trace::Counters counters;
     /// Seed order, deterministic for any jobs value.
     std::vector<Divergence> divergences;
+    /// Populated when FuzzOptions::coverage was set.
+    CoverageReport coverage;
+    int coverage_batch = 100;
 
     [[nodiscard]] bool clean() const noexcept { return divergences.empty(); }
     [[nodiscard]] std::string summary() const;

@@ -1,5 +1,7 @@
 #include "os/kernel.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace swsec::os {
@@ -114,6 +116,7 @@ bool Kernel::sys_sbrk(vm::Machine& m) {
     }
     const auto delta = static_cast<std::int32_t>(m.reg(Reg::R0));
     const std::uint32_t old_brk = layout_->brk;
+    ++heap_stats_.sbrk_calls;
     if (delta > 0) {
         const std::uint32_t new_brk = old_brk + static_cast<std::uint32_t>(delta);
         if (new_brk > kHeapLimit) {
@@ -122,6 +125,8 @@ bool Kernel::sys_sbrk(vm::Machine& m) {
         }
         m.memory().map(old_brk, static_cast<std::uint32_t>(delta), vm::Perm::RW);
         layout_->brk = new_brk;
+        heap_stats_.grown_bytes += static_cast<std::uint32_t>(delta);
+        heap_stats_.high_water = std::max(heap_stats_.high_water, new_brk - layout_->heap_base);
         if (m.tracer() != nullptr) {
             m.tracer()->record({trace::EventKind::HeapAlloc, m.steps_executed(), m.ip(),
                                 m.current_module(), true, trace::CheckOrigin::None, 0, old_brk,
@@ -129,6 +134,7 @@ bool Kernel::sys_sbrk(vm::Machine& m) {
         }
     } else if (delta < 0) {
         layout_->brk = old_brk + static_cast<std::uint32_t>(delta);
+        heap_stats_.shrunk_bytes += static_cast<std::uint32_t>(-delta);
         if (m.tracer() != nullptr) {
             m.tracer()->record({trace::EventKind::HeapFree, m.steps_executed(), m.ip(),
                                 m.current_module(), true, trace::CheckOrigin::None, 0,

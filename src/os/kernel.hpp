@@ -46,6 +46,18 @@ struct KernelFaultStats {
     std::uint64_t reported_errors = 0;   // failures surfaced to the program
 };
 
+/// brk-level heap accounting for the metrics registry.  `high_water` is the
+/// most bytes the program break ever sat above heap_base; together with the
+/// final break it bounds allocator-level retention (grown-but-released
+/// space the in-VM allocator holds on to — a brk-granularity fragmentation
+/// proxy; the kernel cannot see individual free-list holes).
+struct KernelHeapStats {
+    std::uint64_t sbrk_calls = 0;
+    std::uint64_t grown_bytes = 0;
+    std::uint64_t shrunk_bytes = 0;
+    std::uint32_t high_water = 0; // max(brk - heap_base) over the run
+};
+
 /// One byte-stream endpoint pair (what the program reads / what it wrote).
 struct Channel {
     std::deque<std::uint8_t> input;
@@ -69,6 +81,7 @@ public:
     void set_fault_injector(fault::FaultInjector* inj) noexcept { injector_ = inj; }
     void set_retry_policy(RetryPolicy p) noexcept { retry_ = p; }
     [[nodiscard]] const KernelFaultStats& fault_stats() const noexcept { return fault_stats_; }
+    [[nodiscard]] const KernelHeapStats& heap_stats() const noexcept { return heap_stats_; }
 
     // --- I/O attacker interface ------------------------------------------
     /// Queue bytes the program will see on its next SYS read from `fd`.
@@ -114,6 +127,7 @@ private:
     fault::FaultInjector* injector_ = nullptr; // non-owning; may be null
     RetryPolicy retry_;
     KernelFaultStats fault_stats_;
+    KernelHeapStats heap_stats_;
 };
 
 } // namespace swsec::os

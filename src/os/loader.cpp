@@ -144,6 +144,16 @@ ProcessLayout load_image(vm::Machine& machine, const Image& image, const LoadOpt
         machine.set_cfi_targets(std::move(targets));
     }
 
+    if (machine.tracer() != nullptr) {
+        // First event of a traced run: the load bias.  Raw PCs in the rest
+        // of the stream are only comparable across ASLR draws relative to
+        // these bases.
+        machine.tracer()->record({trace::EventKind::ModuleLoaded, machine.steps_executed(),
+                                  layout.text_base, vm::kNoModule, false,
+                                  trace::CheckOrigin::None, 0, layout.data_base,
+                                  layout.stack_high, {}});
+    }
+
     // Initial register state.
     const auto entry = image.try_symbol(entry_symbol);
     if (!entry || entry->section != SectionKind::Text) {

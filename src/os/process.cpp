@@ -18,6 +18,9 @@ Process::Process(objfmt::Image image, const SecurityProfile& profile, std::uint6
     if (profile.tracer != nullptr) {
         machine_.set_tracer(profile.tracer);
     }
+    if (profile.profiler != nullptr) {
+        machine_.set_profiler(profile.profiler);
+    }
 
     LoadOptions lo;
     lo.dep = profile.dep;

@@ -13,6 +13,7 @@
 #include "assembler/object.hpp"
 #include "os/kernel.hpp"
 #include "os/loader.hpp"
+#include "profile/profiler.hpp"
 #include "vm/machine.hpp"
 
 namespace swsec::os {
@@ -41,6 +42,12 @@ struct SecurityProfile {
     /// null).  Events flow from every platform layer; a null tracer costs
     /// one guarded branch per hook site.  Must outlive the Process.
     trace::Tracer* tracer = nullptr;
+
+    /// Exact PC/edge profiler attached to the machine (non-owning; may be
+    /// null).  Same pay-for-what-you-use contract as the tracer: a detached
+    /// profiler adds no branches to the memory fast paths.  Must outlive
+    /// the Process.
+    profile::Profiler* profiler = nullptr;
 
     [[nodiscard]] static SecurityProfile none() noexcept { return {}; }
     [[nodiscard]] static SecurityProfile hardened() noexcept {

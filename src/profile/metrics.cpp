@@ -1,0 +1,156 @@
+#include "profile/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "trace/trace.hpp"
+
+namespace swsec::profile {
+
+namespace {
+
+Labels sorted(Labels labels) {
+    std::sort(labels.begin(), labels.end());
+    return labels;
+}
+
+std::string format_double(double v) {
+    // %.17g round-trips but prints noise; metrics values are counts, ratios
+    // and byte sizes, for which %.6g is stable and readable.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+Registry::Registry(const Registry& other) {
+    std::scoped_lock lk(other.mu_);
+    metrics_ = other.metrics_;
+}
+
+Registry& Registry::operator=(const Registry& other) {
+    if (this != &other) {
+        std::scoped_lock lk(mu_, other.mu_);
+        metrics_ = other.metrics_;
+    }
+    return *this;
+}
+
+std::string Registry::key_of(const std::string& name, const Labels& labels) {
+    std::string key = name;
+    for (const auto& [k, v] : labels) {
+        key += '\x1f';
+        key += k;
+        key += '\x1e';
+        key += v;
+    }
+    return key;
+}
+
+Registry::Metric& Registry::slot(const std::string& name, const Labels& labels, Kind kind,
+                                 Volatile vol) {
+    Labels ls = sorted(labels);
+    const std::string key = key_of(name, ls);
+    auto it = metrics_.find(key);
+    if (it == metrics_.end()) {
+        Metric m;
+        m.name = name;
+        m.labels = std::move(ls);
+        m.kind = kind;
+        m.vol = vol;
+        it = metrics_.emplace(key, std::move(m)).first;
+    }
+    return it->second;
+}
+
+void Registry::counter_add(const std::string& name, const Labels& labels, std::uint64_t delta,
+                           Volatile vol) {
+    std::scoped_lock lk(mu_);
+    slot(name, labels, Kind::Counter, vol).count += delta;
+}
+
+void Registry::gauge_set(const std::string& name, const Labels& labels, double value,
+                         Volatile vol) {
+    std::scoped_lock lk(mu_);
+    slot(name, labels, Kind::Gauge, vol).value = value;
+}
+
+void Registry::gauge_max(const std::string& name, const Labels& labels, double value,
+                         Volatile vol) {
+    std::scoped_lock lk(mu_);
+    Metric& m = slot(name, labels, Kind::Gauge, vol);
+    m.value = std::max(m.value, value);
+}
+
+void Registry::merge(const Registry& other) {
+    // Copy first so self-merge and lock ordering are non-issues.
+    const Registry snapshot(other);
+    std::scoped_lock lk(mu_);
+    for (const auto& [key, m] : snapshot.metrics_) {
+        auto it = metrics_.find(key);
+        if (it == metrics_.end()) {
+            metrics_.emplace(key, m);
+        } else if (m.kind == Kind::Counter) {
+            it->second.count += m.count;
+        } else {
+            it->second.value = std::max(it->second.value, m.value);
+        }
+    }
+}
+
+std::uint64_t Registry::counter(const std::string& name, const Labels& labels) const {
+    std::scoped_lock lk(mu_);
+    const auto it = metrics_.find(key_of(name, sorted(labels)));
+    return it == metrics_.end() ? 0 : it->second.count;
+}
+
+double Registry::gauge(const std::string& name, const Labels& labels) const {
+    std::scoped_lock lk(mu_);
+    const auto it = metrics_.find(key_of(name, sorted(labels)));
+    return it == metrics_.end() ? 0.0 : it->second.value;
+}
+
+std::string Registry::to_json(bool include_volatile) const {
+    std::scoped_lock lk(mu_);
+    std::string out = "{\"schema\":\"swsec-metrics-v1\",\"metrics\":[";
+    bool first = true;
+    // metrics_ is a std::map keyed by (name, sorted labels): iteration order
+    // is already the deterministic export order.
+    for (const auto& [key, m] : metrics_) {
+        if (m.vol == Volatile::Yes && !include_volatile) {
+            continue;
+        }
+        if (!first) {
+            out += ',';
+        }
+        first = false;
+        out += "{\"name\":\"" + trace::json_escape(m.name) + "\",\"labels\":{";
+        for (std::size_t i = 0; i < m.labels.size(); ++i) {
+            if (i != 0) {
+                out += ',';
+            }
+            out += '"' + trace::json_escape(m.labels[i].first) + "\":\"" +
+                   trace::json_escape(m.labels[i].second) + '"';
+        }
+        out += "},\"type\":\"";
+        out += (m.kind == Kind::Counter ? "counter" : "gauge");
+        out += "\",\"value\":";
+        out += (m.kind == Kind::Counter ? std::to_string(m.count) : format_double(m.value));
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+void Registry::clear() {
+    std::scoped_lock lk(mu_);
+    metrics_.clear();
+}
+
+Registry& Registry::global() {
+    static Registry r;
+    return r;
+}
+
+} // namespace swsec::profile

@@ -1,0 +1,89 @@
+// Process-wide metrics registry: labelled counters and gauges with a
+// deterministic JSON export.
+//
+// Unifies the stats that previous PRs scattered across DecodeCache,
+// KernelFaultStats, the image cache and the sweep harnesses.  Two rules keep
+// the export trustworthy:
+//
+//  * Deterministic by default.  `to_json()` emits metrics sorted by
+//    (name, labels) so two registries holding the same values serialize
+//    byte-identically — serial vs `--jobs N` sweeps must produce the same
+//    `--metrics-out` file.
+//  * Volatile metrics are quarantined.  Wall-clock throughput and anything
+//    schedule-dependent (the shared image cache's hit count races across
+//    worker threads) is registered with `Volatile::Yes` and excluded from
+//    `to_json()` unless explicitly requested; they are for humans on stderr,
+//    never for files that CI diffs.
+//
+// The registry is thread-safe (one mutex; metrics are coarse-grained sums,
+// not hot-path counters) and mergeable: per-shard registries from a parallel
+// sweep fold into one with counter addition and gauge max, both of which are
+// order-independent, so the merged result is schedule-invariant.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace swsec::profile {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class Volatile : std::uint8_t { No, Yes };
+
+class Registry {
+public:
+    Registry() = default;
+    Registry(const Registry& other);
+    Registry& operator=(const Registry& other);
+
+    /// Add `delta` to a monotone counter (created at zero on first use).
+    void counter_add(const std::string& name, const Labels& labels, std::uint64_t delta = 1,
+                     Volatile vol = Volatile::No);
+
+    /// Overwrite a gauge.
+    void gauge_set(const std::string& name, const Labels& labels, double value,
+                   Volatile vol = Volatile::No);
+
+    /// Raise a gauge to `value` if larger (high-water marks).
+    void gauge_max(const std::string& name, const Labels& labels, double value,
+                   Volatile vol = Volatile::No);
+
+    /// Fold `other` into this registry: counters add, gauges take the max.
+    void merge(const Registry& other);
+
+    [[nodiscard]] std::uint64_t counter(const std::string& name, const Labels& labels = {}) const;
+    [[nodiscard]] double gauge(const std::string& name, const Labels& labels = {}) const;
+
+    /// Deterministic JSON document: `{"schema":"swsec-metrics-v1","metrics":[...]}`
+    /// sorted by (name, labels).  Volatile metrics appear only when asked.
+    [[nodiscard]] std::string to_json(bool include_volatile = false) const;
+
+    void clear();
+
+    /// The process-wide registry (e.g. for the image cache, which is itself
+    /// process-global).
+    static Registry& global();
+
+private:
+    enum class Kind : std::uint8_t { Counter, Gauge };
+    struct Metric {
+        std::string name;
+        Labels labels; // sorted by key
+        Kind kind = Kind::Counter;
+        std::uint64_t count = 0;
+        double value = 0.0;
+        Volatile vol = Volatile::No;
+    };
+
+    [[nodiscard]] static std::string key_of(const std::string& name, const Labels& labels);
+    Metric& slot(const std::string& name, const Labels& labels, Kind kind, Volatile vol);
+
+    mutable std::mutex mu_;
+    std::map<std::string, Metric> metrics_; // key_of(...) -> metric
+};
+
+} // namespace swsec::profile

@@ -1,0 +1,75 @@
+// Profile report rendering: hot basic blocks, per-source-line heat tables,
+// annotated disassembly and flamegraph-folded stacks.
+//
+// Everything here is a pure function of (Profiler counts, Image, text base),
+// so reports are as deterministic as the run that produced them; all lists
+// are sorted with total orders (count desc, then address/name) and the JSON
+// export is stable byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assembler/object.hpp"
+#include "profile/profiler.hpp"
+#include "profile/symbolize.hpp"
+
+namespace swsec::profile {
+
+struct HotBlock {
+    std::uint32_t pc = 0;     // loaded address of the block leader
+    std::uint32_t offset = 0; // text-relative offset
+    std::uint64_t count = 0;  // exact retire count of the leader instruction
+    std::string sym;          // "function:line" of the leader
+};
+
+struct LineHeat {
+    std::string function;
+    std::string file;
+    std::uint32_t line = 0;
+    std::uint64_t count = 0; // retires attributed to this source line
+};
+
+struct EdgeHeat {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    std::uint64_t count = 0;
+    std::string sym_from;
+    std::string sym_to;
+};
+
+struct FoldedStack {
+    std::string stack; // "outer;inner;leaf"
+    std::uint64_t count = 0;
+};
+
+struct ProfileReport {
+    std::uint32_t text_base = 0;
+    std::uint64_t total_retired = 0;
+    std::uint64_t symbolized_retired = 0;
+    std::vector<HotBlock> blocks;    // count desc, then offset
+    std::vector<LineHeat> lines;     // count desc, then (file, function, line)
+    std::vector<EdgeHeat> edges;     // count desc, then (from, to)
+    std::vector<FoldedStack> folded; // stack string asc
+    std::string annotated_disasm;    // full listing with a retire-count column
+
+    [[nodiscard]] double symbolized_fraction() const noexcept {
+        return total_retired == 0
+                   ? 0.0
+                   : static_cast<double>(symbolized_retired) / static_cast<double>(total_retired);
+    }
+
+    [[nodiscard]] std::string to_json() const;
+    /// flamegraph.pl-compatible folded stacks, one "stack count" per line.
+    [[nodiscard]] std::string folded_text() const;
+    /// Human-readable summary (top-N blocks and lines) for the CLI.
+    [[nodiscard]] std::string summary(std::size_t top = 10) const;
+};
+
+/// Build a report from an attached profiler's counts.  `image` must be the
+/// image the profiled machine executed and `text_base` its loaded base.
+[[nodiscard]] ProfileReport build_report(const Profiler& prof, const objfmt::Image& image,
+                                         std::uint32_t text_base);
+
+} // namespace swsec::profile

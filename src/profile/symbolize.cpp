@@ -1,0 +1,65 @@
+#include "profile/symbolize.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace swsec::profile {
+
+std::string hex32(std::uint32_t v) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%08x", v);
+    return buf;
+}
+
+Symbolizer::Symbolizer(const objfmt::Image& image, std::uint32_t text_base)
+    : image_(&image), text_base_(text_base),
+      text_size_(static_cast<std::uint32_t>(image.text.size())) {
+    funcs_.reserve(image.symbols.size());
+    for (const auto& [name, sym] : image.symbols) {
+        if (sym.is_func && sym.section == objfmt::SectionKind::Text) {
+            funcs_.emplace_back(sym.offset, name);
+        }
+    }
+    std::sort(funcs_.begin(), funcs_.end());
+}
+
+SourcePos Symbolizer::resolve(std::uint32_t pc) const {
+    SourcePos pos;
+    const std::uint32_t off = pc - text_base_;
+    if (off >= text_size_) {
+        return pos;
+    }
+    // Enclosing function: last .func symbol at or before `off`.
+    const auto fit = std::upper_bound(
+        funcs_.begin(), funcs_.end(), off,
+        [](std::uint32_t o, const auto& f) { return o < f.first; });
+    if (fit != funcs_.begin()) {
+        pos.function = std::prev(fit)->second;
+    }
+    // Line: last line-table entry at or before `off`.
+    const auto& lt = image_->line_table;
+    const auto lit = std::upper_bound(
+        lt.begin(), lt.end(), off,
+        [](std::uint32_t o, const objfmt::ImageLineEntry& e) { return o < e.offset; });
+    if (lit != lt.begin()) {
+        const auto& e = *std::prev(lit);
+        pos.line = e.line;
+        if (e.file < image_->line_files.size()) {
+            pos.file = image_->line_files[e.file];
+        }
+    }
+    pos.known = !pos.function.empty() && pos.line != 0;
+    return pos;
+}
+
+std::string Symbolizer::pretty(std::uint32_t pc) const {
+    const SourcePos pos = resolve(pc);
+    if (!pos.known) {
+        return hex32(pc);
+    }
+    return pos.function + ":" + std::to_string(pos.line);
+}
+
+std::string Symbolizer::function_at(std::uint32_t pc) const { return resolve(pc).function; }
+
+} // namespace swsec::profile

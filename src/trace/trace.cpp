@@ -35,6 +35,7 @@ const char* event_kind_name(EventKind k) noexcept {
     case EventKind::FaultInjected: return "fault-injected";
     case EventKind::HeapAlloc: return "heap-alloc";
     case EventKind::HeapFree: return "heap-free";
+    case EventKind::ModuleLoaded: return "module-load";
     }
     return "unknown";
 }
@@ -134,6 +135,7 @@ void Tracer::record(TraceEvent e) {
     case EventKind::FaultInjected: ++counters_.faults_injected; break;
     case EventKind::HeapAlloc: ++counters_.heap_allocs; break;
     case EventKind::HeapFree: ++counters_.heap_frees; break;
+    case EventKind::ModuleLoaded: break;
     }
     ring_[head_] = std::move(e);
     head_ = (head_ + 1) % capacity_;

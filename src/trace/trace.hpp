@@ -63,6 +63,10 @@ enum class EventKind : std::uint8_t {
     FaultInjected,   // a scheduled fault fired: code = fault::FaultClass
     HeapAlloc,       // program break grew: a = old brk, b = bytes
     HeapFree,        // program break shrank: a = new brk, b = bytes
+    ModuleLoaded,    // loader placed the image: pc = text base, a = data
+                     // base, b = stack top.  First event of a traced run;
+                     // carrying the load bias in-stream is what makes raw
+                     // PCs from two ASLR draws comparable after the fact.
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind k) noexcept;

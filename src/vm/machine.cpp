@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/hexdump.hpp"
+#include "profile/profiler.hpp"
 
 #include <limits>
 
@@ -10,6 +11,35 @@ namespace swsec::vm {
 using isa::Insn;
 using isa::Op;
 using isa::Reg;
+
+namespace {
+
+/// Control-transfer instructions define basic-block edges.  Both outcomes of
+/// a conditional count (the fall-through is an edge too), so the profiler's
+/// edge set partitions execution into blocks exactly.
+bool is_control_flow(Op op) noexcept {
+    switch (op) {
+    case Op::Jmp:
+    case Op::Jz:
+    case Op::Jnz:
+    case Op::Jl:
+    case Op::Jge:
+    case Op::Jg:
+    case Op::Jle:
+    case Op::Jb:
+    case Op::Jae:
+    case Op::Call:
+    case Op::CallR:
+    case Op::JmpR:
+    case Op::Ret:
+    case Op::CJmp:
+        return true;
+    default:
+        return false;
+    }
+}
+
+} // namespace
 
 void Machine::set_cfi_targets(std::vector<std::uint32_t> targets) {
     cfi_targets_.clear();
@@ -366,6 +396,9 @@ void Machine::do_call(std::uint32_t target, std::uint32_t return_addr) {
     if (opts_.hardware_shadow_stack) {
         shadow_stack_.push_back(return_addr);
     }
+    if (profiler_ != nullptr) {
+        profiler_->on_call(target);
+    }
     branch_to(target);
 }
 
@@ -381,6 +414,9 @@ void Machine::do_ret() {
             return;
         }
         shadow_stack_.pop_back();
+    }
+    if (profiler_ != nullptr) {
+        profiler_->on_ret();
     }
     branch_to(target);
 }
@@ -491,6 +527,12 @@ void Machine::step() {
         tracer_->record({trace::EventKind::InsnRetired, steps_, pc, current_module_, false,
                          trace::CheckOrigin::None, static_cast<std::uint8_t>(insn->op), 0, 0,
                          {}});
+    }
+    if (profiler_ != nullptr && !trap_.is_set()) {
+        profiler_->on_retire(pc);
+        if (is_control_flow(insn->op)) {
+            profiler_->on_edge(pc, ip_);
+        }
     }
     ++steps_;
 }

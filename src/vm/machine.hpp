@@ -29,6 +29,10 @@
 #include "vm/pma_model.hpp"
 #include "vm/trap.hpp"
 
+namespace swsec::profile {
+class Profiler;
+}
+
 namespace swsec::vm {
 
 class Machine;
@@ -173,6 +177,13 @@ public:
     /// Non-owning; pass nullptr to detach.
     void set_fault_injector(fault::FaultInjector* inj) noexcept { faults_ = inj; }
 
+    /// Attach an exact PC/edge profiler (profile::Profiler).  Non-owning;
+    /// pass nullptr to detach.  Hook sites are step() retirement and
+    /// do_call/do_ret only — the memory fast paths (check/read32/write32)
+    /// carry no profiler branches, so a detached profiler is free there.
+    void set_profiler(profile::Profiler* p) noexcept { profiler_ = p; }
+    [[nodiscard]] profile::Profiler* profiler() const noexcept { return profiler_; }
+
     // --- machine-level data access (used by executing instructions and by
     //     the kernel substrate when copying syscall buffers) ---------------
     // These honour page permissions, poison (when memcheck) and the PMA
@@ -245,6 +256,7 @@ private:
     SyscallHandler* syscalls_ = nullptr;      // non-owning; must outlive run()
     fault::FaultInjector* faults_ = nullptr;  // non-owning; may be null
     trace::Tracer* tracer_ = nullptr;         // non-owning; may be null
+    profile::Profiler* profiler_ = nullptr;   // non-owning; may be null
     bool in_kernel_ = false;                  // inside a syscall handler
 
     std::array<Capability, kNumCaps> caps_{};

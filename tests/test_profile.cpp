@@ -1,0 +1,355 @@
+// The profiling & metrics layer (DESIGN.md §11): debug line tables carried
+// from the compiler through the linker and ASLR relocation, exact PC/edge
+// profiling against a single-step oracle, the deterministic metrics
+// registry, and the fuzzer's edge-coverage bitmaps.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "assembler/assembler.hpp"
+#include "assembler/linker.hpp"
+#include "cc/compiler.hpp"
+#include "core/attack_lab.hpp"
+#include "core/defense.hpp"
+#include "core/matrix.hpp"
+#include "core/profile_scenarios.hpp"
+#include "core/trace_scenarios.hpp"
+#include "fuzz/fuzz.hpp"
+#include "fuzz/generator.hpp"
+#include "os/process.hpp"
+#include "profile/metrics.hpp"
+#include "profile/profiler.hpp"
+#include "profile/report.hpp"
+#include "profile/symbolize.hpp"
+
+namespace {
+
+using namespace swsec;
+
+const std::string kLoopSrc = R"(
+    int work(int n) {
+        int acc = 0;
+        int i = 0;
+        while (i < n) {
+            acc = acc + i * i;
+            i = i + 1;
+        }
+        return acc;
+    }
+    int main() {
+        print_int(work(50));
+        return 0;
+    }
+)";
+
+// --- line tables -------------------------------------------------------------
+
+TEST(LineTable, AssemblerRecordsLineDirectives) {
+    const auto obj = assembler::assemble(R"(
+        .text
+        .file "demo.mc"
+        .global f
+        f:
+            .line 3
+            mov r0, 1
+            mov r1, 2
+            .line 5
+            add r0, r1
+            ret
+    )");
+    EXPECT_EQ(obj.source_file, "demo.mc");
+    // Run-length encoding: one entry per line change, not per instruction.
+    ASSERT_EQ(obj.lines.size(), 2u);
+    EXPECT_EQ(obj.lines[0].offset, 0u);
+    EXPECT_EQ(obj.lines[0].line, 3u);
+    EXPECT_EQ(obj.lines[1].line, 5u);
+    EXPECT_GT(obj.lines[1].offset, 0u);
+}
+
+TEST(LineTable, AssemblyLinesFallBackToSourceLineNumbers) {
+    // Hand-written units get the assembly's own line numbers, so runtime
+    // asm (crt0, libc) symbolizes too.
+    const auto obj = assembler::assemble(".text\n.global f\nf:\n    mov r0, 1\n    ret\n");
+    ASSERT_FALSE(obj.lines.empty());
+    EXPECT_EQ(obj.lines[0].line, 4u); // "mov r0, 1" sits on line 4
+}
+
+TEST(LineTable, LinkerBiasesOffsetsAndDedupesFiles) {
+    const std::vector<objfmt::ObjectFile> objs{
+        assembler::assemble(".text\n.file \"a.mc\"\n.global f\nf:\n.line 1\n    ret\n", "a"),
+        assembler::assemble(".text\n.file \"b.mc\"\n.global g\ng:\n.line 9\n    ret\n", "b")};
+    const auto img = assembler::link(objs);
+    ASSERT_EQ(img.line_table.size(), 2u);
+    ASSERT_EQ(img.line_files.size(), 2u);
+    EXPECT_EQ(img.line_files[img.line_table[0].file], "a.mc");
+    EXPECT_EQ(img.line_files[img.line_table[1].file], "b.mc");
+    EXPECT_EQ(img.line_table[1].line, 9u);
+    // b's entry is biased past a's text.
+    EXPECT_GT(img.line_table[1].offset, img.line_table[0].offset);
+}
+
+TEST(LineTable, CompilerEmitsLineDirectives) {
+    const std::string asm_text = cc::compile_to_asm(kLoopSrc, {}, "u0");
+    EXPECT_NE(asm_text.find(".file \"u0.mc\""), std::string::npos);
+    EXPECT_NE(asm_text.find(".line "), std::string::npos);
+}
+
+TEST(LineTable, SymbolizerRoundTripsUnderAslrRedraws) {
+    // The same source position must come back under two different layouts:
+    // the line table is text-relative, the symbolizer adds the bias.
+    const auto img = cc::compile_program({kLoopSrc}, {});
+    os::SecurityProfile profile;
+    profile.aslr = true;
+    for (const std::uint64_t seed : {7ull, 8ull}) {
+        os::Process p(img, profile, seed);
+        const std::uint32_t work_addr = p.addr_of("work");
+        const profile::Symbolizer sym(img, p.layout().text_base);
+        const auto pos = sym.resolve(work_addr);
+        ASSERT_TRUE(pos.known);
+        EXPECT_EQ(pos.function, "work");
+        EXPECT_EQ(pos.file, "u0.mc");
+    }
+}
+
+TEST(LineTable, TrapSymbolIdenticalAcrossAslrDraws) {
+    // Two victims under ASLR trap at different raw ips but the same
+    // function:line — the whole point of carrying the bias + symbols.
+    core::Defense d = core::Defense::canary();
+    d.profile.aslr = true;
+    const auto a = core::run_attack(core::AttackKind::StackSmashInject, d, 11, 2002);
+    const auto b = core::run_attack(core::AttackKind::StackSmashInject, d, 12, 2002);
+    EXPECT_FALSE(a.succeeded);
+    EXPECT_FALSE(b.succeeded);
+    EXPECT_NE(a.text_base, b.text_base); // the draws really differed
+    EXPECT_NE(a.trap.ip, b.trap.ip);
+    ASSERT_FALSE(a.trap_sym.empty());
+    EXPECT_EQ(a.trap_sym, b.trap_sym);
+}
+
+// --- exact profiling ---------------------------------------------------------
+
+TEST(Profiler, PcCountsMatchSingleStepOracle) {
+    const auto img = cc::compile_program({kLoopSrc}, {});
+    const os::SecurityProfile plain;
+
+    // Oracle: single-step an unprofiled machine, tallying the PC of every
+    // retired (non-trapping) instruction by hand.
+    std::map<std::uint32_t, std::uint64_t> oracle;
+    {
+        os::Process p(img, plain, 99);
+        while (!p.machine().trap().is_set()) {
+            const std::uint32_t pc = p.machine().ip();
+            p.machine().step();
+            if (!p.machine().trap().is_set()) {
+                ++oracle[pc];
+            }
+        }
+    }
+
+    profile::Profiler prof;
+    prof.set_sample_interval(0);
+    os::SecurityProfile profiled = plain;
+    profiled.profiler = &prof;
+    os::Process p(img, profiled, 99);
+    (void)p.run(1'000'000);
+
+    std::uint64_t oracle_total = 0;
+    for (const auto& [pc, n] : oracle) {
+        oracle_total += n;
+    }
+    EXPECT_EQ(prof.retired(), oracle_total);
+    ASSERT_EQ(prof.pc_counts().size(), oracle.size());
+    for (const auto& [pc, n] : oracle) {
+        const auto it = prof.pc_counts().find(pc);
+        ASSERT_NE(it, prof.pc_counts().end()) << "missing pc";
+        EXPECT_EQ(it->second, n);
+    }
+}
+
+TEST(Profiler, LoopEdgeCountsAreExact) {
+    const auto img = cc::compile_program({kLoopSrc}, {});
+    profile::Profiler prof;
+    prof.set_sample_interval(0);
+    os::SecurityProfile profile;
+    profile.profiler = &prof;
+    os::Process p(img, profile, 99);
+    (void)p.run(1'000'000);
+
+    // The while loop iterates exactly 50 times: its back edge (and the
+    // header's fall-through edge) must be taken exactly 50 times, and no
+    // edge in the whole program runs hotter than the loop itself.
+    std::uint64_t max_edge = 0;
+    std::size_t edges_at_50 = 0;
+    for (const auto& [key, n] : prof.edge_counts()) {
+        max_edge = std::max(max_edge, n);
+        edges_at_50 += n == 50 ? 1 : 0;
+    }
+    EXPECT_GE(edges_at_50, 2u);
+    EXPECT_EQ(max_edge, 50u);
+}
+
+TEST(Profiler, ReportSymbolizesOver95PercentOnMatrixScenario) {
+    const auto run = core::run_profile_scenario("canary");
+    EXPECT_GE(run.report.symbolized_fraction(), 0.95);
+    EXPECT_GT(run.report.total_retired, 0u);
+    EXPECT_FALSE(run.report.blocks.empty());
+    EXPECT_FALSE(run.report.lines.empty());
+    EXPECT_FALSE(run.outcome.trap_sym.empty());
+}
+
+TEST(Profiler, ScenarioReportsAreDeterministic) {
+    const auto a = core::run_profile_scenario("dep");
+    const auto b = core::run_profile_scenario("dep");
+    EXPECT_EQ(a.report.to_json(), b.report.to_json());
+    EXPECT_EQ(a.report.folded_text(), b.report.folded_text());
+}
+
+TEST(Profiler, FoldedStacksNameCallers) {
+    core::ProfileScenarioOptions opts;
+    opts.sample_interval = 1; // sample every retire: short runs still fold
+    const auto run = core::run_profile_scenario("canary", opts);
+    ASSERT_FALSE(run.report.folded.empty());
+    std::uint64_t total = 0;
+    bool saw_nested = false;
+    for (const auto& f : run.report.folded) {
+        total += f.count;
+        saw_nested = saw_nested || f.stack.find(';') != std::string::npos;
+    }
+    EXPECT_EQ(total, run.report.total_retired); // interval 1: every retire sampled
+    EXPECT_TRUE(saw_nested);
+}
+
+// --- metrics registry --------------------------------------------------------
+
+TEST(Metrics, CountersGaugesAndLabels) {
+    profile::Registry reg;
+    reg.counter_add("hits", {{"layer", "dcache"}}, 3);
+    reg.counter_add("hits", {{"layer", "dcache"}}, 2);
+    reg.counter_add("hits", {{"layer", "image"}}, 1);
+    reg.gauge_set("depth", {}, 4.0);
+    reg.gauge_max("depth", {}, 2.0); // lower: ignored
+    reg.gauge_max("depth", {}, 9.0);
+    EXPECT_EQ(reg.counter("hits", {{"layer", "dcache"}}), 5u);
+    EXPECT_EQ(reg.counter("hits", {{"layer", "image"}}), 1u);
+    EXPECT_EQ(reg.gauge("depth"), 9.0);
+}
+
+TEST(Metrics, LabelOrderDoesNotSplitSeries) {
+    profile::Registry reg;
+    reg.counter_add("n", {{"a", "1"}, {"b", "2"}}, 1);
+    reg.counter_add("n", {{"b", "2"}, {"a", "1"}}, 1);
+    EXPECT_EQ(reg.counter("n", {{"a", "1"}, {"b", "2"}}), 2u);
+}
+
+TEST(Metrics, MergeAddsCountersAndMaxesGauges) {
+    profile::Registry a;
+    profile::Registry b;
+    a.counter_add("c", {}, 2);
+    b.counter_add("c", {}, 3);
+    a.gauge_max("g", {}, 5.0);
+    b.gauge_max("g", {}, 7.0);
+    a.merge(b);
+    EXPECT_EQ(a.counter("c"), 5u);
+    EXPECT_EQ(a.gauge("g"), 7.0);
+}
+
+TEST(Metrics, VolatileMetricsExcludedFromDefaultExport) {
+    profile::Registry reg;
+    reg.counter_add("stable", {}, 1);
+    reg.gauge_set("wallclock", {}, 123.0, profile::Volatile::Yes);
+    const std::string json = reg.to_json();
+    EXPECT_NE(json.find("\"stable\""), std::string::npos);
+    EXPECT_EQ(json.find("wallclock"), std::string::npos);
+    EXPECT_NE(reg.to_json(true).find("wallclock"), std::string::npos);
+}
+
+TEST(Metrics, JsonIsSortedAndStable) {
+    profile::Registry a;
+    a.counter_add("zz", {}, 1);
+    a.counter_add("aa", {}, 2);
+    profile::Registry b;
+    b.counter_add("aa", {}, 2);
+    b.counter_add("zz", {}, 1);
+    EXPECT_EQ(a.to_json(), b.to_json());
+    EXPECT_NE(a.to_json().find("\"schema\":\"swsec-metrics-v1\""), std::string::npos);
+}
+
+TEST(Metrics, MatrixMetricsIdenticalSerialVsJobs) {
+    const auto serial = core::run_matrix(1001, 2002, 1);
+    const auto parallel = core::run_matrix(1001, 2002, 4);
+    EXPECT_EQ(core::matrix_metrics(serial).to_json(), core::matrix_metrics(parallel).to_json());
+    EXPECT_EQ(core::matrix_cells_jsonl(serial), core::matrix_cells_jsonl(parallel));
+    // The jsonl carries the draw-independent coordinates.
+    EXPECT_NE(core::matrix_cells_jsonl(serial).find("\"text_base\""), std::string::npos);
+    EXPECT_NE(core::matrix_cells_jsonl(serial).find("\"sym\""), std::string::npos);
+}
+
+// --- coverage bitmaps --------------------------------------------------------
+
+TEST(Coverage, BitmapBasics) {
+    profile::CoverageBitmap bmp;
+    EXPECT_EQ(bmp.popcount(), 0u);
+    bmp.add(0x10, 0x20);
+    bmp.add(0x10, 0x20); // same edge: same bucket
+    EXPECT_EQ(bmp.popcount(), 1u);
+    bmp.add(0x30, 0x40);
+    EXPECT_EQ(bmp.popcount(), 2u);
+
+    profile::CoverageBitmap other;
+    other.add(0x10, 0x20);
+    other.add(0x50, 0x60);
+    EXPECT_EQ(bmp.merge_new(other), 1u); // only the new edge counts
+    EXPECT_EQ(bmp.popcount(), 3u);
+}
+
+TEST(Coverage, PerSeedBitmapIsDeterministic) {
+    const fuzz::GenProgram prog = fuzz::generate_program(42);
+    const auto a = fuzz::program_coverage(prog.render(), 42, 20'000'000);
+    const auto b = fuzz::program_coverage(prog.render(), 42, 20'000'000);
+    EXPECT_GT(a.popcount(), 0u);
+    EXPECT_EQ(a.words(), b.words());
+}
+
+TEST(Coverage, CurveMonotoneAndJobsInvariant) {
+    fuzz::FuzzOptions opts;
+    opts.seeds = 8;
+    opts.coverage = true;
+    opts.max_steps = 20'000'000;
+    opts.jobs = 1;
+    const auto serial = fuzz::run_fuzz(opts);
+    opts.jobs = 4;
+    const auto parallel = fuzz::run_fuzz(opts);
+
+    ASSERT_TRUE(serial.coverage.enabled);
+    ASSERT_EQ(serial.coverage.cumulative.size(), 8u);
+    for (std::size_t i = 1; i < serial.coverage.cumulative.size(); ++i) {
+        EXPECT_LE(serial.coverage.cumulative[i - 1], serial.coverage.cumulative[i]);
+    }
+    EXPECT_EQ(serial.coverage.curve_csv(opts.seed_base), parallel.coverage.curve_csv(opts.seed_base));
+    EXPECT_EQ(serial.coverage.total_edges, parallel.coverage.total_edges);
+    // The very first seed always lights new edges and keeps at least one chunk.
+    ASSERT_FALSE(serial.coverage.interesting.empty());
+    EXPECT_EQ(serial.coverage.interesting[0].seed, opts.seed_base);
+    EXPECT_GT(serial.coverage.interesting[0].new_buckets, 0u);
+}
+
+// --- platform plumbing -------------------------------------------------------
+
+TEST(Plumbing, ModuleLoadedIsFirstTraceEvent) {
+    const auto run = core::run_trace_scenario("baseline");
+    ASSERT_FALSE(run.events_jsonl.empty());
+    const std::string first = run.events_jsonl.substr(0, run.events_jsonl.find('\n'));
+    EXPECT_NE(first.find("\"event\":\"module-load\""), std::string::npos);
+}
+
+TEST(Plumbing, HeapHighWaterReachesOutcome) {
+    // The uaf scenario mallocs: the kernel's brk accounting must surface
+    // through the attack outcome for the metrics registry.
+    const auto out =
+        core::run_attack(core::AttackKind::UseAfterFree, core::Defense::none(), 1001, 2002);
+    EXPECT_GT(out.sbrk_calls, 0u);
+    EXPECT_GT(out.heap_high_water, 0u);
+    EXPECT_GT(out.dcache_hits + out.dcache_decodes, 0u);
+}
+
+} // namespace

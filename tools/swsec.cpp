@@ -24,8 +24,19 @@
 //                                      decode-cache on/off, and compile-vs-
 //                                      run constant folding (--seeds N,
 //                                      --seed-base B, --jobs N, --minimize,
-//                                      --replay FILE, --out FILE;
+//                                      --replay FILE, --out FILE,
+//                                      --coverage [--coverage-out FILE];
 //                                      exit 0 iff zero divergences)
+//   swsec profile <scenario|file.mc>   source-level profile of a victim run:
+//                                      hot blocks, per-line heat, annotated
+//                                      disassembly, flamegraph-folded stacks
+//                                      (--out report.json, --folded out.txt,
+//                                       --annotate, --sample-interval N)
+//
+// matrix, fault-sweep and fuzz also accept --metrics-out FILE: the unified
+// metrics registry (decode-cache hit rates, heap high-water, fault/retry
+// tallies, verdict counts) as deterministic JSON — byte-identical for any
+// --jobs value.
 //
 // Both sweeps are deterministic for any --jobs value: cells are handed out
 // by index and merged by index, so parallel output — including --trace-out
@@ -38,6 +49,7 @@
 //   --dep --aslr --shadow-stack --cfi          platform configuration
 //   --seed N                                   deterministic randomness
 //   --input STR                                bytes fed to fd 0
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -53,10 +65,13 @@
 #include "core/fault_sweep.hpp"
 #include "core/fig1.hpp"
 #include "core/matrix.hpp"
+#include "core/profile_scenarios.hpp"
 #include "core/trace_scenarios.hpp"
 #include "fuzz/fuzz.hpp"
 #include "isa/disasm.hpp"
 #include "os/process.hpp"
+#include "profile/metrics.hpp"
+#include "profile/report.hpp"
 
 namespace {
 
@@ -72,15 +87,20 @@ struct Options {
 
 int usage() {
     std::fputs(
-        "usage: swsec <run|asm|disasm|lint|gadgets|fig1|matrix|fault-sweep|trace|fuzz>"
+        "usage: swsec <run|asm|disasm|lint|gadgets|fig1|matrix|fault-sweep|trace|fuzz|profile>"
         " [file.mc|scenario] [options]\n"
         "options: --canary --bounds --fortify --memcheck --dep --aslr\n"
         "         --shadow-stack --cfi --seed N --input STR\n"
-        "matrix options: --jobs N --trace-out FILE\n"
+        "matrix options: --jobs N --trace-out FILE --metrics-out FILE\n"
         "fault-sweep options: --fault-seed N --windows N --jobs N --trace-out FILE\n"
+        "                     --metrics-out FILE\n"
         "trace scenarios: baseline canary dep shadow-stack cfi memcheck pma sfi fault\n"
         "trace options: --trace-out FILE --no-decode-cache --seed N --attacker-seed N\n"
-        "fuzz options: --seeds N --seed-base B --jobs N --minimize --replay FILE --out FILE\n",
+        "fuzz options: --seeds N --seed-base B --jobs N --minimize --replay FILE --out FILE\n"
+        "              --coverage --coverage-out FILE --metrics-out FILE\n"
+        "profile scenarios: baseline canary dep shadow-stack cfi memcheck fault\n"
+        "profile options: --out FILE --folded FILE --annotate --sample-interval N\n"
+        "                 --seed N --attacker-seed N (+ hardening options for file.mc)\n",
         stderr);
     return 2;
 }
@@ -204,12 +224,15 @@ int cmd_gadgets(const Options& opt) {
 int cmd_matrix(int argc, char** argv) {
     int jobs = 1;
     std::string trace_out;
+    std::string metrics_out;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--jobs" && i + 1 < argc) {
             jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
         } else if (arg == "--trace-out" && i + 1 < argc) {
             trace_out = argv[++i];
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            metrics_out = argv[++i];
         } else {
             std::fprintf(stderr, "unknown matrix option '%s'\n", arg.c_str());
             return 2;
@@ -219,6 +242,114 @@ int cmd_matrix(int argc, char** argv) {
     std::fputs(core::format_matrix(cells).c_str(), stdout);
     if (!trace_out.empty()) {
         write_out(trace_out, core::matrix_cells_jsonl(cells));
+    }
+    if (!metrics_out.empty()) {
+        write_out(metrics_out, core::matrix_metrics(cells).to_json());
+    }
+    return 0;
+}
+
+int cmd_profile(int argc, char** argv) {
+    std::string target;
+    std::string out_path;
+    std::string folded_path;
+    bool annotate = false;
+    std::uint64_t sample_interval = 97;
+    Options opt; // hardening options apply in file mode only
+    core::ProfileScenarioOptions sopts;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--folded" && i + 1 < argc) {
+            folded_path = argv[++i];
+        } else if (arg == "--annotate") {
+            annotate = true;
+        } else if (arg == "--sample-interval" && i + 1 < argc) {
+            sample_interval = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--attacker-seed" && i + 1 < argc) {
+            sopts.attacker_seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--canary") {
+            opt.copts.stack_canaries = true;
+        } else if (arg == "--bounds") {
+            opt.copts.bounds_checks = true;
+        } else if (arg == "--fortify") {
+            opt.copts.fortify_reads = true;
+        } else if (arg == "--memcheck") {
+            opt.copts.memcheck = true;
+            opt.profile.memcheck = true;
+        } else if (arg == "--dep") {
+            opt.profile.dep = true;
+        } else if (arg == "--aslr") {
+            opt.profile.aslr = true;
+        } else if (arg == "--shadow-stack") {
+            opt.profile.shadow_stack = true;
+        } else if (arg == "--cfi") {
+            opt.profile.coarse_cfi = true;
+        } else if (arg == "--seed" && i + 1 < argc) {
+            opt.seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--input" && i + 1 < argc) {
+            opt.input = argv[++i];
+        } else if (!arg.empty() && arg[0] != '-' && target.empty()) {
+            target = arg;
+        } else {
+            std::fprintf(stderr, "unknown profile option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (target.empty()) {
+        std::fputs("profile scenarios:", stderr);
+        for (const auto& n : core::profile_scenario_names()) {
+            std::fprintf(stderr, " %s", n.c_str());
+        }
+        std::fputs("  (or a file.mc)\n", stderr);
+        return 2;
+    }
+
+    profile::ProfileReport report;
+    std::string label;
+    const auto& names = core::profile_scenario_names();
+    const bool is_scenario =
+        std::find(names.begin(), names.end(), target) != names.end();
+    if (is_scenario) {
+        sopts.victim_seed = opt.seed != 1 ? opt.seed : sopts.victim_seed;
+        sopts.sample_interval = sample_interval;
+        const auto run = core::run_profile_scenario(target, sopts);
+        report = run.report;
+        label = run.scenario;
+        std::fprintf(stderr, "[%s] %s\n", label.c_str(), run.outcome.verdict().c_str());
+        if (!run.outcome.trap_sym.empty()) {
+            std::fprintf(stderr, "[%s] trap at %s\n", label.c_str(),
+                         run.outcome.trap_sym.c_str());
+        }
+    } else {
+        // File mode: compile and run the program under the requested
+        // hardening profile with the profiler attached.
+        const auto img = cc::compile_program({read_file(target)}, opt.copts);
+        profile::Profiler prof;
+        prof.set_sample_interval(sample_interval);
+        os::SecurityProfile p = opt.profile;
+        p.profiler = &prof;
+        os::Process proc(img, p, opt.seed);
+        if (!opt.input.empty()) {
+            proc.feed_input(opt.input);
+        }
+        const auto r = proc.run(100'000'000);
+        label = target;
+        std::fprintf(stderr, "[%s after %llu instructions]\n", r.trap.to_string().c_str(),
+                     static_cast<unsigned long long>(r.steps));
+        report = profile::build_report(prof, img, proc.layout().text_base);
+    }
+
+    std::fputs(report.summary().c_str(), stdout);
+    if (annotate) {
+        std::fputs(report.annotated_disasm.c_str(), stdout);
+    }
+    if (!out_path.empty()) {
+        write_out(out_path, report.to_json());
+    }
+    if (!folded_path.empty()) {
+        write_out(folded_path, report.folded_text());
     }
     return 0;
 }
@@ -265,6 +396,8 @@ int cmd_fuzz(int argc, char** argv) {
     fuzz::FuzzOptions opts;
     std::string replay_path;
     std::string out_path;
+    std::string coverage_out;
+    std::string metrics_out;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--seeds" && i + 1 < argc) {
@@ -275,6 +408,12 @@ int cmd_fuzz(int argc, char** argv) {
             opts.jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
         } else if (arg == "--minimize") {
             opts.minimize = true;
+        } else if (arg == "--coverage") {
+            opts.coverage = true;
+        } else if (arg == "--coverage-out" && i + 1 < argc) {
+            coverage_out = argv[++i];
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            metrics_out = argv[++i];
         } else if (arg == "--replay" && i + 1 < argc) {
             replay_path = argv[++i];
         } else if (arg == "--out" && i + 1 < argc) {
@@ -296,6 +435,30 @@ int cmd_fuzz(int argc, char** argv) {
     if (!out_path.empty()) {
         write_out(out_path, fuzz::to_repro_file(report.divergences));
     }
+    if (!coverage_out.empty()) {
+        write_out(coverage_out, report.coverage.curve_csv(opts.seed_base));
+    }
+    if (!metrics_out.empty()) {
+        profile::Registry reg;
+        const profile::Labels base = {{"harness", "fuzz"}};
+        reg.counter_add("fuzz_programs_total", base, static_cast<std::uint64_t>(report.programs));
+        reg.counter_add("fuzz_runs_total", base, report.runs);
+        reg.counter_add("fuzz_const_checks_total", base, report.const_checks);
+        reg.counter_add("fuzz_divergences_total", base, report.divergences.size());
+        reg.counter_add("victim_instructions_total", base, report.counters.instructions);
+        reg.counter_add("dcache_hits_total", base, report.counters.dcache_hits);
+        reg.counter_add("dcache_decodes_total", base, report.counters.dcache_misses);
+        reg.counter_add("syscalls_total", base, report.counters.syscalls);
+        reg.counter_add("heap_allocs_total", base, report.counters.heap_allocs);
+        reg.counter_add("heap_frees_total", base, report.counters.heap_frees);
+        if (report.coverage.enabled) {
+            reg.gauge_set("coverage_edges", base,
+                          static_cast<double>(report.coverage.total_edges));
+            reg.counter_add("coverage_interesting_seeds_total", base,
+                            report.coverage.interesting.size());
+        }
+        write_out(metrics_out, reg.to_json());
+    }
     if (!report.clean()) {
         std::fputs(fuzz::to_repro_file(report.divergences).c_str(), stderr);
     }
@@ -305,6 +468,7 @@ int cmd_fuzz(int argc, char** argv) {
 int cmd_fault_sweep(int argc, char** argv) {
     core::FaultSweepOptions opts;
     std::string trace_out;
+    std::string metrics_out;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--fault-seed" && i + 1 < argc) {
@@ -315,6 +479,8 @@ int cmd_fault_sweep(int argc, char** argv) {
             opts.jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
         } else if (arg == "--trace-out" && i + 1 < argc) {
             trace_out = argv[++i];
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            metrics_out = argv[++i];
         } else {
             std::fprintf(stderr, "unknown fault-sweep option '%s'\n", arg.c_str());
             return 2;
@@ -324,6 +490,9 @@ int cmd_fault_sweep(int argc, char** argv) {
     std::fputs(report.summary().c_str(), stdout);
     if (!trace_out.empty()) {
         write_out(trace_out, core::matrix_cells_jsonl(report.baseline_cells));
+    }
+    if (!metrics_out.empty()) {
+        write_out(metrics_out, core::fault_sweep_metrics(report).to_json());
     }
     return report.fail_closed() ? 0 : 1;
 }
@@ -351,6 +520,9 @@ int main(int argc, char** argv) {
         }
         if (cmd == "fuzz") {
             return cmd_fuzz(argc, argv);
+        }
+        if (cmd == "profile") {
+            return cmd_profile(argc, argv);
         }
         Options opt;
         if (!parse_options(argc, argv, 2, opt)) {
