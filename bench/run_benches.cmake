@@ -38,9 +38,13 @@ foreach(name IN LISTS bench_list)
   string(JSON agg SET "${agg}" "${name}" "${one}")
 endforeach()
 
-file(WRITE "${OUTPUT}" "${agg}")
+# Write-temp-then-rename so a cancelled bench run never leaves a torn
+# aggregate where a committed snapshot should be.
+file(WRITE "${OUTPUT}.tmp" "${agg}")
+file(RENAME "${OUTPUT}.tmp" "${OUTPUT}")
 message(STATUS "bench-all: wrote ${OUTPUT}")
 if(DEFINED OUTPUT_COPY AND NOT OUTPUT_COPY STREQUAL "")
-  file(WRITE "${OUTPUT_COPY}" "${agg}")
+  file(WRITE "${OUTPUT_COPY}.tmp" "${agg}")
+  file(RENAME "${OUTPUT_COPY}.tmp" "${OUTPUT_COPY}")
   message(STATUS "bench-all: wrote ${OUTPUT_COPY}")
 endif()

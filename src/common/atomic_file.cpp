@@ -1,0 +1,82 @@
+#include "common/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace swsec {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+    throw Error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+std::string parent_dir(const std::string& path) {
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos) {
+        return ".";
+    }
+    return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+void write_all(int fd, std::string_view data, const std::string& path) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            ::close(fd);
+            fail("cannot write", path);
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+void fsync_parent_dir(const std::string& path) {
+    const std::string dir = parent_dir(path);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd < 0) {
+        fail("cannot open directory", dir);
+    }
+    // Directory fsync is best-effort on some filesystems; a failure here is
+    // not a torn file, so it does not unwind the rename.
+    (void)::fsync(dfd);
+    ::close(dfd);
+}
+
+void write_file_atomic(const std::string& path, std::string_view data) {
+    // The temp name stays in the target's directory so rename() is atomic
+    // (same filesystem), and carries the pid so two processes writing the
+    // same artifact never clobber each other's temp.
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        fail("cannot create", tmp);
+    }
+    write_all(fd, data, tmp);
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        fail("cannot fsync", tmp);
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        fail("cannot close", tmp);
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        fail("cannot rename over", path);
+    }
+    fsync_parent_dir(path);
+}
+
+} // namespace swsec

@@ -1,0 +1,30 @@
+// Crash-safe file output: write-temp-then-rename with fsync.
+//
+// Every artifact the harnesses emit (JSONL reports, metrics exports,
+// campaign manifests, bench snapshots) is consumed by other tooling that
+// treats "the file parses" as "the run finished".  A plain ofstream killed
+// mid-write leaves a truncated file that can still parse as a short-but-
+// valid report — the most dangerous failure mode a durable campaign can
+// have.  write_file_atomic() closes that window: readers observe either the
+// old contents or the complete new contents, never a prefix.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace swsec {
+
+/// Atomically replace `path` with `data`: write to a sibling temp file,
+/// fsync it, rename() over the target, then fsync the containing directory
+/// so the rename itself survives a power cut.  Throws swsec::Error on any
+/// I/O failure (the temp file is removed on the error paths that can still
+/// reach it).
+void write_file_atomic(const std::string& path, std::string_view data);
+
+/// fsync an already-written file descriptor path's directory entry — used by
+/// append-only logs that manage their own fd but still need the *creation*
+/// of the file made durable.  Throws swsec::Error if the directory cannot
+/// be opened.
+void fsync_parent_dir(const std::string& path);
+
+} // namespace swsec

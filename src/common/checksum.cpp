@@ -1,0 +1,33 @@
+#include "common/checksum.hpp"
+
+#include <array>
+
+namespace swsec {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        }
+        t[i] = c;
+    }
+    return t;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+} // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (const char ch : data) {
+        c = kCrcTable[(c ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^ (c >> 8);
+    }
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace swsec

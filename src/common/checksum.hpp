@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-record
+// integrity check of the campaign write-ahead log.  A kill -9 mid-append
+// leaves a torn final line; the CRC lets the reader separate "valid prefix"
+// from "damaged suffix" without trusting line framing alone.  Validated
+// against the standard "123456789" -> 0xCBF43926 check value in
+// tests/test_common.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace swsec {
+
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+} // namespace swsec

@@ -1,0 +1,443 @@
+#include "core/campaign/campaign.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <unordered_set>
+
+#include <sys/stat.h>
+
+#include "common/atomic_file.hpp"
+#include "common/error.hpp"
+#include "core/attack_lab.hpp"
+#include "core/defense.hpp"
+#include "core/fault_sweep.hpp"
+#include "core/image_cache.hpp"
+#include "core/matrix.hpp"
+#include "fuzz/fuzz.hpp"
+#include "os/process.hpp"
+#include "trace/trace.hpp"
+
+namespace swsec::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// An attempt that hit its wall-clock deadline — distinguished from other
+/// failures so the quarantine record says "timeout", not "crash".
+struct CellTimeout : Error {
+    explicit CellTimeout(const std::string& what) : Error(what) {}
+};
+
+void mkdir_p(const std::string& dir) {
+    std::string partial;
+    for (std::size_t i = 0; i <= dir.size(); ++i) {
+        if (i == dir.size() || dir[i] == '/') {
+            if (!partial.empty() && partial != "/" &&
+                ::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+                throw Error("campaign: cannot create " + partial + ": " + std::strerror(errno));
+            }
+        }
+        if (i < dir.size()) {
+            partial += dir[i];
+        }
+    }
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return {};
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+// ---- cell execution -----------------------------------------------------
+
+std::string run_matrix_cell(const Spec& spec, std::uint64_t cell) {
+    const auto& attacks = core::all_attacks();
+    const auto& defenses = core::standard_defenses();
+    const std::uint64_t lattice = attacks.size() * defenses.size();
+    const std::uint64_t d = cell / lattice;
+    const std::uint64_t r = cell % lattice;
+    core::MatrixCell mc;
+    mc.attack = attacks[r / defenses.size()];
+    mc.defense = defenses[r % defenses.size()].name;
+    mc.outcome = core::run_attack(mc.attack, defenses[r % defenses.size()],
+                                  spec.victim_seed + d, spec.attacker_seed + d);
+    return "{\"draw\":" + std::to_string(d) + "," + core::matrix_cell_json(mc).substr(1);
+}
+
+std::string run_fault_cell(const Spec& spec, std::uint64_t cell) {
+    const auto& defenses = core::standard_defenses();
+    core::FaultSweepOptions fso;
+    fso.victim_seed = spec.victim_seed;
+    fso.attacker_seed = spec.attacker_seed;
+    fso.fault_seed = spec.fault_seed;
+    fso.windows_per_class = spec.windows_per_class;
+    fso.include_statecont = false;
+    fso.jobs = 1; // parallelism lives in the campaign scheduler, not the cell
+    const core::FaultCellSweep cs =
+        core::sweep_fault_cell(fso, cell / defenses.size(), cell % defenses.size());
+    std::string out = "{\"baseline\":";
+    out += core::matrix_cell_json(cs.record);
+    out += cs.baseline_success ? ",\"baseline_success\":true" : ",\"baseline_success\":false";
+    out += ",\"tallies\":[";
+    for (std::size_t i = 0; i < cs.tallies.size(); ++i) {
+        const core::ClassTally& t = cs.tallies[i];
+        if (i != 0) {
+            out += ",";
+        }
+        out += "{\"class\":\"";
+        out += fault::fault_class_name(t.cls);
+        out += "\",\"windows\":" + std::to_string(t.windows);
+        out += ",\"power_cut\":" + std::to_string(t.power_cut);
+        out += ",\"still_blocked\":" + std::to_string(t.still_blocked);
+        out += ",\"fail_open\":" + std::to_string(t.fail_open) + "}";
+    }
+    out += "],\"violations\":[";
+    for (std::size_t i = 0; i < cs.violations.size(); ++i) {
+        if (i != 0) {
+            out += ",";
+        }
+        out += "\"";
+        out += trace::json_escape(cs.violations[i].to_string());
+        out += "\"";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string run_fuzz_cell(const Spec& spec, std::uint64_t cell) {
+    const std::uint64_t seed = spec.seed_base + cell;
+    const fuzz::GenProgram prog = fuzz::generate_program(seed);
+    fuzz::FuzzReport stats;
+    const std::vector<fuzz::Divergence> divs =
+        fuzz::check_program(prog.render(), seed, 20'000'000, &stats);
+    std::string out = "{\"seed\":" + std::to_string(seed);
+    out += ",\"runs\":" + std::to_string(stats.runs);
+    out += ",\"const_checks\":" + std::to_string(stats.const_checks);
+    out += ",\"divergences\":" + std::to_string(divs.size());
+    if (!divs.empty()) {
+        out += ",\"repro\":\"" + trace::json_escape(fuzz::to_repro_file(divs)) + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+/// The hang sabotage: a genuine in-VM infinite loop run with its step
+/// watchdog effectively disabled (the budget is re-granted slice by slice),
+/// so only the campaign's wall-clock deadline can stop it.
+std::string run_hang_cell(const Spec& spec, Clock::time_point deadline,
+                          std::uint64_t timeout_ms) {
+    static const char* kSource = "int main() { while (1) { } return 0; }";
+    const auto img = core::cached_compile(kSource, cc::CompilerOptions{});
+    os::Process p(*img, os::SecurityProfile::none(), spec.victim_seed);
+    for (;;) {
+        const vm::RunResult r = p.run(250'000); // one slice of the "disabled" watchdog
+        if (!r.watchdog_expired()) {
+            return "{\"note\":\"sabotage hang cell terminated\"}";
+        }
+        if (Clock::now() >= deadline) {
+            throw CellTimeout("cell wall-clock deadline exceeded (" +
+                              std::to_string(timeout_ms) + " ms)");
+        }
+        p.machine().clear_trap(); // re-arm and keep running the loop
+    }
+}
+
+std::string run_cell_attempt(const Spec& spec, std::uint64_t cell, unsigned attempt,
+                             const Options& opts) {
+    if (spec.sabotage.crash_cell == static_cast<std::int64_t>(cell) &&
+        attempt <= static_cast<unsigned>(spec.sabotage.crash_times)) {
+        throw Error("sabotage: injected worker crash");
+    }
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(opts.cell_timeout_ms);
+    if (spec.sabotage.hang_cell == static_cast<std::int64_t>(cell)) {
+        return run_hang_cell(spec, deadline, opts.cell_timeout_ms);
+    }
+    switch (spec.kind) {
+    case Kind::Matrix: return run_matrix_cell(spec, cell);
+    case Kind::FaultSweep: return run_fault_cell(spec, cell);
+    case Kind::Fuzz: return run_fuzz_cell(spec, cell);
+    }
+    throw InternalError("campaign: unknown kind");
+}
+
+void execute_cell(const Spec& spec, std::uint64_t cell, const Options& opts, WalWriter& writer,
+                  std::atomic<std::uint64_t>& retries, std::atomic<std::uint64_t>& timeouts) {
+    std::string reason = "crash";
+    std::string last_detail;
+    for (unsigned attempt = 1; attempt <= opts.max_attempts; ++attempt) {
+        if (attempt > 1) {
+            ++retries;
+            // Exponential backoff before each retry: 1x, 2x, 4x ... the base.
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                opts.retry_backoff_ms << (attempt - 2)));
+        }
+        try {
+            WalRecord rec;
+            rec.cell = cell;
+            rec.status = CellStatus::Done;
+            rec.payload = run_cell_attempt(spec, cell, attempt, opts);
+            writer.append(rec);
+            return;
+        } catch (const CellTimeout& e) {
+            ++timeouts;
+            reason = "timeout";
+            last_detail = e.what();
+        } catch (const std::exception& e) {
+            reason = "crash";
+            last_detail = e.what();
+        }
+    }
+    // Attempts exhausted: degrade, don't abort.  The record carries the
+    // repro coordinates so the cell can be re-run in isolation.
+    WalRecord q;
+    q.cell = cell;
+    q.status = CellStatus::Quarantined;
+    q.reason = reason;
+    q.attempts = opts.max_attempts;
+    q.detail = last_detail + " | repro: " + spec.cell_coords_json(cell);
+    writer.append(q);
+}
+
+// ---- merge artifacts ----------------------------------------------------
+
+void write_merge_artifacts(const std::string& dir, const Report& rep,
+                           const std::map<std::uint64_t, WalRecord>& by_cell) {
+    std::string report_text;
+    std::string quarantine_text;
+    for (const auto& [cell, rec] : by_cell) {
+        if (rec.status == CellStatus::Done) {
+            SWSEC_ASSERT(!rec.payload.empty() && rec.payload.front() == '{',
+                         "cell payload must be a JSON object");
+            report_text += "{\"cell\":" + std::to_string(cell) + "," + rec.payload.substr(1);
+            report_text += "\n";
+        } else {
+            // The WAL line sans CRC framing is already the record's JSON.
+            const std::string line = wal_line(rec);
+            quarantine_text += line.substr(9);
+        }
+    }
+    write_file_atomic(dir + "/report.jsonl", report_text);
+    write_file_atomic(dir + "/quarantine.jsonl", quarantine_text);
+    write_file_atomic(dir + "/summary.txt", rep.summary());
+}
+
+Report run_in_dir(const Spec& spec, const std::string& dir, const Options& opts) {
+    const Clock::time_point t0 = Clock::now();
+    mkdir_p(dir);
+
+    const std::string manifest_path = dir + "/manifest.json";
+    if (read_file(manifest_path).empty()) {
+        write_file_atomic(manifest_path, "{\"schema\":\"swsec-campaign-v1\",\"id\":\"" +
+                                             spec.id() + "\",\"spec\":" + spec.to_json() + "}");
+    } else if (read_manifest(dir).id() != spec.id()) {
+        throw Error("campaign: " + dir + " holds a different campaign (id " +
+                    read_manifest(dir).id() + ", want " + spec.id() + ")");
+    }
+
+    Report rep;
+    rep.id = spec.id();
+    rep.kind = spec.kind;
+    rep.cells_total = spec.cell_count();
+
+    const std::string wal_path = dir + "/campaign.jsonl";
+    WalContents wal = read_wal(wal_path);
+    rep.wal_lines_dropped = wal.dropped_lines;
+    if (wal.truncated) {
+        // Drop the damaged suffix on disk before appending: the cells whose
+        // records were torn re-run below, everything before them is kept.
+        std::string text;
+        for (const std::string& line : wal.lines) {
+            text += line;
+            text += "\n";
+        }
+        write_file_atomic(wal_path, text);
+    }
+
+    std::unordered_set<std::uint64_t> have;
+    for (const WalRecord& rec : wal.records) {
+        if (rec.cell < rep.cells_total) {
+            have.insert(rec.cell);
+        }
+    }
+    rep.cells_resumed = have.size();
+
+    std::vector<std::uint64_t> remaining;
+    for (std::uint64_t c = 0; c < rep.cells_total; ++c) {
+        if (!have.contains(c)) {
+            remaining.push_back(c);
+        }
+    }
+    if (opts.max_cells != 0 && remaining.size() > opts.max_cells) {
+        remaining.resize(opts.max_cells);
+    }
+    rep.cells_run = remaining.size();
+
+    if (!remaining.empty()) {
+        WalWriter writer(wal_path, opts.fsync_every);
+        std::atomic<std::uint64_t> retries{0};
+        std::atomic<std::uint64_t> timeouts{0};
+        core::ParallelOptions popts;
+        popts.jobs = opts.jobs;
+        popts.grain = 1; // cells are coarse; maximum balance beats chunk locality
+        popts.stats = &rep.sched;
+        core::parallel_for_ws(remaining.size(), popts, [&](std::size_t k) {
+            execute_cell(spec, remaining[k], opts, writer, retries, timeouts);
+        });
+        writer.sync();
+        rep.retries = retries.load();
+        rep.timeouts = timeouts.load();
+    }
+
+    // Final accounting from a re-read: the log on disk is the single source
+    // of truth, so what we report is exactly what a resume would see.
+    std::map<std::uint64_t, WalRecord> by_cell;
+    for (WalRecord& rec : read_wal(wal_path).records) {
+        if (rec.cell < rep.cells_total) {
+            by_cell.emplace(rec.cell, std::move(rec));
+        }
+    }
+    for (const auto& [cell, rec] : by_cell) {
+        if (rec.status == CellStatus::Done) {
+            ++rep.cells_completed;
+        } else {
+            ++rep.cells_quarantined;
+            rep.quarantined.push_back(rec);
+        }
+    }
+    if (rep.complete()) {
+        write_merge_artifacts(dir, rep, by_cell);
+    }
+    rep.elapsed_sec =
+        std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() - t0).count();
+    return rep;
+}
+
+} // namespace
+
+Report run_campaign(const Spec& spec, const std::string& dir, const Options& opts) {
+    return run_in_dir(spec, dir, opts);
+}
+
+Report resume_campaign(const std::string& dir, const Options& opts) {
+    return run_in_dir(read_manifest(dir), dir, opts);
+}
+
+Spec read_manifest(const std::string& dir) {
+    const std::string text = read_file(dir + "/manifest.json");
+    if (text.empty()) {
+        throw Error("campaign: no manifest in " + dir);
+    }
+    const std::size_t pos = text.find("\"spec\":");
+    if (pos == std::string::npos || text.back() != '}') {
+        throw Error("campaign: malformed manifest in " + dir);
+    }
+    // The spec object runs from just past the key to the manifest's final
+    // closing brace.
+    return Spec::from_json(text.substr(pos + 7, text.size() - (pos + 7) - 1));
+}
+
+Status campaign_status(const std::string& dir) {
+    Status st;
+    const std::string text = read_file(dir + "/manifest.json");
+    if (text.empty()) {
+        return st;
+    }
+    const Spec spec = read_manifest(dir);
+    st.exists = true;
+    st.id = spec.id();
+    st.kind = spec.kind;
+    st.cells_total = spec.cell_count();
+    const WalContents wal = read_wal(dir + "/campaign.jsonl");
+    st.wal_truncated = wal.truncated;
+    st.wal_lines_dropped = wal.dropped_lines;
+    std::unordered_set<std::uint64_t> done;
+    std::unordered_set<std::uint64_t> quarantined;
+    for (const WalRecord& rec : wal.records) {
+        if (rec.cell >= st.cells_total || done.contains(rec.cell) ||
+            quarantined.contains(rec.cell)) {
+            continue;
+        }
+        (rec.status == CellStatus::Done ? done : quarantined).insert(rec.cell);
+    }
+    st.cells_completed = done.size();
+    st.cells_quarantined = quarantined.size();
+    return st;
+}
+
+std::string Report::summary() const {
+    std::string out = "campaign " + id + "\n";
+    out += "kind: ";
+    out += kind_name(kind);
+    out += "\ncells: " + std::to_string(cells_total) + " total, " +
+           std::to_string(cells_completed) + " completed, " +
+           std::to_string(cells_quarantined) + " quarantined\n";
+    if (quarantined.empty()) {
+        out += "quarantined: none\n";
+    } else {
+        out += "quarantined:\n";
+        for (const WalRecord& q : quarantined) {
+            out += "  cell " + std::to_string(q.cell) + ": " + q.reason + " after " +
+                   std::to_string(q.attempts) + " attempts\n";
+        }
+    }
+    out += complete() ? "status: COMPLETE\n" : "status: INCOMPLETE\n";
+    return out;
+}
+
+std::string Status::to_string() const {
+    if (!exists) {
+        return "no campaign (missing manifest)\n";
+    }
+    std::string out = "campaign " + id + "\n";
+    out += "kind: ";
+    out += kind_name(kind);
+    out += "\ncells: " + std::to_string(cells_total) + " total, " +
+           std::to_string(cells_completed) + " completed, " +
+           std::to_string(cells_quarantined) + " quarantined\n";
+    if (wal_truncated) {
+        out += "wal: damaged suffix (" + std::to_string(wal_lines_dropped) +
+               " lines) — next resume truncates and re-runs those cells\n";
+    }
+    out += complete() ? "status: COMPLETE\n" : "status: INCOMPLETE\n";
+    return out;
+}
+
+profile::Registry campaign_metrics(const Report& r) {
+    profile::Registry reg;
+    const profile::Labels base = {{"harness", "campaign"}, {"kind", kind_name(r.kind)}};
+    // Lattice-derived: identical for any jobs value and any crash history
+    // that reaches completion.
+    reg.counter_add("cells_total", base, r.cells_total);
+    reg.counter_add("cells_completed_total", base, r.cells_completed);
+    reg.counter_add("cells_quarantined_total", base, r.cells_quarantined);
+    // Crash-history / schedule dependent: quarantined as Volatile so a
+    // CI-diffed export never sees them.
+    reg.counter_add("cells_resumed_total", base, r.cells_resumed, profile::Volatile::Yes);
+    reg.counter_add("cells_run_total", base, r.cells_run, profile::Volatile::Yes);
+    reg.counter_add("cell_retries_total", base, r.retries, profile::Volatile::Yes);
+    reg.counter_add("cell_timeouts_total", base, r.timeouts, profile::Volatile::Yes);
+    reg.counter_add("wal_lines_dropped_total", base, r.wal_lines_dropped,
+                    profile::Volatile::Yes);
+    reg.counter_add("scheduler_chunks_total", base, r.sched.chunks, profile::Volatile::Yes);
+    reg.counter_add("scheduler_steals_total", base, r.sched.steals, profile::Volatile::Yes);
+    reg.gauge_set("elapsed_sec", base, r.elapsed_sec, profile::Volatile::Yes);
+    reg.gauge_set("cells_per_sec", base,
+                  r.elapsed_sec > 0.0 ? static_cast<double>(r.cells_run) / r.elapsed_sec : 0.0,
+                  profile::Volatile::Yes);
+    return reg;
+}
+
+} // namespace swsec::campaign

@@ -1,0 +1,167 @@
+#include "core/campaign/spec.hpp"
+
+#include "common/error.hpp"
+#include "core/attack_lab.hpp"
+#include "core/defense.hpp"
+#include "crypto/sha256.hpp"
+
+namespace swsec::campaign {
+
+const char* kind_name(Kind k) noexcept {
+    switch (k) {
+    case Kind::Matrix: return "matrix";
+    case Kind::FaultSweep: return "fault-sweep";
+    case Kind::Fuzz: return "fuzz";
+    }
+    return "?";
+}
+
+bool kind_from_name(const std::string& name, Kind& out) noexcept {
+    for (const Kind k : {Kind::Matrix, Kind::FaultSweep, Kind::Fuzz}) {
+        if (name == kind_name(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t Spec::cell_count() const {
+    const std::uint64_t lattice =
+        core::all_attacks().size() * core::standard_defenses().size();
+    switch (kind) {
+    case Kind::Matrix: return static_cast<std::uint64_t>(draws) * lattice;
+    case Kind::FaultSweep: return lattice;
+    case Kind::Fuzz: return static_cast<std::uint64_t>(seeds);
+    }
+    return 0;
+}
+
+std::string Spec::to_json() const {
+    std::string out = "{\"schema\":\"swsec-campaign-spec-v1\"";
+    out += ",\"kind\":\"";
+    out += kind_name(kind);
+    out += "\",\"victim_seed\":" + std::to_string(victim_seed);
+    out += ",\"attacker_seed\":" + std::to_string(attacker_seed);
+    out += ",\"draws\":" + std::to_string(draws);
+    out += ",\"fault_seed\":" + std::to_string(fault_seed);
+    out += ",\"windows_per_class\":" + std::to_string(windows_per_class);
+    out += ",\"seed_base\":" + std::to_string(seed_base);
+    out += ",\"seeds\":" + std::to_string(seeds);
+    out += ",\"sabotage\":{\"hang_cell\":" + std::to_string(sabotage.hang_cell);
+    out += ",\"crash_cell\":" + std::to_string(sabotage.crash_cell);
+    out += ",\"crash_times\":" + std::to_string(sabotage.crash_times);
+    out += "}}";
+    return out;
+}
+
+namespace {
+
+// Minimal field extractors for the fixed-shape documents this module itself
+// produces (no JSON library in the repo; values are numbers or escape-free
+// strings).  Each throws on a missing key so a hand-edited manifest fails
+// loudly instead of silently defaulting.
+std::size_t find_key(const std::string& json, const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t pos = json.find(needle);
+    if (pos == std::string::npos) {
+        throw Error("campaign spec: missing field \"" + key + "\"");
+    }
+    return pos + needle.size();
+}
+
+std::int64_t get_int(const std::string& json, const std::string& key) {
+    std::size_t p = find_key(json, key);
+    bool neg = false;
+    if (p < json.size() && json[p] == '-') {
+        neg = true;
+        ++p;
+    }
+    if (p >= json.size() || json[p] < '0' || json[p] > '9') {
+        throw Error("campaign spec: field \"" + key + "\" is not a number");
+    }
+    std::uint64_t v = 0;
+    while (p < json.size() && json[p] >= '0' && json[p] <= '9') {
+        v = v * 10 + static_cast<std::uint64_t>(json[p] - '0');
+        ++p;
+    }
+    return neg ? -static_cast<std::int64_t>(v) : static_cast<std::int64_t>(v);
+}
+
+std::uint64_t get_uint(const std::string& json, const std::string& key) {
+    return static_cast<std::uint64_t>(get_int(json, key));
+}
+
+std::string get_string(const std::string& json, const std::string& key) {
+    std::size_t p = find_key(json, key);
+    if (p >= json.size() || json[p] != '"') {
+        throw Error("campaign spec: field \"" + key + "\" is not a string");
+    }
+    ++p;
+    const std::size_t end = json.find('"', p);
+    if (end == std::string::npos) {
+        throw Error("campaign spec: unterminated string for \"" + key + "\"");
+    }
+    return json.substr(p, end - p);
+}
+
+} // namespace
+
+Spec Spec::from_json(const std::string& json) {
+    if (get_string(json, "schema") != "swsec-campaign-spec-v1") {
+        throw Error("campaign spec: unknown schema");
+    }
+    Spec s;
+    if (!kind_from_name(get_string(json, "kind"), s.kind)) {
+        throw Error("campaign spec: unknown kind \"" + get_string(json, "kind") + "\"");
+    }
+    s.victim_seed = get_uint(json, "victim_seed");
+    s.attacker_seed = get_uint(json, "attacker_seed");
+    s.draws = static_cast<int>(get_int(json, "draws"));
+    s.fault_seed = get_uint(json, "fault_seed");
+    s.windows_per_class = static_cast<int>(get_int(json, "windows_per_class"));
+    s.seed_base = get_uint(json, "seed_base");
+    s.seeds = static_cast<int>(get_int(json, "seeds"));
+    s.sabotage.hang_cell = get_int(json, "hang_cell");
+    s.sabotage.crash_cell = get_int(json, "crash_cell");
+    s.sabotage.crash_times = static_cast<int>(get_int(json, "crash_times"));
+    return s;
+}
+
+std::string Spec::id() const {
+    return crypto::to_hex(crypto::Sha256::hash(to_json())).substr(0, 16);
+}
+
+std::string Spec::cell_coords_json(std::uint64_t cell) const {
+    const auto& attacks = core::all_attacks();
+    const auto& defenses = core::standard_defenses();
+    const std::uint64_t lattice = attacks.size() * defenses.size();
+    std::string out = "{\"kind\":\"";
+    out += kind_name(kind);
+    out += "\",\"cell\":" + std::to_string(cell);
+    switch (kind) {
+    case Kind::Matrix: {
+        const std::uint64_t d = cell / lattice;
+        const std::uint64_t r = cell % lattice;
+        out += ",\"draw\":" + std::to_string(d);
+        out += ",\"attack\":\"" + core::attack_name(attacks[r / defenses.size()]) + "\"";
+        out += ",\"defense\":\"" + defenses[r % defenses.size()].name + "\"";
+        out += ",\"victim_seed\":" + std::to_string(victim_seed + d);
+        out += ",\"attacker_seed\":" + std::to_string(attacker_seed + d);
+        break;
+    }
+    case Kind::FaultSweep:
+        out += ",\"attack\":\"" + core::attack_name(attacks[cell / defenses.size()]) + "\"";
+        out += ",\"defense\":\"" + defenses[cell % defenses.size()].name + "\"";
+        out += ",\"fault_seed\":" + std::to_string(fault_seed);
+        out += ",\"windows_per_class\":" + std::to_string(windows_per_class);
+        break;
+    case Kind::Fuzz:
+        out += ",\"seed\":" + std::to_string(seed_base + cell);
+        break;
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace swsec::campaign

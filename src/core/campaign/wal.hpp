@@ -1,0 +1,73 @@
+// The campaign write-ahead log: one CRC-framed JSON record per finished
+// cell.
+//
+// Line format:   <crc32 of json, 8 lowercase hex> SP <json> LF
+//
+// The driver appends a record the moment a cell completes (or is
+// quarantined) and fsyncs per its policy, so a kill -9 loses at most the
+// in-flight cells.  On resume the reader accepts the longest valid prefix:
+// the first line whose CRC or framing fails marks the damaged suffix,
+// which the driver truncates away (rewriting the valid prefix atomically)
+// before re-running only the cells whose records were lost.  Record order
+// in the log is completion order — schedule-dependent and irrelevant; all
+// merges key on the cell index.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swsec::campaign {
+
+enum class CellStatus : std::uint8_t { Done, Quarantined };
+
+struct WalRecord {
+    std::uint64_t cell = 0;
+    CellStatus status = CellStatus::Done;
+    std::string payload;  // Done: the cell's result as a JSON object
+    std::string reason;   // Quarantined: "timeout" or "crash"
+    unsigned attempts = 0; // Quarantined: attempts consumed
+    std::string detail;   // Quarantined: raw human-readable cause + repro coords
+};
+
+/// Serialize one record as a CRC-framed, newline-terminated log line.
+[[nodiscard]] std::string wal_line(const WalRecord& rec);
+
+/// Parse one line (without the trailing newline).  Returns false — never
+/// throws — on bad CRC, bad framing or malformed JSON: a torn tail must be
+/// a normal, recoverable condition.
+[[nodiscard]] bool parse_wal_line(std::string_view line, WalRecord& out);
+
+struct WalContents {
+    std::vector<WalRecord> records;  // the valid prefix, in append order
+    std::vector<std::string> lines;  // raw valid lines (no newline), for rewrites
+    std::size_t dropped_lines = 0;   // lines in the damaged suffix
+    bool truncated = false;          // a damaged suffix was present
+};
+
+/// Read the longest valid prefix of the log at `path`.  A missing file is
+/// an empty (untruncated) log.  Throws swsec::Error only on I/O errors.
+[[nodiscard]] WalContents read_wal(const std::string& path);
+
+/// Append-only, thread-safe log writer.  `fsync_every` N means fsync after
+/// every Nth append (1 = every record, 0 = only on sync()/destruction).
+class WalWriter {
+public:
+    WalWriter(const std::string& path, int fsync_every);
+    ~WalWriter();
+    WalWriter(const WalWriter&) = delete;
+    WalWriter& operator=(const WalWriter&) = delete;
+
+    void append(const WalRecord& rec);
+    void sync();
+
+private:
+    std::mutex mu_;
+    int fd_ = -1;
+    int fsync_every_ = 1;
+    int since_sync_ = 0;
+};
+
+} // namespace swsec::campaign

@@ -197,51 +197,59 @@ void run_statecont_window(int which, const fault::FaultEvent& event, int state_b
     }
 }
 
-/// The full crash/torn-write sweep for one protocol.  Self-contained so the
-/// three protocols can run on different workers.
-void sweep_protocol(int which, int state_bytes, StatecontSweep& out) {
-    // Trace a healthy committed+in-flight pair of saves to learn every
-    // device-op window and every blob write of the second save.
-    std::uint64_t k0 = 0;
-    std::uint64_t k1 = 0;
-    fault::FaultInjector tracer;
-    tracer.set_nv_trace(true);
-    {
-        NvStore nv;
-        nv.set_fault_injector(&tracer);
-        auto p = make_protocol(which, nv, /*nonce_seed=*/101);
-        p->save(make_state('C', state_bytes));
-        k0 = nv.ops_performed();
-        p->save(make_state('F', state_bytes));
-        k1 = nv.ops_performed();
-        nv.set_fault_injector(nullptr);
-    }
+/// One planned crash/torn-write window: the unit of statecont parallelism.
+struct StatecontWindow {
+    int which = 0; // protocol index
+    fault::FaultEvent event;
+};
 
-    // Exhaustive: cut power before/after every device op of the save...
-    for (std::uint64_t op = k0 + 1; op <= k1; ++op) {
-        run_statecont_window(which, fault::FaultEvent::nv_power_cut(op), state_bytes, out);
-    }
-    // ...and tear every blob write of the save at every byte prefix.
-    for (const auto& rec : tracer.nv_trace()) {
-        if (!rec.is_write || rec.ordinal <= k0 || rec.ordinal > k1) {
-            continue;
+/// Plan every window of the exhaustive sweep, protocol-major, in exactly the
+/// order the serial loops used to visit them.  Planning only traces three
+/// healthy save pairs (no windows run), so it is cheap enough to do up
+/// front; the payoff is a flat window list the work-stealing engine can
+/// balance at single-window granularity instead of three protocol-sized
+/// shards.
+std::vector<StatecontWindow> plan_statecont_windows(int state_bytes) {
+    std::vector<StatecontWindow> plan;
+    for (int which = 0; which < 3; ++which) {
+        // Trace a healthy committed+in-flight pair of saves to learn every
+        // device-op window and every blob write of the second save.
+        std::uint64_t k0 = 0;
+        std::uint64_t k1 = 0;
+        fault::FaultInjector tracer;
+        tracer.set_nv_trace(true);
+        {
+            NvStore nv;
+            nv.set_fault_injector(&tracer);
+            auto p = make_protocol(which, nv, /*nonce_seed=*/101);
+            p->save(make_state('C', state_bytes));
+            k0 = nv.ops_performed();
+            p->save(make_state('F', state_bytes));
+            k1 = nv.ops_performed();
+            nv.set_fault_injector(nullptr);
         }
-        for (std::uint32_t keep = 0; keep <= rec.write_size; ++keep) {
-            run_statecont_window(which, fault::FaultEvent::nv_torn_write(rec.ordinal, keep),
-                                 state_bytes, out);
+
+        // Exhaustive: cut power before/after every device op of the save...
+        for (std::uint64_t op = k0 + 1; op <= k1; ++op) {
+            plan.push_back({which, fault::FaultEvent::nv_power_cut(op)});
+        }
+        // ...and tear every blob write of the save at every byte prefix.
+        for (const auto& rec : tracer.nv_trace()) {
+            if (!rec.is_write || rec.ordinal <= k0 || rec.ordinal > k1) {
+                continue;
+            }
+            for (std::uint32_t keep = 0; keep <= rec.write_size; ++keep) {
+                plan.push_back({which, fault::FaultEvent::nv_torn_write(rec.ordinal, keep)});
+            }
         }
     }
+    return plan;
 }
 
-} // namespace
-
-StatecontSweep run_statecont_fault_sweep(int state_bytes, int jobs) {
-    // One sub-sweep per protocol, merged in protocol order: parallel output
-    // is byte-identical to serial.
-    std::vector<StatecontSweep> parts(3);
-    parallel_for(parts.size(), jobs, [&](std::size_t which) {
-        sweep_protocol(static_cast<int>(which), state_bytes, parts[which]);
-    });
+/// Fold per-window results back into one sweep, in plan order — which is
+/// the serial visiting order, so the merged report is byte-identical for
+/// any jobs value.
+StatecontSweep merge_statecont_windows(std::vector<StatecontSweep>& parts) {
     StatecontSweep out;
     for (auto& p : parts) {
         out.windows += p.windows;
@@ -251,6 +259,17 @@ StatecontSweep run_statecont_fault_sweep(int state_bytes, int jobs) {
                               std::make_move_iterator(p.violations.end()));
     }
     return out;
+}
+
+} // namespace
+
+StatecontSweep run_statecont_fault_sweep(int state_bytes, int jobs) {
+    const auto plan = plan_statecont_windows(state_bytes);
+    std::vector<StatecontSweep> parts(plan.size());
+    parallel_for(plan.size(), jobs, [&](std::size_t i) {
+        run_statecont_window(plan[i].which, plan[i].event, state_bytes, parts[i]);
+    });
+    return merge_statecont_windows(parts);
 }
 
 std::string FailOpenViolation::to_string() const {
@@ -268,19 +287,9 @@ std::uint64_t FaultSweepReport::total_windows() const noexcept {
 
 namespace {
 
-/// Everything one (attack, defense) cell contributes to the report.  Workers
-/// fill these independently; the merge below folds them in cell-index order,
-/// so the report is byte-identical for any jobs value.
-struct CellSweep {
-    bool baseline_success = false;
-    MatrixCell record;                // baseline outcome with trap provenance
-    std::vector<ClassTally> tallies;  // one per opts.classes entry
-    std::vector<FailOpenViolation> violations;  // class-major, window order
-};
-
-CellSweep sweep_cell(const FaultSweepOptions& opts, std::size_t ai, std::size_t di,
-                     AttackKind kind, const Defense& defense) {
-    CellSweep cell;
+FaultCellSweep sweep_cell(const FaultSweepOptions& opts, std::size_t ai, std::size_t di,
+                          AttackKind kind, const Defense& defense) {
+    FaultCellSweep cell;
     cell.tallies.reserve(opts.classes.size());
     for (const auto cls : opts.classes) {
         cell.tallies.push_back(ClassTally{cls});
@@ -332,6 +341,12 @@ CellSweep sweep_cell(const FaultSweepOptions& opts, std::size_t ai, std::size_t 
 
 } // namespace
 
+FaultCellSweep sweep_fault_cell(const FaultSweepOptions& opts, std::size_t ai, std::size_t di) {
+    const auto& attacks = opts.attacks.empty() ? all_attacks() : opts.attacks;
+    const auto& defenses = opts.defenses.empty() ? standard_defenses() : opts.defenses;
+    return sweep_cell(opts, ai, di, attacks.at(ai), defenses.at(di));
+}
+
 FaultSweepReport run_fault_sweep(const FaultSweepOptions& opts) {
     FaultSweepReport rep;
     const auto& attacks = opts.attacks.empty() ? all_attacks() : opts.attacks;
@@ -342,14 +357,28 @@ FaultSweepReport run_fault_sweep(const FaultSweepOptions& opts) {
         rep.tallies.push_back(ClassTally{cls});
     }
 
-    // Fan the attack x defense grid out over workers.  Each cell is
-    // share-nothing (its own Machines, its own FaultInjector, seeds derived
-    // from the cell index) and lands in its own slot.
-    std::vector<CellSweep> cells(attacks.size() * defenses.size());
-    parallel_for(cells.size(), opts.jobs, [&](std::size_t i) {
-        const std::size_t ai = i / defenses.size();
-        const std::size_t di = i % defenses.size();
-        cells[i] = sweep_cell(opts, ai, di, attacks[ai], defenses[di]);
+    // Both halves share one flat work domain: the attack x defense cells
+    // first, then every planned statecont window.  Each task is
+    // share-nothing (its own Machines / NvStore, seeds derived from the
+    // task index) and lands in its own slot, so the work-stealing engine
+    // can interleave the halves freely — the old two-phase layout ran the
+    // statecont half 3-way parallel at best, which capped BM_FullSweep
+    // scaling well below the job count.
+    std::vector<FaultCellSweep> cells(attacks.size() * defenses.size());
+    const auto statecont_plan = opts.include_statecont
+                                    ? plan_statecont_windows(opts.statecont_state_bytes)
+                                    : std::vector<StatecontWindow>{};
+    std::vector<StatecontSweep> statecont_parts(statecont_plan.size());
+    parallel_for(cells.size() + statecont_plan.size(), opts.jobs, [&](std::size_t i) {
+        if (i < cells.size()) {
+            const std::size_t ai = i / defenses.size();
+            const std::size_t di = i % defenses.size();
+            cells[i] = sweep_cell(opts, ai, di, attacks[ai], defenses[di]);
+        } else {
+            const auto& w = statecont_plan[i - cells.size()];
+            run_statecont_window(w.which, w.event, opts.statecont_state_bytes,
+                                 statecont_parts[i - cells.size()]);
+        }
     });
 
     // Deterministic merge: fold cells in index order, which is exactly the
@@ -377,7 +406,7 @@ FaultSweepReport run_fault_sweep(const FaultSweepOptions& opts) {
     }
 
     if (opts.include_statecont) {
-        rep.statecont = run_statecont_fault_sweep(opts.statecont_state_bytes, opts.jobs);
+        rep.statecont = merge_statecont_windows(statecont_parts);
     }
     return rep;
 }
@@ -444,6 +473,8 @@ profile::Registry fault_sweep_metrics(const FaultSweepReport& report) {
     reg.gauge_set("image_cache_images", base, static_cast<double>(image_cache_size()),
                   profile::Volatile::Yes);
     reg.gauge_set("image_cache_hits", base, static_cast<double>(image_cache_hits()),
+                  profile::Volatile::Yes);
+    reg.gauge_set("image_cache_evictions", base, static_cast<double>(image_cache_evictions()),
                   profile::Volatile::Yes);
     return reg;
 }

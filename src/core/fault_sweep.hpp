@@ -108,6 +108,24 @@ struct FaultSweepReport {
     [[nodiscard]] std::string summary() const;
 };
 
+/// Everything one (attack, defense) cell contributes to the report.  The
+/// campaign driver runs cells one at a time (checkpointing each into its
+/// write-ahead log); run_fault_sweep fans them out over workers.  Either
+/// way the merge folds them in cell-index order, so the report is
+/// byte-identical no matter who scheduled the work.
+struct FaultCellSweep {
+    bool baseline_success = false;
+    MatrixCell record;                // baseline outcome with trap provenance
+    std::vector<ClassTally> tallies;  // one per opts.classes entry
+    std::vector<FailOpenViolation> violations;  // class-major, window order
+};
+
+/// Run one (attack, defense) cell of the exploit-mitigation half.  `ai` and
+/// `di` index into opts.attacks / opts.defenses (or the standard lists when
+/// those are empty).  Deterministic given the options.
+[[nodiscard]] FaultCellSweep sweep_fault_cell(const FaultSweepOptions& opts, std::size_t ai,
+                                              std::size_t di);
+
 /// Run the whole sweep (both halves, per options).
 [[nodiscard]] FaultSweepReport run_fault_sweep(const FaultSweepOptions& opts = {});
 

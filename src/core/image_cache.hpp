@@ -11,6 +11,12 @@
 // outside the lock, and a racing duplicate compile is deterministic so
 // either result is correct) and returns shared_ptr<const Image>: workers
 // only read the image and copy it into their own Process.
+//
+// Growth is bounded: the fuzzer and campaign driver feed a *new* program
+// per seed, so an unbounded memo would grow linearly with campaign length
+// (a million-cell fuzz campaign would pin a million images).  The cache
+// therefore evicts least-recently-used entries beyond a capacity; eviction
+// only costs a deterministic recompile, never correctness.
 #pragma once
 
 #include <cstdint>
@@ -29,12 +35,20 @@ namespace swsec::core {
 /// per-program compile memo) can key on compiler output identity.
 [[nodiscard]] std::string compiler_options_key(const cc::CompilerOptions& o);
 
-/// compile_program({source}, opts), memoized on (source, opts).
+/// compile_program({source}, opts), memoized on (source, opts) with LRU
+/// eviction beyond the configured capacity.
 [[nodiscard]] std::shared_ptr<const objfmt::Image>
 cached_compile(const std::string& source, const cc::CompilerOptions& opts);
 
-/// Drop every cached image (tests; bounds memory in long campaigns).
+/// Drop every cached image (tests; bounds memory in long campaigns).  Also
+/// resets the hit and eviction tallies.
 void clear_image_cache();
+
+/// Cap the number of cached images (least-recently-used entries are evicted
+/// past it); 0 means unbounded.  Shrinking below the current size evicts
+/// immediately.  Returns the previous capacity.
+std::size_t set_image_cache_capacity(std::size_t max_images);
+[[nodiscard]] std::size_t image_cache_capacity();
 
 /// Number of distinct (source, options) images currently cached.
 [[nodiscard]] std::size_t image_cache_size();
@@ -45,5 +59,9 @@ void clear_image_cache();
 /// between equivalent runs.  It therefore feeds the metrics registry only
 /// as a Volatile gauge, never a deterministic report.
 [[nodiscard]] std::uint64_t image_cache_hits();
+
+/// LRU evictions since start (or the last clear).  Schedule-dependent for
+/// the same reason as the hit count: Volatile in the metrics registry.
+[[nodiscard]] std::uint64_t image_cache_evictions();
 
 } // namespace swsec::core

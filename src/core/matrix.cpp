@@ -78,33 +78,40 @@ std::string format_matrix(const std::vector<MatrixCell>& cells) {
     return out;
 }
 
+std::string matrix_cell_json(const MatrixCell& c) {
+    const vm::Trap& t = c.outcome.trap;
+    std::string out;
+    out += "{\"attack\":\"" + attack_name(c.attack) + "\"";
+    out += ",\"defense\":\"" + trace::json_escape(c.defense) + "\"";
+    out += c.outcome.succeeded ? ",\"succeeded\":true" : ",\"succeeded\":false";
+    out += ",\"trap\":\"" + vm::trap_name(t.kind) + "\"";
+    out += ",\"origin\":\"";
+    out += trace::check_origin_name(t.origin);
+    out += "\",\"module\":" + std::to_string(t.module);
+    out += ",\"mode\":\"";
+    out += t.kernel ? "kernel" : "user";
+    out += "\",\"ip\":\"" + hex32(t.ip) + "\"";
+    out += ",\"addr\":\"" + hex32(t.addr) + "\"";
+    // Raw ip/addr depend on the victim's ASLR draw; the load bias, the
+    // text-relative offset and the line-table symbolization are the
+    // draw-independent coordinates.  ip_off is null when the trap
+    // landed outside text (injected stack shellcode, data execution).
+    out += ",\"text_base\":\"" + hex32(c.outcome.text_base) + "\"";
+    const bool in_text = t.ip >= c.outcome.text_base &&
+                         t.ip - c.outcome.text_base < c.outcome.text_size;
+    out += ",\"ip_off\":";
+    out += in_text ? "\"" + hex32(t.ip - c.outcome.text_base) + "\"" : "null";
+    out += ",\"sym\":\"" + trace::json_escape(c.outcome.trap_sym) + "\"";
+    out += ",\"steps\":" + std::to_string(c.outcome.steps);
+    out += ",\"note\":\"" + trace::json_escape(c.outcome.note) + "\"}";
+    return out;
+}
+
 std::string matrix_cells_jsonl(const std::vector<MatrixCell>& cells) {
     std::string out;
     for (const auto& c : cells) {
-        const vm::Trap& t = c.outcome.trap;
-        out += "{\"attack\":\"" + attack_name(c.attack) + "\"";
-        out += ",\"defense\":\"" + trace::json_escape(c.defense) + "\"";
-        out += c.outcome.succeeded ? ",\"succeeded\":true" : ",\"succeeded\":false";
-        out += ",\"trap\":\"" + vm::trap_name(t.kind) + "\"";
-        out += ",\"origin\":\"";
-        out += trace::check_origin_name(t.origin);
-        out += "\",\"module\":" + std::to_string(t.module);
-        out += ",\"mode\":\"";
-        out += t.kernel ? "kernel" : "user";
-        out += "\",\"ip\":\"" + hex32(t.ip) + "\"";
-        out += ",\"addr\":\"" + hex32(t.addr) + "\"";
-        // Raw ip/addr depend on the victim's ASLR draw; the load bias, the
-        // text-relative offset and the line-table symbolization are the
-        // draw-independent coordinates.  ip_off is null when the trap
-        // landed outside text (injected stack shellcode, data execution).
-        out += ",\"text_base\":\"" + hex32(c.outcome.text_base) + "\"";
-        const bool in_text = t.ip >= c.outcome.text_base &&
-                             t.ip - c.outcome.text_base < c.outcome.text_size;
-        out += ",\"ip_off\":";
-        out += in_text ? "\"" + hex32(t.ip - c.outcome.text_base) + "\"" : "null";
-        out += ",\"sym\":\"" + trace::json_escape(c.outcome.trap_sym) + "\"";
-        out += ",\"steps\":" + std::to_string(c.outcome.steps);
-        out += ",\"note\":\"" + trace::json_escape(c.outcome.note) + "\"}\n";
+        out += matrix_cell_json(c);
+        out += "\n";
     }
     return out;
 }
@@ -129,6 +136,8 @@ profile::Registry matrix_metrics(const std::vector<MatrixCell>& cells) {
     reg.gauge_set("image_cache_images", base, static_cast<double>(image_cache_size()),
                   profile::Volatile::Yes);
     reg.gauge_set("image_cache_hits", base, static_cast<double>(image_cache_hits()),
+                  profile::Volatile::Yes);
+    reg.gauge_set("image_cache_evictions", base, static_cast<double>(image_cache_evictions()),
                   profile::Volatile::Yes);
     return reg;
 }

@@ -44,6 +44,12 @@ struct MatrixCell {
 /// `--jobs N` sweep (which merges by index) serialise byte-identically.
 [[nodiscard]] std::string matrix_cells_jsonl(const std::vector<MatrixCell>& cells);
 
+/// One cell of the above as a single JSON object (no trailing newline) —
+/// the unit the campaign write-ahead log checkpoints.  matrix_cells_jsonl
+/// is exactly these objects joined by newlines, so a campaign-merged report
+/// is byte-identical to a monolithic sweep's.
+[[nodiscard]] std::string matrix_cell_json(const MatrixCell& cell);
+
 /// Aggregate the cells' deterministic platform tallies into a metrics
 /// registry (labels: harness=matrix): attack verdict counts, victim
 /// instructions, decode-cache hits/decodes, syscall retries, injected I/O

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace swsec::core {
@@ -17,55 +19,138 @@ int resolve_jobs(int jobs) noexcept {
     return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-void parallel_for(std::size_t n, int jobs, const std::function<void(std::size_t)>& body) {
-    jobs = resolve_jobs(jobs);
+namespace {
+
+using Chunk = std::pair<std::size_t, std::size_t>; // [begin, end)
+
+/// One worker's deque.  Chunks are coarse (each carries `grain` cells of
+/// real work), so a plain mutex is cheaper than a lock-free deque and never
+/// near contention; the padding keeps neighbouring workers off one cache
+/// line anyway.
+struct WorkerDeque {
+    std::mutex m;
+    std::deque<Chunk> q;
+    char pad[64] = {};
+
+    bool pop_front(Chunk& out) {
+        const std::lock_guard<std::mutex> lock(m);
+        if (q.empty()) {
+            return false;
+        }
+        out = q.front();
+        q.pop_front();
+        return true;
+    }
+    bool pop_back(Chunk& out) {
+        const std::lock_guard<std::mutex> lock(m);
+        if (q.empty()) {
+            return false;
+        }
+        out = q.back();
+        q.pop_back();
+        return true;
+    }
+};
+
+} // namespace
+
+void parallel_for_ws(std::size_t n, const ParallelOptions& opts,
+                     const std::function<void(std::size_t)>& body) {
+    if (opts.stats != nullptr) {
+        *opts.stats = {};
+    }
     if (n == 0) {
         return;
     }
+    const int jobs = resolve_jobs(opts.jobs);
     if (jobs <= 1 || n == 1) {
         for (std::size_t i = 0; i < n; ++i) {
             body(i);
         }
+        if (opts.stats != nullptr) {
+            opts.stats->chunks = 1;
+        }
         return;
     }
 
-    std::atomic<std::size_t> cursor{0};
+    // ~8 chunks per worker balances steal traffic against tail imbalance
+    // (the last chunk a worker holds bounds how long siblings idle).
+    const std::size_t grain =
+        opts.grain > 0 ? opts.grain
+                       : std::max<std::size_t>(1, n / (static_cast<std::size_t>(jobs) * 8));
+    const std::size_t nchunks = (n + grain - 1) / grain;
+    const int workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(jobs), nchunks));
+
+    // Deal contiguous chunk runs blockwise: worker w starts on the chunks
+    // covering its "shard" of the index space, so an even workload never
+    // steals at all and cache locality matches the static-shard layout.
+    std::vector<WorkerDeque> deques(static_cast<std::size_t>(workers));
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        const std::size_t w = c * static_cast<std::size_t>(workers) / nchunks;
+        deques[w].q.emplace_back(c * grain, std::min(n, (c + 1) * grain));
+    }
+
+    std::atomic<std::uint64_t> chunks_run{0};
+    std::atomic<std::uint64_t> steals{0};
     std::exception_ptr first_error;
     std::mutex error_mutex;
 
-    const auto worker = [&] {
+    const auto worker = [&](int self) {
+        Chunk chunk;
         for (;;) {
-            const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n) {
-                return;
-            }
-            try {
-                body(i);
-            } catch (...) {
-                const std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error) {
-                    first_error = std::current_exception();
+            bool got = deques[static_cast<std::size_t>(self)].pop_front(chunk);
+            if (!got) {
+                // Steal scan: oldest work first (victim's back), starting at
+                // the next worker so contention spreads.
+                for (int off = 1; off < workers && !got; ++off) {
+                    const int victim = (self + off) % workers;
+                    got = deques[static_cast<std::size_t>(victim)].pop_back(chunk);
                 }
-                // Keep draining: sibling cells are independent, and stopping
-                // early would make "which cells ran" scheduler-dependent.
+                if (!got) {
+                    return; // every deque empty: the chunk set is static, so we are done
+                }
+                steals.fetch_add(1, std::memory_order_relaxed);
+            }
+            chunks_run.fetch_add(1, std::memory_order_relaxed);
+            for (std::size_t i = chunk.first; i < chunk.second; ++i) {
+                try {
+                    body(i);
+                } catch (...) {
+                    const std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error) {
+                        first_error = std::current_exception();
+                    }
+                    // Keep draining: sibling cells are independent, and
+                    // stopping early would make "which cells ran"
+                    // scheduler-dependent.
+                }
             }
         }
     };
 
-    const int spawned = static_cast<int>(std::min<std::size_t>(
-                            static_cast<std::size_t>(jobs), n)) - 1;
     std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(spawned));
-    for (int t = 0; t < spawned; ++t) {
-        threads.emplace_back(worker);
+    threads.reserve(static_cast<std::size_t>(workers - 1));
+    for (int t = 1; t < workers; ++t) {
+        threads.emplace_back(worker, t);
     }
-    worker(); // the calling thread participates
+    worker(0); // the calling thread participates
     for (auto& t : threads) {
         t.join();
+    }
+    if (opts.stats != nullptr) {
+        opts.stats->chunks = chunks_run.load();
+        opts.stats->steals = steals.load();
     }
     if (first_error) {
         std::rethrow_exception(first_error);
     }
+}
+
+void parallel_for(std::size_t n, int jobs, const std::function<void(std::size_t)>& body) {
+    ParallelOptions opts;
+    opts.jobs = jobs;
+    parallel_for_ws(n, opts, body);
 }
 
 } // namespace swsec::core

@@ -1,15 +1,24 @@
-// A small share-nothing parallel-for engine for the sweep harnesses.
+// A share-nothing parallel-for engine with chunked work stealing.
 //
-// The attack matrix and the fault sweeps are embarrassingly parallel: every
-// (attack x defense x fault-window) cell builds its own Machine, Process
-// and fault injector, and cells never share mutable state.  The engine
-// hands cell indices to `jobs` worker threads through one atomic cursor;
-// callers write results into a pre-sized vector *by index* and merge in
-// index order, so parallel output is byte-identical to a serial run no
-// matter how the scheduler interleaves completions.
+// The attack matrix, the fault sweeps, the fuzzer and the campaign driver
+// are embarrassingly parallel: every cell builds its own Machine, Process
+// and fault injector, and cells never share mutable state.  Cell costs are
+// wildly uneven, though (a statecont crash-recover-verify cycle is ~100x a
+// trivial matrix cell), so static sharding leaves workers idle behind the
+// slow shard.  The engine therefore deals contiguous index chunks into one
+// deque per worker; a worker drains its own deque front-to-back (locality)
+// and, when empty, steals a chunk from the *back* of a victim's deque —
+// the classic work-stealing discipline, at chunk granularity so the common
+// case touches only the worker's own lock.
+//
+// Determinism is unaffected by scheduling: callers write results into a
+// pre-sized vector *by index* and merge in index order, so parallel output
+// is byte-identical to a serial run no matter which worker ran which chunk.
+// Steal counts ARE schedule-dependent and feed metrics only as Volatile.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace swsec::core {
@@ -18,11 +27,30 @@ namespace swsec::core {
 /// means "one worker per hardware thread" (min 1).
 [[nodiscard]] int resolve_jobs(int jobs) noexcept;
 
-/// Run body(i) for every i in [0, n).  jobs <= 1 runs inline on the calling
-/// thread (no thread is ever spawned — the serial path stays the serial
-/// path).  With jobs > 1, min(jobs, n) workers (including the caller) pull
-/// indices from an atomic cursor.  The first exception thrown by any body
-/// is captured and rethrown on the calling thread after all workers join.
+/// Scheduler observability for the metrics registry.  Both numbers depend
+/// on thread timing, never on the computed results.
+struct ParallelStats {
+    std::uint64_t chunks = 0; // chunks executed (serial runs count 1)
+    std::uint64_t steals = 0; // chunks taken from another worker's deque
+};
+
+struct ParallelOptions {
+    int jobs = 1;            // worker threads; 0 = one per hardware thread
+    std::size_t grain = 0;   // indices per chunk; 0 = auto (~8 chunks/worker)
+    ParallelStats* stats = nullptr; // optional; overwritten on entry
+};
+
+/// Run body(i) for every i in [0, n) exactly once.  jobs <= 1 runs inline
+/// on the calling thread (no thread is ever spawned — the serial path stays
+/// the serial path).  With jobs > 1, min(jobs, chunks) workers (including
+/// the caller) run the work-stealing loop described above.  The first
+/// exception thrown by any body is captured and rethrown on the calling
+/// thread after all workers drain (siblings keep running: which cells ran
+/// must not be scheduler-dependent).
+void parallel_for_ws(std::size_t n, const ParallelOptions& opts,
+                     const std::function<void(std::size_t)>& body);
+
+/// Compatibility wrapper: parallel_for_ws with auto grain and no stats.
 void parallel_for(std::size_t n, int jobs, const std::function<void(std::size_t)>& body);
 
 } // namespace swsec::core

@@ -46,7 +46,22 @@ fault::SyscallFault Kernel::probe_io_fault(vm::Machine& m, std::uint8_t number) 
         ++attempt;
         if (attempt >= retry_.max_attempts) {
             ++fault_stats_.reported_errors;
-            return f; // budget exhausted: fail closed, report the error
+            return f; // per-call attempts exhausted: fail closed, report the error
+        }
+        if (fault_stats_.retries >= retry_.max_total_retries) {
+            // Process-wide budget spent: stop burning (virtual) time on a
+            // device that keeps glitching.  Trace once per occurrence so a
+            // campaign post-mortem can see the degradation point.
+            ++fault_stats_.budget_exhausted;
+            ++fault_stats_.reported_errors;
+            if (m.tracer() != nullptr) {
+                m.tracer()->record({trace::EventKind::FaultInjected, m.steps_executed(), m.ip(),
+                                    m.current_module(), true, trace::CheckOrigin::FaultInjector,
+                                    number, attempt,
+                                    static_cast<std::uint32_t>(retry_.max_total_retries),
+                                    "syscall retry budget exhausted"});
+            }
+            return f;
         }
         ++fault_stats_.retries;
         fault_stats_.backoff_ticks += retry_.backoff_base << (attempt - 1);

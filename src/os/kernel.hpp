@@ -35,6 +35,13 @@ namespace swsec::os {
 struct RetryPolicy {
     unsigned max_attempts = 4; // total attempts per syscall (first + retries)
     unsigned backoff_base = 8; // virtual ticks charged for the first retry
+    /// Total retry budget per process across all syscalls.  The per-call
+    /// bound alone lets a persistently glitching device soak unbounded time
+    /// in (retries x calls); once the process-wide budget is spent, further
+    /// failures are surfaced immediately (still fail-closed — an error
+    /// return, never fabricated success) and a FaultInjected trace event
+    /// records the exhaustion.
+    unsigned max_total_retries = 256;
 };
 
 /// Injection/retry accounting, for tests and the sweep harness.
@@ -44,6 +51,8 @@ struct KernelFaultStats {
     std::uint64_t backoff_ticks = 0;     // virtual backoff time accumulated
     std::uint64_t short_reads = 0;       // reads capped by injection
     std::uint64_t reported_errors = 0;   // failures surfaced to the program
+    std::uint64_t budget_exhausted = 0;  // failures not retried: process-wide
+                                         // retry budget already spent
 };
 
 /// brk-level heap accounting for the metrics registry.  `high_water` is the

@@ -1,8 +1,14 @@
-// Common-utility tests: deterministic RNG, hex formatting, error types.
+// Common-utility tests: deterministic RNG, hex formatting, error types,
+// CRC-32 and atomic file replacement.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 
+#include "common/atomic_file.hpp"
+#include "common/checksum.hpp"
 #include "common/error.hpp"
 #include "common/hexdump.hpp"
 #include "common/rng.hpp"
@@ -90,6 +96,51 @@ TEST(Errors, ParseErrorCarriesLine) {
 TEST(Errors, AssertMacroThrowsInternalError) {
     EXPECT_THROW(SWSEC_ASSERT(1 == 2, "must fail"), InternalError);
     EXPECT_NO_THROW(SWSEC_ASSERT(1 == 1, "fine"));
+}
+
+TEST(Crc32, StandardCheckValue) {
+    // The canonical CRC-32/IEEE check value.
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(""), 0u);
+    EXPECT_NE(crc32("a"), crc32("b"));
+    // Single-bit sensitivity — the property the WAL reader relies on.
+    EXPECT_NE(crc32(std::string("hello")), crc32(std::string("hellp")));
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(AtomicFile, WritesAndReplaces) {
+    const std::string dir = ::testing::TempDir() + "swsec_atomic_file_test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/artifact.json";
+
+    write_file_atomic(path, "first");
+    EXPECT_EQ(slurp(path), "first");
+    write_file_atomic(path, "second, longer contents\n");
+    EXPECT_EQ(slurp(path), "second, longer contents\n");
+
+    // No temp files survive a successful replace.
+    std::size_t entries = 0;
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+        (void)e;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicFile, FailureThrowsAndLeavesTargetIntact) {
+    const std::string dir = ::testing::TempDir() + "swsec_atomic_file_missing";
+    std::filesystem::remove_all(dir);
+    // Parent directory does not exist: the write must throw, not silently
+    // drop the artifact.
+    EXPECT_THROW(write_file_atomic(dir + "/x/y.json", "data"), Error);
 }
 
 TEST(Traps, EveryKindHasAName) {

@@ -10,6 +10,7 @@
 #include "isa/encoder.hpp"
 #include "os/process.hpp"
 #include "statecont/nv.hpp"
+#include "trace/trace.hpp"
 #include "vm/machine.hpp"
 
 namespace {
@@ -233,6 +234,48 @@ TEST(KernelFaults, PersistentFailureIsReportedNotFabricated) {
     EXPECT_EQ(stats.injected_failures, 3u); // max_attempts = 3
     EXPECT_EQ(stats.retries, 2u);
     EXPECT_EQ(stats.reported_errors, 1u);
+}
+
+TEST(KernelFaults, ProcessWideRetryBudgetCapsTotalRetries) {
+    // Per-call bounds alone let a persistently glitching device soak
+    // retries x calls time; the process-wide budget stops the bleeding.
+    // Budget 2: the first read burns both budgeted retries, then hits the
+    // cap mid-call and fails immediately — still an error return, never
+    // fabricated success.
+    FaultInjector inj{FaultPlan().add(FaultEvent::syscall_fail(1, 100))};
+    os::SecurityProfile prof;
+    prof.fault_injector = &inj;
+    prof.syscall_retry = {4, 8, 2}; // max_attempts 4, backoff 8, total budget 2
+    auto p = make_reader(prof);
+    p.feed_input("abcd");
+    const auto r = p.run();
+    EXPECT_TRUE(r.exited(-1)) << r.trap.to_string();
+    const auto& stats = p.kernel().fault_stats();
+    EXPECT_EQ(stats.retries, 2u);          // never exceeds the budget
+    EXPECT_EQ(stats.budget_exhausted, 1u); // the degradation point was recorded
+    EXPECT_EQ(stats.reported_errors, 1u);
+}
+
+TEST(KernelFaults, BudgetExhaustionEmitsTraceEvent) {
+    FaultInjector inj{FaultPlan().add(FaultEvent::syscall_fail(1, 100))};
+    trace::Tracer tracer;
+    os::SecurityProfile prof;
+    prof.fault_injector = &inj;
+    prof.syscall_retry = {4, 8, 1};
+    prof.tracer = &tracer;
+    auto p = make_reader(prof);
+    p.feed_input("abcd");
+    const auto r = p.run();
+    EXPECT_TRUE(r.exited(-1)) << r.trap.to_string();
+    bool saw_exhaustion = false;
+    for (const auto& e : tracer.events()) {
+        if (e.kind == trace::EventKind::FaultInjected &&
+            e.detail == "syscall retry budget exhausted") {
+            saw_exhaustion = true;
+        }
+    }
+    EXPECT_TRUE(saw_exhaustion);
+    EXPECT_EQ(p.kernel().fault_stats().budget_exhausted, 1u);
 }
 
 TEST(KernelFaults, ShortReadDeliversFewerBytes) {

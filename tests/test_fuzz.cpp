@@ -285,6 +285,47 @@ TEST(ImageCacheKey, DistinctOptionSetsNeverCollide) {
     EXPECT_EQ(static_cast<int>(keys.size()), combos);
 }
 
+// ---- image-cache LRU bound ----------------------------------------------
+
+TEST(ImageCacheLru, CapacityBoundsGrowthAndCountsEvictions) {
+    core::clear_image_cache();
+    const std::size_t prev = core::set_image_cache_capacity(3);
+    for (int i = 0; i < 5; ++i) {
+        const std::string src =
+            "int main() { return " + std::to_string(i) + "; }";
+        (void)core::cached_compile(src, cc::CompilerOptions{});
+    }
+    EXPECT_EQ(core::image_cache_size(), 3u);
+    EXPECT_EQ(core::image_cache_evictions(), 2u);
+    // The most recent insert is resident: re-asking is a hit, not a compile.
+    const std::uint64_t hits_before = core::image_cache_hits();
+    (void)core::cached_compile("int main() { return 4; }", cc::CompilerOptions{});
+    EXPECT_EQ(core::image_cache_hits(), hits_before + 1);
+    // An evicted source recompiles (deterministically) and re-enters within
+    // the cap, evicting the now-coldest entry.
+    (void)core::cached_compile("int main() { return 0; }", cc::CompilerOptions{});
+    EXPECT_EQ(core::image_cache_size(), 3u);
+    EXPECT_EQ(core::image_cache_evictions(), 3u);
+    core::set_image_cache_capacity(prev);
+    core::clear_image_cache();
+}
+
+TEST(ImageCacheLru, HitRefreshesRecency) {
+    core::clear_image_cache();
+    const std::size_t prev = core::set_image_cache_capacity(2);
+    const auto a = core::cached_compile("int main() { return 10; }", cc::CompilerOptions{});
+    (void)core::cached_compile("int main() { return 11; }", cc::CompilerOptions{});
+    // Touch A so B becomes the LRU entry, then insert C: B must be evicted.
+    (void)core::cached_compile("int main() { return 10; }", cc::CompilerOptions{});
+    (void)core::cached_compile("int main() { return 12; }", cc::CompilerOptions{});
+    const std::uint64_t hits_before = core::image_cache_hits();
+    const auto a2 = core::cached_compile("int main() { return 10; }", cc::CompilerOptions{});
+    EXPECT_EQ(core::image_cache_hits(), hits_before + 1); // A survived
+    EXPECT_EQ(a.get(), a2.get());                         // same shared image
+    core::set_image_cache_capacity(prev);
+    core::clear_image_cache();
+}
+
 // ---- committed corpus ---------------------------------------------------
 
 TEST(FuzzCorpus, EveryCommittedRecordReplaysClean) {

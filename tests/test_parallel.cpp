@@ -60,6 +60,74 @@ TEST(ParallelFor, ResolveJobs) {
     EXPECT_GE(resolve_jobs(-3), 1);
 }
 
+// --- work stealing -----------------------------------------------------------
+
+TEST(ParallelForWs, EveryIndexOnceAcrossGrains) {
+    for (const int jobs : {1, 2, 4}) {
+        for (const std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                                        std::size_t{1000}}) {
+            std::vector<std::atomic<int>> hits(193);
+            ParallelStats stats;
+            ParallelOptions opts;
+            opts.jobs = jobs;
+            opts.grain = grain;
+            opts.stats = &stats;
+            parallel_for_ws(hits.size(), opts, [&](std::size_t i) { ++hits[i]; });
+            for (std::size_t i = 0; i < hits.size(); ++i) {
+                ASSERT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " grain=" << grain;
+            }
+            EXPECT_GE(stats.chunks, 1u);
+        }
+    }
+}
+
+TEST(ParallelForWs, SerialPathReportsOneChunk) {
+    ParallelStats stats;
+    ParallelOptions opts;
+    opts.jobs = 1;
+    opts.stats = &stats;
+    int calls = 0;
+    parallel_for_ws(64, opts, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 64);
+    EXPECT_EQ(stats.chunks, 1u);
+    EXPECT_EQ(stats.steals, 0u);
+}
+
+TEST(ParallelForWs, ChunkCountMatchesGrain) {
+    // grain 4 over 64 indices = 16 chunks, however they get scheduled.
+    ParallelStats stats;
+    ParallelOptions opts;
+    opts.jobs = 2;
+    opts.grain = 4;
+    opts.stats = &stats;
+    std::atomic<int> calls{0};
+    parallel_for_ws(64, opts, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 64);
+    EXPECT_EQ(stats.chunks, 16u);
+}
+
+TEST(ParallelForWs, UnevenCellCostsStillVisitEverything) {
+    // One chunk ~100x the others: stealing (or not) must never change the
+    // computed results, only who computes them.
+    for (const int jobs : {2, 4}) {
+        std::vector<std::atomic<std::uint64_t>> out(96);
+        ParallelOptions opts;
+        opts.jobs = jobs;
+        opts.grain = 1;
+        parallel_for_ws(out.size(), opts, [&](std::size_t i) {
+            std::uint64_t acc = i;
+            const int spins = (i == 0) ? 200000 : 2000;
+            for (int s = 0; s < spins; ++s) {
+                acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+            }
+            out[i] = acc;
+        });
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            EXPECT_NE(out[i].load(), 0u) << "i=" << i;
+        }
+    }
+}
+
 // --- deterministic parallel sweeps -------------------------------------------
 
 void expect_same_cells(const std::vector<MatrixCell>& a, const std::vector<MatrixCell>& b) {

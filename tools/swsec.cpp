@@ -27,6 +27,18 @@
 //                                      --replay FILE, --out FILE,
 //                                      --coverage [--coverage-out FILE];
 //                                      exit 0 iff zero divergences)
+//   swsec campaign run|resume|status   crash-safe campaign engine: the
+//                                      matrix, the fault sweep or the fuzzer
+//                                      run as a checkpointed cell lattice in
+//                                      --dir.  Every finished cell lands in a
+//                                      CRC-framed write-ahead log; kill -9 the
+//                                      process and `campaign resume --dir D`
+//                                      re-runs only the missing cells, ending
+//                                      with a byte-identical report.jsonl.
+//                                      Cells that time out or crash twice are
+//                                      quarantined with repro coordinates
+//                                      (quarantine.jsonl) instead of failing
+//                                      the campaign.
 //   swsec profile <scenario|file.mc>   source-level profile of a victim run:
 //                                      hot blocks, per-line heat, annotated
 //                                      disassembly, flamegraph-folded stacks
@@ -60,8 +72,10 @@
 #include "attacks/gadgets.hpp"
 #include "cc/analyzer.hpp"
 #include "cc/compiler.hpp"
+#include "common/atomic_file.hpp"
 #include "common/error.hpp"
 #include "common/hexdump.hpp"
+#include "core/campaign/campaign.hpp"
 #include "core/fault_sweep.hpp"
 #include "core/fig1.hpp"
 #include "core/matrix.hpp"
@@ -87,7 +101,8 @@ struct Options {
 
 int usage() {
     std::fputs(
-        "usage: swsec <run|asm|disasm|lint|gadgets|fig1|matrix|fault-sweep|trace|fuzz|profile>"
+        "usage: swsec "
+        "<run|asm|disasm|lint|gadgets|fig1|matrix|fault-sweep|trace|fuzz|profile|campaign>"
         " [file.mc|scenario] [options]\n"
         "options: --canary --bounds --fortify --memcheck --dep --aslr\n"
         "         --shadow-stack --cfi --seed N --input STR\n"
@@ -100,22 +115,27 @@ int usage() {
         "              --coverage --coverage-out FILE --metrics-out FILE\n"
         "profile scenarios: baseline canary dep shadow-stack cfi memcheck fault\n"
         "profile options: --out FILE --folded FILE --annotate --sample-interval N\n"
-        "                 --seed N --attacker-seed N (+ hardening options for file.mc)\n",
+        "                 --seed N --attacker-seed N (+ hardening options for file.mc)\n"
+        "campaign: swsec campaign run --kind matrix|fault-sweep|fuzz --dir DIR\n"
+        "          swsec campaign resume --dir DIR | swsec campaign status --dir DIR\n"
+        "campaign spec options: --draws N --seeds N --seed-base B --windows N\n"
+        "          --victim-seed N --attacker-seed N --fault-seed N\n"
+        "          --hang-cell N --crash-cell N --crash-times N (sabotage, for tests)\n"
+        "campaign exec options: --jobs N --cell-timeout-ms N --retries N --backoff-ms N\n"
+        "          --fsync-every N --max-cells N --metrics-out FILE\n",
         stderr);
     return 2;
 }
 
-/// Write `text` to `path`, or to stdout when path is "-" / empty.
+/// Write `text` to `path`, or to stdout when path is "-" / empty.  File
+/// writes are atomic (temp + fsync + rename): a killed run leaves either
+/// the old artifact or the complete new one, never a torn prefix.
 void write_out(const std::string& path, const std::string& text) {
     if (path.empty() || path == "-") {
         std::fputs(text.c_str(), stdout);
         return;
     }
-    std::ofstream out(path, std::ios::binary);
-    if (!out) {
-        throw Error("cannot write '" + path + "'");
-    }
-    out << text;
+    write_file_atomic(path, text);
 }
 
 std::string read_file(const std::string& path) {
@@ -497,6 +517,113 @@ int cmd_fault_sweep(int argc, char** argv) {
     return report.fail_closed() ? 0 : 1;
 }
 
+int cmd_campaign(int argc, char** argv) {
+    if (argc < 3) {
+        return usage();
+    }
+    const std::string verb = argv[2];
+    campaign::Spec spec;
+    campaign::Options opts;
+    std::string dir;
+    std::string metrics_out;
+    std::string kind_arg;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--kind" && i + 1 < argc) {
+            kind_arg = argv[++i];
+        } else if (arg == "--dir" && i + 1 < argc) {
+            dir = argv[++i];
+        } else if (arg == "--draws" && i + 1 < argc) {
+            spec.draws = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--seeds" && i + 1 < argc) {
+            spec.seeds = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--seed-base" && i + 1 < argc) {
+            spec.seed_base = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--windows" && i + 1 < argc) {
+            spec.windows_per_class = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--victim-seed" && i + 1 < argc) {
+            spec.victim_seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--attacker-seed" && i + 1 < argc) {
+            spec.attacker_seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--fault-seed" && i + 1 < argc) {
+            spec.fault_seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--hang-cell" && i + 1 < argc) {
+            spec.sabotage.hang_cell = std::strtoll(argv[++i], nullptr, 0);
+        } else if (arg == "--crash-cell" && i + 1 < argc) {
+            spec.sabotage.crash_cell = std::strtoll(argv[++i], nullptr, 0);
+        } else if (arg == "--crash-times" && i + 1 < argc) {
+            spec.sabotage.crash_times = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opts.jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--cell-timeout-ms" && i + 1 < argc) {
+            opts.cell_timeout_ms = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--retries" && i + 1 < argc) {
+            opts.max_attempts = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+        } else if (arg == "--backoff-ms" && i + 1 < argc) {
+            opts.retry_backoff_ms = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--fsync-every" && i + 1 < argc) {
+            opts.fsync_every = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--max-cells" && i + 1 < argc) {
+            opts.max_cells = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            metrics_out = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown campaign option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (dir.empty()) {
+        std::fputs("campaign: --dir is required\n", stderr);
+        return 2;
+    }
+    if (verb == "status") {
+        const campaign::Status st = campaign::campaign_status(dir);
+        std::fputs(st.to_string().c_str(), stdout);
+        if (!st.exists) {
+            return 2;
+        }
+        return st.complete() ? 0 : 3;
+    }
+    campaign::Report report;
+    if (verb == "run") {
+        if (!campaign::kind_from_name(kind_arg, spec.kind)) {
+            std::fputs("campaign run: --kind must be matrix, fault-sweep or fuzz\n", stderr);
+            return 2;
+        }
+        report = campaign::run_campaign(spec, dir, opts);
+    } else if (verb == "resume") {
+        report = campaign::resume_campaign(dir, opts);
+    } else {
+        return usage();
+    }
+    // stdout stays deterministic (diffable across serial/parallel/resumed
+    // runs); throughput and scheduler stats go to stderr for humans.
+    std::fputs(report.summary().c_str(), stdout);
+    std::fprintf(stderr,
+                 "campaign: ran %llu cells in %.2fs (%.1f cells/s), %llu retries, "
+                 "%llu timeouts, %llu chunks, %llu steals, %llu resumed, "
+                 "%llu damaged wal lines dropped\n",
+                 static_cast<unsigned long long>(report.cells_run), report.elapsed_sec,
+                 report.elapsed_sec > 0.0
+                     ? static_cast<double>(report.cells_run) / report.elapsed_sec
+                     : 0.0,
+                 static_cast<unsigned long long>(report.retries),
+                 static_cast<unsigned long long>(report.timeouts),
+                 static_cast<unsigned long long>(report.sched.chunks),
+                 static_cast<unsigned long long>(report.sched.steals),
+                 static_cast<unsigned long long>(report.cells_resumed),
+                 static_cast<unsigned long long>(report.wal_lines_dropped));
+    if (!metrics_out.empty()) {
+        // include_volatile: the campaign export is for post-mortems, and
+        // cells/sec + steal counts are the point; CI byte-diffs report.jsonl
+        // and summary.txt, never this file.
+        write_out(metrics_out, campaign::campaign_metrics(report).to_json(true));
+    }
+    // Quarantines degrade the campaign but do not fail it; only an
+    // incomplete lattice (e.g. a --max-cells test interruption) is nonzero.
+    return report.complete() ? 0 : 3;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -523,6 +650,9 @@ int main(int argc, char** argv) {
         }
         if (cmd == "profile") {
             return cmd_profile(argc, argv);
+        }
+        if (cmd == "campaign") {
+            return cmd_campaign(argc, argv);
         }
         Options opt;
         if (!parse_options(argc, argv, 2, opt)) {
