@@ -107,6 +107,12 @@ struct Lab {
         out.io_faults_injected = v.kernel().fault_stats().injected_failures;
         out.sbrk_calls = v.kernel().heap_stats().sbrk_calls;
         out.heap_high_water = v.kernel().heap_stats().high_water;
+        const vm::DispatchStats& d = v.machine().dispatch_stats();
+        out.tier2_entries = d.tier2_entries;
+        out.fast_steps = d.fast_steps;
+        out.superinsns_retired = d.superinsns_retired;
+        out.deopts = d.deopt_page_gen + d.deopt_slow_fetch + d.deopt_trap + d.deopt_budget +
+                     d.deopt_syscall + d.deopt_observer;
         return out;
     }
 

@@ -69,6 +69,11 @@ struct AttackOutcome {
     std::uint64_t io_faults_injected = 0;
     std::uint64_t sbrk_calls = 0;
     std::uint32_t heap_high_water = 0;
+    // Tier-2 dispatch tallies (which engine did the work; DESIGN.md §13).
+    std::uint64_t tier2_entries = 0;
+    std::uint64_t fast_steps = 0;
+    std::uint64_t superinsns_retired = 0;
+    std::uint64_t deopts = 0; // sum over all deopt reasons
 
     [[nodiscard]] std::string verdict() const {
         return succeeded ? "ATTACK SUCCEEDED" : "blocked: " + vm::trap_name(trap.kind);

@@ -469,6 +469,10 @@ profile::Registry fault_sweep_metrics(const FaultSweepReport& report) {
         reg.counter_add("io_faults_injected_total", base, o.io_faults_injected);
         reg.counter_add("sbrk_calls_total", base, o.sbrk_calls);
         reg.gauge_max("heap_high_water_bytes", base, static_cast<double>(o.heap_high_water));
+        reg.counter_add("vm_dispatch_tier2_entries_total", base, o.tier2_entries);
+        reg.counter_add("vm_dispatch_fast_steps_total", base, o.fast_steps);
+        reg.counter_add("vm_dispatch_superinsns_retired_total", base, o.superinsns_retired);
+        reg.counter_add("vm_dispatch_deopts_total", base, o.deopts);
     }
     reg.gauge_set("image_cache_images", base, static_cast<double>(image_cache_size()),
                   profile::Volatile::Yes);

@@ -129,6 +129,11 @@ profile::Registry matrix_metrics(const std::vector<MatrixCell>& cells) {
         reg.counter_add("io_faults_injected_total", base, o.io_faults_injected);
         reg.counter_add("sbrk_calls_total", base, o.sbrk_calls);
         reg.gauge_max("heap_high_water_bytes", base, static_cast<double>(o.heap_high_water));
+        // vm.dispatch.*: which execution tier did the work (DESIGN.md §13).
+        reg.counter_add("vm_dispatch_tier2_entries_total", base, o.tier2_entries);
+        reg.counter_add("vm_dispatch_fast_steps_total", base, o.fast_steps);
+        reg.counter_add("vm_dispatch_superinsns_retired_total", base, o.superinsns_retired);
+        reg.counter_add("vm_dispatch_deopts_total", base, o.deopts);
         // Per-defense verdicts: which configurations are holding the line.
         reg.counter_add(o.succeeded ? "attacks_succeeded_total" : "attacks_blocked_total",
                         {{"harness", "matrix"}, {"defense", c.defense}});

@@ -1,5 +1,6 @@
 #include "fuzz/fuzz.hpp"
 
+#include <array>
 #include <bit>
 #include <cstdlib>
 #include <map>
@@ -69,6 +70,68 @@ private:
     std::map<std::string, objfmt::Image> images_;
 };
 
+/// Architectural snapshot for the engine-A/engine-B (tier 1 vs tier 2)
+/// oracle.  Unlike `Observed`, this compares ip/addr/registers and the step
+/// count exactly: the two runs share one seed and one profile, so one
+/// layout — any difference is an engine bug, not ASLR.  Both runs are
+/// untraced on purpose: attaching a tracer would force both onto tier 1
+/// and make the oracle vacuous.
+struct ObservedArch {
+    std::array<std::uint32_t, isa::kNumRegs> regs{};
+    std::uint32_t ip = 0;
+    std::uint64_t steps = 0;
+    vm::Trap trap;
+    std::string out;
+
+    [[nodiscard]] bool same(const ObservedArch& o) const {
+        return regs == o.regs && ip == o.ip && steps == o.steps && trap.kind == o.trap.kind &&
+               trap.ip == o.trap.ip && trap.addr == o.trap.addr && trap.code == o.trap.code &&
+               trap.detail == o.trap.detail && out == o.out;
+    }
+    [[nodiscard]] std::string describe() const {
+        std::string s = out + "[trap] " + trap.to_string() + "\n[state]";
+        for (std::size_t i = 0; i < regs.size(); ++i) {
+            s += " r" + std::to_string(i) + "=" + std::to_string(regs[i]);
+        }
+        s += " ip=" + std::to_string(ip) + " steps=" + std::to_string(steps) + "\n";
+        return s;
+    }
+};
+
+void add_dispatch(FuzzReport& stats, const vm::DispatchStats& d) {
+    stats.tier2_entries += d.tier2_entries;
+    stats.fast_steps += d.fast_steps;
+    stats.superinsns_retired += d.superinsns_retired;
+    stats.deopts += d.deopt_page_gen + d.deopt_slow_fetch + d.deopt_trap + d.deopt_budget +
+                    d.deopt_syscall + d.deopt_observer;
+}
+
+ObservedArch run_arch(const objfmt::Image& image, const os::SecurityProfile& profile,
+                      bool fast_engine, std::uint64_t seed, std::uint64_t max_steps,
+                      FuzzReport* stats) {
+    os::SecurityProfile p = profile;
+    p.tracer = nullptr;
+    p.profiler = nullptr;
+    p.fast_engine = fast_engine;
+    os::Process proc(image, p, seed);
+    const vm::RunResult r = proc.run(max_steps);
+    ObservedArch a;
+    for (std::size_t i = 0; i < a.regs.size(); ++i) {
+        a.regs[i] = proc.machine().reg(static_cast<isa::Reg>(i));
+    }
+    a.ip = proc.machine().ip();
+    a.steps = r.steps;
+    a.trap = r.trap;
+    a.out = proc.output();
+    if (stats != nullptr) {
+        ++stats->runs;
+        stats->counters.instructions += r.steps;
+        ++stats->counters.traps;
+        add_dispatch(*stats, proc.machine().dispatch_stats());
+    }
+    return a;
+}
+
 Observed run_once(const objfmt::Image& image, const os::SecurityProfile& profile,
                   std::uint64_t seed, std::uint64_t max_steps, FuzzReport* stats,
                   trace::Tracer* tracer = nullptr) {
@@ -90,6 +153,7 @@ Observed run_once(const objfmt::Image& image, const os::SecurityProfile& profile
             stats->counters.instructions += r.steps;
             ++stats->counters.traps;
         }
+        add_dispatch(*stats, proc.machine().dispatch_stats());
     }
     return obs;
 }
@@ -271,6 +335,17 @@ std::vector<Divergence> check_program(const std::string& source, std::uint64_t s
             report(Oracle::Engine, d.name + "+dcache", d.name + "-dcache", std::move(out_a),
                    std::move(out_b));
         }
+
+        // Engine A/B: tier 2 (fast engine) vs tier 1 (instrumented step
+        // loop) must agree on final registers, ip, trap (kind/ip/addr/msg)
+        // and the exact step count.  Untraced: a tracer would demote both
+        // runs to tier 1.
+        const ObservedArch tier2 = run_arch(*image, d.profile, true, seed, max_steps, stats);
+        const ObservedArch tier1 = run_arch(*image, d.profile, false, seed, max_steps, stats);
+        if (!tier2.same(tier1)) {
+            report(Oracle::Engine, d.name + "+tier2", d.name + "+tier1", tier2.describe(),
+                   tier1.describe());
+        }
     }
 
     // ---- oracle 3: compile-time folding agrees with run-time -------------
@@ -398,6 +473,10 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
         report.runs += r.stats.runs;
         report.const_checks += r.stats.const_checks;
         add_counters(report.counters, r.stats.counters);
+        report.tier2_entries += r.stats.tier2_entries;
+        report.fast_steps += r.stats.fast_steps;
+        report.superinsns_retired += r.stats.superinsns_retired;
+        report.deopts += r.stats.deopts;
         for (Divergence& d : r.divs) {
             report.divergences.push_back(std::move(d));
         }

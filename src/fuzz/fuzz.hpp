@@ -117,6 +117,13 @@ struct FuzzReport {
     /// Aggregated trace-layer counters across every run (instructions
     /// retired, traps, syscalls, heap events, decode-cache hit rates).
     trace::Counters counters;
+    /// Aggregated vm::DispatchStats across every run: which execution tier
+    /// did the work (tier-2 entries, fast-retired steps, superinstructions,
+    /// deoptimizations — DESIGN.md §13).
+    std::uint64_t tier2_entries = 0;
+    std::uint64_t fast_steps = 0;
+    std::uint64_t superinsns_retired = 0;
+    std::uint64_t deopts = 0;
     /// Seed order, deterministic for any jobs value.
     std::vector<Divergence> divergences;
     /// Populated when FuzzOptions::coverage was set.

@@ -9,6 +9,7 @@ Process::Process(objfmt::Image image, const SecurityProfile& profile, std::uint6
     machine_.options().coarse_cfi = profile.coarse_cfi;
     machine_.options().memcheck = profile.memcheck;
     machine_.options().decode_cache = profile.decode_cache;
+    machine_.options().fast_engine = profile.fast_engine;
 
     if (profile.fault_injector != nullptr) {
         machine_.set_fault_injector(profile.fault_injector);

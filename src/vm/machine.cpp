@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "common/hexdump.hpp"
 #include "profile/profiler.hpp"
+#include "vm/engine_fast.hpp"
 
 #include <limits>
 
@@ -546,12 +547,35 @@ RunResult Machine::run(std::uint64_t max_steps) {
         (max_steps > std::numeric_limits<std::uint64_t>::max() - steps_)
             ? std::numeric_limits<std::uint64_t>::max()
             : steps_ + max_steps;
+    // Tiered loop (DESIGN.md §13): prefer the tier-2 fast engine whenever
+    // it is architecturally indistinguishable from step(); fall back to the
+    // fully instrumented loop one step at a time otherwise.  Eligibility is
+    // re-evaluated every iteration, so a syscall that attaches a tracer
+    // mid-run demotes to tier 1 from the very next instruction.
+    bool was_fast = false;
     while (!trap_.is_set()) {
         if (steps_ >= end) {
-            set_trap(TrapKind::OutOfGas, 0,
+            // Trap provenance names where the budget died: ip_ is the
+            // address of the first instruction the watchdog refused to run.
+            set_trap(TrapKind::OutOfGas, ip_,
                      "watchdog: step budget of " + std::to_string(max_steps) +
-                         " instructions exhausted");
+                         " instructions exhausted at ip=" + swsec::hex32(ip_));
             break;
+        }
+        if (fast_eligible()) {
+            was_fast = true;
+            const FastExit exit = FastEngine::run(*this, end);
+            if (exit == FastExit::Trapped) {
+                break;
+            }
+            if (exit == FastExit::NeedSlowStep && !trap_.is_set() && steps_ < end) {
+                step(); // exactly one instrumented step: progress guarantee
+            }
+            continue;
+        }
+        if (was_fast) {
+            was_fast = false;
+            ++dispatch_.deopt_observer;
         }
         step();
     }

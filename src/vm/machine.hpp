@@ -60,6 +60,26 @@ struct MachineOptions {
                                       // (integers can never act as pointers)
     bool decode_cache = true;         // per-page predecode cache (perf only:
                                       // trap-for-trap identical when off)
+    bool fast_engine = true;          // tier-2 threaded-dispatch engine
+                                      // (perf only: architecturally identical
+                                      // to the step() loop; auto-disabled
+                                      // while any observer is attached)
+};
+
+/// Tier-2 dispatch statistics (exported as vm.dispatch.* metrics).  The
+/// deopt_* counters name why the fast engine handed control back to the
+/// instrumented loop; their sum over a run explains every tier transition.
+struct DispatchStats {
+    std::uint64_t tier2_entries = 0;      // times run() entered the fast engine
+    std::uint64_t fast_steps = 0;         // instructions retired by tier 2
+    std::uint64_t superinsns_retired = 0; // fused dispatches (≥2 insns each)
+    std::uint64_t deopt_page_gen = 0;     // executing page's generation bumped
+    std::uint64_t deopt_slow_fetch = 0;   // page tail / no decode / cap op
+    std::uint64_t deopt_trap = 0;         // trap raised inside tier 2
+    std::uint64_t deopt_budget = 0;       // watchdog slice end reached
+    std::uint64_t deopt_syscall = 0;      // Sys defers to the instrumented step
+    std::uint64_t deopt_observer = 0;     // tracer/profiler/faults attached
+                                          // mid-run (fast_eligible went false)
 };
 
 /// A CHERI-style capability (Section IV-A, [21]): an unforgeable pointer to
@@ -211,8 +231,14 @@ public:
     /// Decode-cache counters (tests assert invalidation behaviour; benches
     /// report hit rates).
     [[nodiscard]] const DecodeCache& decode_cache() const noexcept { return dcache_; }
+    /// Tier-2 dispatch counters (vm.dispatch.* metrics).
+    [[nodiscard]] const DispatchStats& dispatch_stats() const noexcept { return dispatch_; }
 
 private:
+    // Tier 2 executes with direct access to the register file, flags, trap
+    // plumbing and security state; its contract is byte-identical
+    // architectural effects (engine_fast.hpp).
+    friend class FastEngine;
     struct Flags {
         bool z = false;  // equal
         bool lt = false; // signed less-than
@@ -246,6 +272,15 @@ private:
     /// module; also reports whether this is a legal entry-point transition.
     [[nodiscard]] bool pma_allows_fetch(std::uint32_t addr) const noexcept;
 
+    /// Tier-2 eligibility, re-evaluated on every run() iteration: the fast
+    /// engine is only entered when nothing observable distinguishes it from
+    /// the fully instrumented step() loop.
+    [[nodiscard]] bool fast_eligible() const noexcept {
+        return opts_.fast_engine && opts_.decode_cache && !opts_.pure_capability &&
+               tracer_ == nullptr && profiler_ == nullptr && faults_ == nullptr &&
+               modules_.empty();
+    }
+
     Memory mem_;
     DecodeCache dcache_;
     std::array<std::uint32_t, isa::kNumRegs> regs_{};
@@ -266,6 +301,7 @@ private:
     int current_module_ = kNoModule;
 
     std::uint64_t steps_ = 0;
+    DispatchStats dispatch_;
 };
 
 } // namespace swsec::vm

@@ -33,6 +33,8 @@
 
 namespace swsec::vm {
 
+class FastEngine;
+
 /// Page permission bits (combinable).
 enum class Perm : std::uint8_t {
     None = 0,
@@ -124,6 +126,10 @@ public:
     [[nodiscard]] std::vector<std::uint32_t> mapped_pages() const;
 
 private:
+    // The tier-2 engine (engine_fast.cpp) walks pages directly — same
+    // checks as the public accessors, without the per-call page lookup.
+    friend class FastEngine;
+
     struct Page {
         std::array<std::uint8_t, kPageSize> data{};
         Perm perms = Perm::None;

@@ -163,6 +163,20 @@ TEST(SelfModifyingCode, CacheOnOffStepForStepIdentical) {
     EXPECT_EQ(b.m.decode_cache().hits(), 0u); // cache off: never consulted
 }
 
+TEST(SelfModifyingCode, FusedStreamRebuiltAfterPatch) {
+    // The self-patching program contains fusible pairs (cmp+jnz).  Under the
+    // tier-2 engine the patch must both deoptimize the running engine and
+    // rebuild the fused stream, never serving stale superinstructions.
+    const Encoder e = self_patching_program(0x1000);
+    Runner r;
+    const auto res = r.run(e);
+    EXPECT_EQ(res.trap.kind, TrapKind::Halted);
+    EXPECT_EQ(r.m.reg(Reg::R0), 222u);
+    EXPECT_GT(r.m.decode_cache().fused_built(), 0u);
+    EXPECT_GT(r.m.dispatch_stats().deopt_page_gen, 0u);
+    EXPECT_GT(r.m.dispatch_stats().superinsns_retired, 0u);
+}
+
 // --- DEP / protect transitions ------------------------------------------------
 
 TEST(DecodeCacheDep, ProtectTransitionIsNotServedFromCache) {

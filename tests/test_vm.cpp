@@ -279,6 +279,26 @@ TEST(Machine, OutOfGas) {
     const auto res = r.run(e, 100);
     EXPECT_EQ(res.trap.kind, TrapKind::OutOfGas);
     EXPECT_EQ(res.steps, 100u);
+    // Trap provenance names where the budget died: the watchdog reports the
+    // address of the first instruction it refused to run, not addr 0.
+    EXPECT_EQ(res.trap.addr, 0x1000u);
+    EXPECT_NE(res.trap.detail.find("ip="), std::string::npos)
+        << "watchdog message should carry the ip: " << res.trap.detail;
+}
+
+TEST(Machine, OutOfGasReportsCurrentIpMidProgram) {
+    // The same provenance rule when the budget dies mid-straight-line-code:
+    // after two retired NOPs a budget of 2 must point at the third.
+    Encoder e;
+    e.none(Op::Nop);
+    e.none(Op::Nop);
+    e.none(Op::Nop);
+    Runner r;
+    const auto res = r.run(e, 2);
+    EXPECT_EQ(res.trap.kind, TrapKind::OutOfGas);
+    EXPECT_EQ(res.steps, 2u);
+    EXPECT_EQ(res.trap.addr, 0x1002u) << "watchdog should name the next unexecuted instruction";
+    EXPECT_EQ(res.trap.ip, 0x1002u);
 }
 
 // The budget contract: run(N) retires exactly N instructions for this call —

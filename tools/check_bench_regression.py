@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Bench-regression guard for the hot-path VM benchmarks.
+
+Compares BM_VmExecute/* real_time in a freshly produced bench aggregate
+(build/BENCH_RESULTS.json, written by the `bench-all` target) against the
+newest committed BENCH_PR<N>.json snapshot and fails if any benchmark
+regressed by more than the threshold (default 15%).
+
+The committed snapshots form the repo's performance trajectory; this guard
+makes that trajectory one-directional for the execution engine: a PR may
+make BM_VmExecute faster, but a slowdown beyond noise fails CI.
+
+Usage:
+    tools/check_bench_regression.py --current build/BENCH_RESULTS.json
+        [--baseline-dir .] [--threshold 0.15] [--prefix BM_VmExecute]
+
+Exit status: 0 = within budget (or no baseline to compare), 1 = regression,
+2 = usage/input error.
+"""
+
+import argparse
+import json
+import re
+import statistics
+import sys
+from pathlib import Path
+
+
+def newest_snapshot(baseline_dir: Path) -> Path | None:
+    """The committed BENCH_PR<N>.json with the highest ordinal N."""
+    best = None
+    best_n = -1
+    for p in baseline_dir.glob("BENCH_PR*.json"):
+        m = re.fullmatch(r"BENCH_PR(\d+)\.json", p.name)
+        if m and int(m.group(1)) > best_n:
+            best_n = int(m.group(1))
+            best = p
+    return best
+
+
+def bench_times(aggregate: dict, prefix: str) -> dict[str, float]:
+    """name -> real_time (ms) for every iteration-run benchmark matching
+    `prefix`, across all bench binaries in the aggregate.  Repeated runs of
+    the same name collapse to their median."""
+    samples: dict[str, list[float]] = {}
+    for binary, report in aggregate.items():
+        for b in report.get("benchmarks", []):
+            name = b.get("name", "")
+            # Skip google-benchmark aggregate rows (mean/median/stddev).
+            if b.get("run_type", "iteration") != "iteration":
+                continue
+            if not name.startswith(prefix):
+                continue
+            if b.get("time_unit") not in (None, "ms"):
+                continue  # unit drift would make the comparison meaningless
+            samples.setdefault(f"{binary}:{name}", []).append(float(b["real_time"]))
+    return {name: statistics.median(v) for name, v in samples.items()}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True, type=Path,
+                    help="fresh aggregate written by the bench-all target")
+    ap.add_argument("--baseline-dir", default=Path("."), type=Path,
+                    help="directory holding committed BENCH_PR<N>.json snapshots")
+    ap.add_argument("--threshold", default=0.15, type=float,
+                    help="allowed fractional real_time regression (default 0.15)")
+    ap.add_argument("--prefix", default="BM_VmExecute",
+                    help="benchmark name prefix to guard (default BM_VmExecute)")
+    args = ap.parse_args()
+
+    if not args.current.is_file():
+        print(f"error: current aggregate not found: {args.current}", file=sys.stderr)
+        return 2
+    baseline_path = newest_snapshot(args.baseline_dir)
+    if baseline_path is None:
+        print(f"no BENCH_PR*.json under {args.baseline_dir}; nothing to compare")
+        return 0
+
+    current = bench_times(json.loads(args.current.read_text()), args.prefix)
+    baseline = bench_times(json.loads(baseline_path.read_text()), args.prefix)
+    if not current:
+        print(f"error: no '{args.prefix}*' benchmarks in {args.current}", file=sys.stderr)
+        return 2
+
+    print(f"baseline: {baseline_path.name}   threshold: +{args.threshold:.0%}")
+    failed = []
+    for name in sorted(current):
+        cur = current[name]
+        base = baseline.get(name)
+        if base is None:
+            print(f"  {name}: {cur:9.3f} ms  (new benchmark, no baseline)")
+            continue
+        ratio = cur / base
+        verdict = "ok"
+        if ratio > 1.0 + args.threshold:
+            verdict = "REGRESSION"
+            failed.append(name)
+        print(f"  {name}: {cur:9.3f} ms  vs {base:9.3f} ms  "
+              f"({ratio - 1.0:+.1%})  {verdict}")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  {name}: missing from current run (was {baseline[name]:.3f} ms)",
+              file=sys.stderr)
+        failed.append(name)
+
+    if failed:
+        print(f"FAIL: {len(failed)} benchmark(s) regressed beyond "
+              f"+{args.threshold:.0%} of {baseline_path.name}", file=sys.stderr)
+        return 1
+    print("all guarded benchmarks within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -471,6 +471,11 @@ int cmd_fuzz(int argc, char** argv) {
         reg.counter_add("syscalls_total", base, report.counters.syscalls);
         reg.counter_add("heap_allocs_total", base, report.counters.heap_allocs);
         reg.counter_add("heap_frees_total", base, report.counters.heap_frees);
+        // vm.dispatch.*: which execution tier did the work (DESIGN.md §13).
+        reg.counter_add("vm_dispatch_tier2_entries_total", base, report.tier2_entries);
+        reg.counter_add("vm_dispatch_fast_steps_total", base, report.fast_steps);
+        reg.counter_add("vm_dispatch_superinsns_retired_total", base, report.superinsns_retired);
+        reg.counter_add("vm_dispatch_deopts_total", base, report.deopts);
         if (report.coverage.enabled) {
             reg.gauge_set("coverage_edges", base,
                           static_cast<double>(report.coverage.total_edges));
