@@ -101,7 +101,13 @@ const std::string& runtime_libc_minic() {
  * Chunk layout: [size:int][next:int][user bytes...][16B red zone]
  * free() poisons the user area (memcheck catches use-after-free);
  * malloc() unpoisons on reuse.  Without memcheck the hooks are no-ops
- * and the reuse behaviour is exactly what temporal attacks exploit. */
+ * and the reuse behaviour is exactly what temporal attacks exploit.
+ *
+ * The 8-byte chunk header and any slack in a recycled chunk are poisoned
+ * too: a 1-byte underflow (p[-1]) or an overflow that skips the tail red
+ * zone and lands in the next chunk's header must trap, not silently forge
+ * free-list metadata.  The allocator itself is exempted by unpoisoning
+ * around its own header accesses — the only code allowed to do that. */
 static int free_head = 0;
 
 char* malloc(int n) {
@@ -120,7 +126,11 @@ char* malloc(int n) {
     if (hdr[0] >= n) {
       if (prev == 0) { free_head = hdr[1]; }
       else { int* ph = (int*)prev; ph[1] = hdr[1]; }
-      __unpoison((char*)(cur + 8), hdr[0]);
+      __unpoison((char*)(cur + 8), n);
+      /* Recycled-chunk slack beyond the rounded request stays poisoned:
+       * an overflow into it is out of bounds even though the chunk owns
+       * the bytes. */
+      __poison((char*)(cur + 8 + n), hdr[0] - n);
       return (char*)(cur + 8);
     }
     prev = cur;
@@ -131,6 +141,7 @@ char* malloc(int n) {
   int* hdr = (int*)raw;
   hdr[0] = n;
   hdr[1] = 0;
+  __poison(raw, 8);            /* chunk header: allocator-internal only */
   __poison(raw + 8 + n, 16);   /* tail red zone */
   return raw + 8;
 }
@@ -138,10 +149,13 @@ char* malloc(int n) {
 void free(char* p) {
   if ((int)p == 0) { return; }
   int* hdr = (int*)(p - 8);
+  __unpoison((char*)hdr, 8);   /* allocator-internal header access */
   __poison(p, hdr[0]);         /* freed memory is poisoned until reuse */
   if (__memcheck_active()) {
     /* Testing mode: quarantine the chunk forever so every later access
-     * through a stale pointer is detected (ASan-style quarantine [16]). */
+     * through a stale pointer is detected (ASan-style quarantine [16]).
+     * Re-seal the header on the way out. */
+    __poison((char*)hdr, 8);
     return;
   }
   hdr[1] = free_head;
@@ -155,6 +169,11 @@ int strlen(char* s) {
   return n;
 }
 
+/* MiniC char loads are load8 zero-extends, so a[i] and b[i] are 0..255
+ * here and the difference follows C's unsigned-char comparison convention
+ * (C11 7.24.4: strcmp compares "as unsigned char"): "\x80" compares
+ * greater than "\x7f", never negative-vs-positive flipped.  Locked by
+ * CcRuntime.StrcmpUnsignedCharConvention over every byte value. */
 int strcmp(char* a, char* b) {
   int i = 0;
   while (a[i] != 0 && a[i] == b[i]) { i = i + 1; }

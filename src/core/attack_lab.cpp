@@ -354,6 +354,36 @@ struct Lab {
         const bool ok = contains(v.output(), "admin: access granted");
         return finish(v, ok, "heap reuse turned attacker bytes into the freed session");
     }
+
+    // --- HEAPUNDERFLOW: indexed pokes into heap metadata ------------------------
+    AttackOutcome heap_underflow() {
+        const auto& img = build(scenarios::heap_index_server());
+        Process pr = probe(img);
+        const std::uint32_t target = pr.addr_of("isAdmin");
+
+        // Byte pokes at a[36..39] forge b's free-list `next` pointer in
+        // place (a's 16 user bytes, its 16-byte tail red zone, then b's
+        // [size][next] header).  The red zone is never touched, so a
+        // linear-overflow detector sees nothing; only poisoned headers can
+        // stop this.  The indexed read a[-8] then leaks a's own size field
+        // — the metadata-underflow half of the same blind spot.
+        PayloadBuilder pb;
+        const std::uint32_t forged = target - 8;
+        for (std::uint32_t i = 0; i < 4; ++i) {
+            pb.word(36 + i);                      // off: b's `next` field, byte i
+            pb.word((forged >> (8 * i)) & 0xff);  // val: that byte of the pointer
+        }
+        pb.word(static_cast<std::uint32_t>(-8));  // rd: underflow into a's size field
+        pb.word(1);                               // write-what-where: isAdmin = 1
+        Process v = victim(img);
+        v.feed_input(pb.bytes());
+        (void)v.run(kMaxSteps);
+        const bool ok = contains(v.output(), "16\n") &&
+                        contains(v.output(), "admin: access granted");
+        return finish(v, ok,
+                      "indexed pokes skipped the red zone into the neighbour's header; "
+                      "p[-8] leaked the chunk size");
+    }
 };
 
 } // namespace
@@ -380,6 +410,8 @@ std::string attack_name(AttackKind k) {
         return "use-after-free";
     case AttackKind::HeapMetadata:
         return "heap-metadata";
+    case AttackKind::HeapUnderflow:
+        return "heap-underflow";
     }
     return "?";
 }
@@ -389,7 +421,7 @@ const std::vector<AttackKind>& all_attacks() {
         AttackKind::StackSmashInject, AttackKind::CodePtrHijack, AttackKind::CodePtrHijackMidFn,
         AttackKind::CodeCorruption,   AttackKind::Ret2Libc,      AttackKind::Rop,
         AttackKind::DataOnly,         AttackKind::InfoLeakBypass, AttackKind::UseAfterFree,
-        AttackKind::HeapMetadata,
+        AttackKind::HeapMetadata,     AttackKind::HeapUnderflow,
     };
     return kinds;
 }
@@ -420,6 +452,8 @@ AttackOutcome run_attack(AttackKind kind, const Defense& defense, std::uint64_t 
         return lab.use_after_free();
     case AttackKind::HeapMetadata:
         return lab.heap_metadata();
+    case AttackKind::HeapUnderflow:
+        return lab.heap_underflow();
     }
     throw InternalError("unknown attack kind");
 }

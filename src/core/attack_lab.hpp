@@ -35,6 +35,9 @@ enum class AttackKind : std::uint8_t {
     UseAfterFree,      // temporal: stale pointer reads attacker-filled chunk
     HeapMetadata,      // heap overflow corrupts free-list metadata ->
                        // write-what-where -> flip isAdmin (beats canary+DEP)
+    HeapUnderflow,     // indexed writes skip the tail red zone into the
+                       // neighbour's header + p[-8] underflow leaks the
+                       // chunk's own size field (the memcheck blind spot)
 };
 
 [[nodiscard]] std::string attack_name(AttackKind k);

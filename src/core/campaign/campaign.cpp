@@ -19,6 +19,7 @@
 #include "core/fault_sweep.hpp"
 #include "core/image_cache.hpp"
 #include "core/matrix.hpp"
+#include "fuzz/evolve.hpp"
 #include "fuzz/fuzz.hpp"
 #include "os/process.hpp"
 #include "trace/trace.hpp"
@@ -133,6 +134,21 @@ std::string run_fuzz_cell(const Spec& spec, std::uint64_t cell) {
     return out;
 }
 
+/// One evolutionary island: a complete (small) mutational fuzzing run with
+/// its own seed-derived initial population, corpus and coverage map.  The
+/// island runs serially — cell-level parallelism belongs to the campaign
+/// scheduler — and its payload is the full deterministic evolve report.
+std::string run_fuzz_evolve_cell(const Spec& spec, std::uint64_t cell) {
+    fuzz::EvolveOptions eo;
+    eo.seed = spec.seed_base + cell;
+    eo.execs = spec.evolve_execs < 1 ? 1 : spec.evolve_execs;
+    eo.init_programs = spec.evolve_init < 1 ? 1 : spec.evolve_init;
+    eo.batch = eo.init_programs;
+    eo.jobs = 1;
+    const fuzz::EvolveReport rep = fuzz::run_evolve(eo);
+    return rep.to_json();
+}
+
 /// The hang sabotage: a genuine in-VM infinite loop run with its step
 /// watchdog effectively disabled (the budget is re-granted slice by slice),
 /// so only the campaign's wall-clock deadline can stop it.
@@ -169,6 +185,7 @@ std::string run_cell_attempt(const Spec& spec, std::uint64_t cell, unsigned atte
     case Kind::Matrix: return run_matrix_cell(spec, cell);
     case Kind::FaultSweep: return run_fault_cell(spec, cell);
     case Kind::Fuzz: return run_fuzz_cell(spec, cell);
+    case Kind::FuzzEvolve: return run_fuzz_evolve_cell(spec, cell);
     }
     throw InternalError("campaign: unknown kind");
 }

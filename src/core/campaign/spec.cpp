@@ -12,12 +12,13 @@ const char* kind_name(Kind k) noexcept {
     case Kind::Matrix: return "matrix";
     case Kind::FaultSweep: return "fault-sweep";
     case Kind::Fuzz: return "fuzz";
+    case Kind::FuzzEvolve: return "fuzz-evolve";
     }
     return "?";
 }
 
 bool kind_from_name(const std::string& name, Kind& out) noexcept {
-    for (const Kind k : {Kind::Matrix, Kind::FaultSweep, Kind::Fuzz}) {
+    for (const Kind k : {Kind::Matrix, Kind::FaultSweep, Kind::Fuzz, Kind::FuzzEvolve}) {
         if (name == kind_name(k)) {
             out = k;
             return true;
@@ -33,6 +34,7 @@ std::uint64_t Spec::cell_count() const {
     case Kind::Matrix: return static_cast<std::uint64_t>(draws) * lattice;
     case Kind::FaultSweep: return lattice;
     case Kind::Fuzz: return static_cast<std::uint64_t>(seeds);
+    case Kind::FuzzEvolve: return static_cast<std::uint64_t>(seeds);
     }
     return 0;
 }
@@ -48,6 +50,8 @@ std::string Spec::to_json() const {
     out += ",\"windows_per_class\":" + std::to_string(windows_per_class);
     out += ",\"seed_base\":" + std::to_string(seed_base);
     out += ",\"seeds\":" + std::to_string(seeds);
+    out += ",\"evolve_execs\":" + std::to_string(evolve_execs);
+    out += ",\"evolve_init\":" + std::to_string(evolve_init);
     out += ",\"sabotage\":{\"hang_cell\":" + std::to_string(sabotage.hang_cell);
     out += ",\"crash_cell\":" + std::to_string(sabotage.crash_cell);
     out += ",\"crash_times\":" + std::to_string(sabotage.crash_times);
@@ -122,6 +126,8 @@ Spec Spec::from_json(const std::string& json) {
     s.windows_per_class = static_cast<int>(get_int(json, "windows_per_class"));
     s.seed_base = get_uint(json, "seed_base");
     s.seeds = static_cast<int>(get_int(json, "seeds"));
+    s.evolve_execs = static_cast<int>(get_int(json, "evolve_execs"));
+    s.evolve_init = static_cast<int>(get_int(json, "evolve_init"));
     s.sabotage.hang_cell = get_int(json, "hang_cell");
     s.sabotage.crash_cell = get_int(json, "crash_cell");
     s.sabotage.crash_times = static_cast<int>(get_int(json, "crash_times"));
@@ -158,6 +164,11 @@ std::string Spec::cell_coords_json(std::uint64_t cell) const {
         break;
     case Kind::Fuzz:
         out += ",\"seed\":" + std::to_string(seed_base + cell);
+        break;
+    case Kind::FuzzEvolve:
+        out += ",\"seed\":" + std::to_string(seed_base + cell);
+        out += ",\"execs\":" + std::to_string(evolve_execs);
+        out += ",\"init\":" + std::to_string(evolve_init);
         break;
     }
     out += "}";

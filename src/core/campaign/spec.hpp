@@ -22,6 +22,7 @@ enum class Kind : std::uint8_t {
     Matrix,     // attack x defense matrix, Monte-Carlo over seed draws
     FaultSweep, // exploit-mitigation fault sweep, one cell per attack x defense
     Fuzz,       // differential fuzzing, one cell per generator seed
+    FuzzEvolve, // evolutionary fuzzing, one independent island per cell
 };
 
 [[nodiscard]] const char* kind_name(Kind k) noexcept;
@@ -55,6 +56,14 @@ struct Spec {
     // Fuzz: seeds are seed_base .. seed_base + seeds - 1, one cell each.
     std::uint64_t seed_base = 1;
     int seeds = 100;
+
+    // FuzzEvolve: each cell is one independent evolutionary island (seed
+    // seed_base + cell) running `evolve_execs` mutated executions over an
+    // initial population of `evolve_init` generated programs.  Islands are
+    // share-nothing, so the campaign scheduler's checkpoint/resume and
+    // quarantine machinery applies per island.
+    int evolve_execs = 64;
+    int evolve_init = 16;
 
     Sabotage sabotage;
 

@@ -154,4 +154,44 @@ std::string heap_server() {
     )";
 }
 
+std::string heap_index_server() {
+    return R"(
+        int pad = 9999;      /* sits 8 bytes below isAdmin: a plausible    */
+        int pad2 = 0;        /* "chunk header" when the allocator is lured */
+        int isAdmin = 0;
+
+        int main() {
+          char* a = malloc(16);
+          char* b = malloc(16);
+          free(b);             /* b's header sits 32..39 bytes past a */
+          int k = 0;
+          while (k < 4) {      /* four indexed pokes: [off:int][val:int] */
+            char req[8];
+            read(0, req, 8);
+            int off = *(int*)&req[0];
+            int v = *(int*)&req[4];
+            a[off] = (char)v;  /* BUG: attacker-controlled index, no bounds
+                                  — skips the tail red zone entirely */
+            k = k + 1;
+          }
+          char idx[4];
+          read(0, idx, 4);
+          int rd = *(int*)&idx[0];
+          print_int(a[rd]);    /* BUG: rd = -8 underflows into a's own
+                                  size header — a heap-metadata info leak */
+          puts("");
+          char* c = malloc(16);   /* pops the corrupted b */
+          char* d = malloc(16);   /* follows the forged next pointer */
+          read(0, d, 4);          /* write-what-where */
+          if (c == d) { }
+          if (isAdmin) {
+            write(1, "admin: access granted\n", 22);
+            return 1;
+          }
+          write(1, "guest\n", 6);
+          return 0;
+        }
+    )";
+}
+
 } // namespace swsec::core::scenarios

@@ -48,4 +48,14 @@ namespace swsec::core::scenarios {
 /// data-only variant that defeats canaries and DEP).
 [[nodiscard]] std::string heap_server();
 
+/// Indexed heap access with an attacker-controlled offset: byte writes at
+/// `a[off]` and a byte read at `a[rd]` with no bounds on either.  Unlike
+/// heap_server's linear overflow (which memcheck stops at the tail red
+/// zone), the indexed write *skips* the red zone and lands directly in the
+/// freed neighbour's free-list header, and the indexed read underflows to
+/// `p[-8..-5]` — the chunk's own size field.  Exercises exactly the heap
+/// metadata bytes that an allocator which poisons only user areas and tail
+/// red zones never protects.
+[[nodiscard]] std::string heap_index_server();
+
 } // namespace swsec::core::scenarios

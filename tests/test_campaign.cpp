@@ -456,3 +456,65 @@ TEST(CampaignCrashRecovery, SigkillAtSeededPointsThenResumeIsByteIdentical) {
 #endif // SWSEC_TOOL
 
 } // namespace
+
+// Appended: the fuzz-evolve campaign kind (PR8) — spec plumbing and the
+// checkpoint/resume guarantee over evolutionary-island cells.
+namespace {
+
+using namespace swsec;
+using namespace swsec::campaign;
+
+Spec small_evolve_spec(int islands = 3) {
+    Spec s;
+    s.kind = Kind::FuzzEvolve;
+    s.seeds = islands;
+    s.evolve_execs = 16;
+    s.evolve_init = 8;
+    return s;
+}
+
+TEST(CampaignFuzzEvolve, SpecRoundTripsAndNamesItsKind) {
+    const Spec s = small_evolve_spec();
+    const Spec r = Spec::from_json(s.to_json());
+    EXPECT_EQ(r.kind, Kind::FuzzEvolve);
+    EXPECT_EQ(r.evolve_execs, 16);
+    EXPECT_EQ(r.evolve_init, 8);
+    EXPECT_EQ(r.to_json(), s.to_json());
+    EXPECT_EQ(r.id(), s.id());
+    EXPECT_EQ(s.cell_count(), 3u);
+    Kind out = Kind::Matrix;
+    EXPECT_TRUE(kind_from_name("fuzz-evolve", out));
+    EXPECT_EQ(out, Kind::FuzzEvolve);
+    // The island budget is part of the campaign identity.
+    Spec b = s;
+    b.evolve_execs = 17;
+    EXPECT_NE(b.id(), s.id());
+}
+
+TEST(CampaignFuzzEvolve, InterruptedRunResumesByteIdentical) {
+    const Spec spec = small_evolve_spec();
+    const std::string ref = scratch("evolve_ref");
+    const std::string cut = scratch("evolve_cut");
+    const Report full = run_campaign(spec, ref, fast_opts());
+    EXPECT_TRUE(full.complete());
+    EXPECT_EQ(full.cells_completed, 3u);
+    // Each cell payload is one evolve report for an independent island.
+    const std::string report = slurp(ref + "/report.jsonl");
+    EXPECT_EQ(std::count(report.begin(), report.end(), '\n'), 3);
+    EXPECT_NE(report.find("\"schema\":\"swsec-evolve-v1\""), std::string::npos);
+    EXPECT_NE(report.find("\"buckets\":"), std::string::npos);
+
+    Options interrupted = fast_opts();
+    interrupted.max_cells = 1;
+    const Report partial = run_campaign(spec, cut, interrupted);
+    EXPECT_FALSE(partial.complete());
+    const Report resumed = resume_campaign(cut, fast_opts());
+    EXPECT_TRUE(resumed.complete());
+    EXPECT_EQ(resumed.cells_resumed, 1u);
+    EXPECT_EQ(slurp(cut + "/report.jsonl"), report);
+    EXPECT_EQ(slurp(cut + "/summary.txt"), slurp(ref + "/summary.txt"));
+    std::filesystem::remove_all(ref);
+    std::filesystem::remove_all(cut);
+}
+
+} // namespace

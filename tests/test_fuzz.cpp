@@ -355,3 +355,196 @@ TEST(FuzzCorpus, EveryCommittedRecordReplaysClean) {
 }
 
 } // namespace
+
+// Appended: the evolutionary stage (PR8) — mutation validity, corpus-schedule
+// determinism, serial-vs-parallel byte-identity, coverage-curve monotonicity,
+// triage dedup idempotence, and the Monte-Carlo defense curves.
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/curves.hpp"
+#include "fuzz/evolve.hpp"
+#include "fuzz/mutate.hpp"
+
+namespace {
+
+using namespace swsec;
+
+fuzz::EvolveOptions small_evolve(int jobs) {
+    fuzz::EvolveOptions o;
+    o.seed = 11;
+    o.init_programs = 8;
+    o.batch = 8;
+    o.execs = 40;
+    o.jobs = jobs;
+    return o;
+}
+
+TEST(Evolve, ScheduleIsAPureFunctionOfTheMasterSeed) {
+    // Same seed, same everything: report, corpus size, curve, crash list.
+    const fuzz::EvolveReport a = fuzz::run_evolve(small_evolve(1));
+    const fuzz::EvolveReport b = fuzz::run_evolve(small_evolve(1));
+    EXPECT_EQ(a.to_json(), b.to_json());
+    EXPECT_EQ(a.summary(), b.summary());
+    EXPECT_EQ(a.curve, b.curve);
+    EXPECT_EQ(a.corpus_size, b.corpus_size);
+}
+
+TEST(Evolve, SerialAndParallelReportsAreByteIdentical) {
+    // Breeding is serial, evaluation is share-nothing, merge is slot-order:
+    // the jobs knob must change wall-clock only.
+    const fuzz::EvolveReport a = fuzz::run_evolve(small_evolve(1));
+    const fuzz::EvolveReport b = fuzz::run_evolve(small_evolve(3));
+    EXPECT_EQ(a.to_json(), b.to_json());
+    EXPECT_EQ(a.summary(), b.summary());
+    EXPECT_EQ(a.curve, b.curve);
+    EXPECT_EQ(a.runs, b.runs);
+}
+
+TEST(Evolve, CoverageCurveIsMonotoneAndConsistent) {
+    const fuzz::EvolveReport r = fuzz::run_evolve(small_evolve(1));
+    ASSERT_EQ(static_cast<int>(r.curve.size()), r.execs);
+    EXPECT_EQ(r.execs, 40);
+    for (std::size_t i = 1; i < r.curve.size(); ++i) {
+        EXPECT_LE(r.curve[i - 1], r.curve[i]) << "coverage curve regressed at exec " << i;
+    }
+    EXPECT_EQ(r.curve.back(), r.total_buckets);
+    EXPECT_GE(r.corpus_size, 1);
+    EXPECT_LE(r.corpus_size, r.execs);
+    EXPECT_GE(r.rounds, 1);
+    EXPECT_GT(r.runs, static_cast<std::uint64_t>(r.execs)); // oracles multiply runs
+}
+
+TEST(Mutate, HavocAndSpliceStayValidByConstruction) {
+    // Model-level mutation cannot express an invalid program: every havoc
+    // child and every spliced child must compile and run clean under all
+    // oracles (defense set, engine pairs, fold probes).
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const fuzz::ProgramModel a = fuzz::generate_model(seed);
+        const fuzz::ProgramModel b = fuzz::generate_model(seed + 100);
+        Rng rng(seed * 7919);
+        const fuzz::ProgramModel h = fuzz::havoc(a, rng);
+        const auto dh = fuzz::check_program(h.render().render(), seed, 20'000'000);
+        EXPECT_TRUE(dh.empty()) << "havoc child of seed " << seed << " diverged";
+        const fuzz::ProgramModel s = fuzz::havoc(fuzz::splice(a, b, rng), rng);
+        const auto ds = fuzz::check_program(s.render().render(), seed, 20'000'000);
+        EXPECT_TRUE(ds.empty()) << "spliced child of seed " << seed << " diverged";
+    }
+}
+
+TEST(Triage, DedupKeyIsIdempotentAndCarriesProvenance) {
+    // Triaging the same divergence twice must derive the same key and the
+    // same symbolized stack — the property that makes dedup-by-key collapse
+    // ten thousand hits of one bug into one crash record.
+    fuzz::Divergence d;
+    d.seed = 3;
+    d.oracle = fuzz::Oracle::Defense;
+    d.config_a = "none";
+    d.config_b = "memcheck";
+    d.source = "int main() {\n"
+               "  char* p = malloc(8);\n"
+               "  if ((int)p == 0) { return 1; }\n"
+               "  return p[0 - 1];\n" /* header underflow: memcheck traps */
+               "}\n";
+    const fuzz::TriageResult t1 = fuzz::triage_divergence(d, 20'000'000);
+    const fuzz::TriageResult t2 = fuzz::triage_divergence(d, 20'000'000);
+    EXPECT_EQ(t1.key, t2.key);
+    EXPECT_EQ(t1.frames, t2.frames);
+    EXPECT_FALSE(t1.frames.empty());
+    EXPECT_NE(t1.key.find("memcheck"), std::string::npos) << t1.key;
+    EXPECT_NE(t1.key.find("poisoned"), std::string::npos) << t1.key;
+}
+
+TEST(Triage, UnrunnableConfigStillYieldsAStableKey) {
+    fuzz::Divergence d;
+    d.seed = 9;
+    d.oracle = fuzz::Oracle::Defense;
+    d.config_a = "none";
+    d.config_b = "<compile>";
+    d.source = "int main() { return 0; }\n";
+    const fuzz::TriageResult t = fuzz::triage_divergence(d, 20'000'000);
+    EXPECT_EQ(t.trap, "unrunnable");
+    EXPECT_EQ(t.key, fuzz::triage_divergence(d, 20'000'000).key);
+}
+
+// ---- Monte-Carlo probabilistic defense curves ---------------------------
+
+TEST(Curves, Wilson95IntervalIsSane) {
+    const core::Wilson mid = core::wilson95(5, 10);
+    EXPECT_GT(mid.lo, 0.0);
+    EXPECT_LT(mid.lo, 0.5);
+    EXPECT_GT(mid.hi, 0.5);
+    EXPECT_LT(mid.hi, 1.0);
+    const core::Wilson zero = core::wilson95(0, 10);
+    EXPECT_EQ(zero.lo, 0.0);
+    EXPECT_GT(zero.hi, 0.0); // honest at p = 0: upper bound stays positive
+    const core::Wilson all = core::wilson95(10, 10);
+    EXPECT_LT(all.lo, 1.0);
+    EXPECT_NEAR(all.hi, 1.0, 1e-9);
+    // More trials, tighter interval.
+    const core::Wilson tight = core::wilson95(50, 100);
+    EXPECT_LT(tight.hi - tight.lo, mid.hi - mid.lo);
+    // Degenerate input: the whole [0, 1] interval, never a crash.
+    const core::Wilson none = core::wilson95(0, 0);
+    EXPECT_EQ(none.lo, 0.0);
+    EXPECT_EQ(none.hi, 1.0);
+}
+
+core::CurveOptions small_curves(int jobs) {
+    core::CurveOptions o;
+    o.aslr_bits = {0, 2, 4};
+    o.canary_budgets = {1, 4};
+    o.canary_bits = 4;
+    o.trials = 40;
+    o.seed = 5;
+    o.jobs = jobs;
+    return o;
+}
+
+TEST(Curves, SerialAndParallelArtifactsAreByteIdentical) {
+    const core::CurveReport a = core::run_curves(small_curves(1));
+    const core::CurveReport b = core::run_curves(small_curves(3));
+    EXPECT_EQ(a.to_jsonl(), b.to_jsonl());
+    EXPECT_EQ(a.summary(), b.summary());
+    EXPECT_EQ(a.total_runs(), b.total_runs());
+}
+
+TEST(Curves, CellsCarryModelsAndHonestIntervals) {
+    const core::CurveReport r = core::run_curves(small_curves(1));
+    ASSERT_EQ(r.cells.size(), 5u); // 3 aslr + 2 canary
+    // Zero entropy: the probe's layout always matches — certainty, modelled
+    // and measured.
+    EXPECT_EQ(r.cells[0].family, "aslr");
+    EXPECT_EQ(r.cells[0].p_hat, 1.0);
+    EXPECT_EQ(r.cells[0].model, 1.0);
+    // Entropy lowers the attacker's probability (deterministic given seed).
+    EXPECT_GT(r.cells[0].p_hat, r.cells[2].p_hat);
+    for (const core::CurveCell& c : r.cells) {
+        EXPECT_EQ(c.trials, 40u);
+        EXPECT_LE(c.wilson_lo, c.p_hat);
+        EXPECT_GE(c.wilson_hi, c.p_hat);
+        EXPECT_GE(c.model, 0.0);
+        EXPECT_LE(c.model, 1.0);
+    }
+    // Analytic models: 2^-k for aslr, 1 - (1 - 2^-j)^B for canary.
+    EXPECT_NEAR(r.cells[1].model, 0.25, 1e-12);
+    EXPECT_NEAR(r.cells[3].model, 1.0 - std::pow(1.0 - 1.0 / 16.0, 1.0), 1e-12);
+    EXPECT_NEAR(r.cells[4].model, 1.0 - std::pow(1.0 - 1.0 / 16.0, 4.0), 1e-12);
+    // The jsonl artifact carries the CI fields on every line.
+    const std::string jsonl = r.to_jsonl();
+    EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 5);
+    EXPECT_NE(jsonl.find("\"wilson_lo\":"), std::string::npos);
+    EXPECT_NE(jsonl.find("\"wilson_hi\":"), std::string::npos);
+}
+
+TEST(Curves, MetricsExportUsesTheRegistrySchema) {
+    const core::CurveReport r = core::run_curves(small_curves(1));
+    const profile::Registry reg = core::curve_metrics(r);
+    const std::string json = reg.to_json();
+    EXPECT_NE(json.find("\"schema\":\"swsec-metrics-v1\""), std::string::npos);
+    EXPECT_NE(json.find("curve_trials_total"), std::string::npos);
+    EXPECT_NE(json.find("curve_p_hat"), std::string::npos);
+}
+
+} // namespace

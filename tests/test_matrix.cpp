@@ -218,3 +218,29 @@ TEST(Matrix, HeapMetadataCorruption) {
               });
 }
 } // namespace
+
+// Appended: the heap-underflow attack row (indexed metadata pokes).
+namespace {
+TEST(Matrix, HeapUnderflowIndexedPokes) {
+    // Indexed byte writes skip the tail red zone and forge the freed
+    // neighbour's free-list pointer in place; an indexed read underflows
+    // into the chunk's own size header.  No linear overflow ever touches
+    // a red zone, so only poisoned *headers* can catch it — the memcheck
+    // blind spot this row regression-locks (pre-fix the memcheck cell ran
+    // to a clean exit with the metadata leak printed).
+    check_row(AttackKind::HeapUnderflow,
+              {
+                  {Defense::none(), true, TrapKind::None},
+                  {Defense::canary(), true, TrapKind::None},
+                  {Defense::dep(), true, TrapKind::None},
+                  {Defense::shadow_stack(), true, TrapKind::None},
+                  {Defense::coarse_cfi(), true, TrapKind::None},
+                  // The forged pointer needs the data-segment address.
+                  {Defense::aslr(), false, TrapKind::SegvRead},
+                  // Bounds retrofits cannot size a malloc'd chunk.
+                  {Defense::safe_language(), true, TrapKind::None},
+                  // Poisoned chunk headers stop the very first poke.
+                  {Defense::memcheck(), false, TrapKind::PoisonedAccess},
+              });
+}
+} // namespace

@@ -43,6 +43,41 @@ TEST(Libc, StrlenStrcmpStrcpy) {
               5);
 }
 
+TEST(CcRuntime, StrcmpUnsignedCharConvention) {
+    // C11 7.24.4: strcmp compares "as unsigned char".  MiniC char loads are
+    // load8 zero-extends, so a[i] - b[i] runs on 0..255 and the result is
+    // exactly i - j for single-byte strings — in particular "\x80" > "\x7f"
+    // (a signed-char libc would flip that to negative-vs-positive).
+    // Exhaustive over every nonzero byte-value pair.
+    EXPECT_EQ(run(R"(
+        int main() {
+          char a[2];
+          char b[2];
+          a[1] = 0;
+          b[1] = 0;
+          int bad = 0;
+          int i = 1;
+          while (i < 256) {
+            int j = 1;
+            while (j < 256) {
+              a[0] = (char)i;
+              b[0] = (char)j;
+              if (strcmp(a, b) != i - j) { bad = bad + 1; }
+              j = j + 1;
+            }
+            i = i + 1;
+          }
+          /* the documented boundary case: 0x80 compares greater than 0x7f */
+          a[0] = (char)128;
+          b[0] = (char)127;
+          if (strcmp(a, b) <= 0) { bad = bad + 1; }
+          if (strcmp(b, a) >= 0) { bad = bad + 1; }
+          return bad;
+        }
+    )"),
+              0);
+}
+
 TEST(Libc, MemcpyMemset) {
     EXPECT_EQ(run(R"(
         int main() {

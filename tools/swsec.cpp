@@ -27,6 +27,20 @@
 //                                      --replay FILE, --out FILE,
 //                                      --coverage [--coverage-out FILE];
 //                                      exit 0 iff zero divergences)
+//   swsec evolve [options]             coverage-guided evolutionary fuzzing:
+//                                      corpus seeds bred by model-level havoc
+//                                      and splice, scheduled by new-coverage
+//                                      yield, divergences auto-triaged and
+//                                      deduped by symbolized trap stack
+//                                      (--seed N, --execs N, --init N,
+//                                      --batch N, --jobs N, --out FILE,
+//                                      --json-out FILE, --curve-out FILE;
+//                                      exit 0 iff zero unique crashes)
+//   swsec curves [options]             Monte-Carlo probabilistic defense
+//                                      curves: attack-success probability
+//                                      with Wilson CIs across ASLR entropy
+//                                      levels and canary-guess budgets
+//                                      (--trials N, --jobs N, --out FILE)
 //   swsec campaign run|resume|status   crash-safe campaign engine: the
 //                                      matrix, the fault sweep or the fuzzer
 //                                      run as a checkpointed cell lattice in
@@ -79,8 +93,10 @@
 #include "core/fault_sweep.hpp"
 #include "core/fig1.hpp"
 #include "core/matrix.hpp"
+#include "core/curves.hpp"
 #include "core/profile_scenarios.hpp"
 #include "core/trace_scenarios.hpp"
+#include "fuzz/evolve.hpp"
 #include "fuzz/fuzz.hpp"
 #include "isa/disasm.hpp"
 #include "os/process.hpp"
@@ -102,8 +118,8 @@ struct Options {
 int usage() {
     std::fputs(
         "usage: swsec "
-        "<run|asm|disasm|lint|gadgets|fig1|matrix|fault-sweep|trace|fuzz|profile|campaign>"
-        " [file.mc|scenario] [options]\n"
+        "<run|asm|disasm|lint|gadgets|fig1|matrix|fault-sweep|trace|fuzz|evolve|curves|"
+        "profile|campaign> [file.mc|scenario] [options]\n"
         "options: --canary --bounds --fortify --memcheck --dep --aslr\n"
         "         --shadow-stack --cfi --seed N --input STR\n"
         "matrix options: --jobs N --trace-out FILE --metrics-out FILE\n"
@@ -113,13 +129,19 @@ int usage() {
         "trace options: --trace-out FILE --no-decode-cache --seed N --attacker-seed N\n"
         "fuzz options: --seeds N --seed-base B --jobs N --minimize --replay FILE --out FILE\n"
         "              --coverage --coverage-out FILE --metrics-out FILE\n"
+        "evolve options: --seed N --execs N --init N --batch N --jobs N --max-corpus N\n"
+        "                --out FILE --json-out FILE --curve-out FILE --metrics-out FILE\n"
+        "curves options: --trials N --jobs N --aslr-bits LIST --budgets LIST\n"
+        "                --canary-bits N --seed N --out FILE --metrics-out FILE\n"
         "profile scenarios: baseline canary dep shadow-stack cfi memcheck fault\n"
         "profile options: --out FILE --folded FILE --annotate --sample-interval N\n"
         "                 --seed N --attacker-seed N (+ hardening options for file.mc)\n"
-        "campaign: swsec campaign run --kind matrix|fault-sweep|fuzz --dir DIR\n"
+        "campaign: swsec campaign run --kind matrix|fault-sweep|fuzz|fuzz-evolve --dir DIR\n"
+        "          (--fuzz-evolve = --kind fuzz-evolve)\n"
         "          swsec campaign resume --dir DIR | swsec campaign status --dir DIR\n"
         "campaign spec options: --draws N --seeds N --seed-base B --windows N\n"
         "          --victim-seed N --attacker-seed N --fault-seed N\n"
+        "          --evolve-execs N --evolve-init N (fuzz-evolve island budget)\n"
         "          --hang-cell N --crash-cell N --crash-times N (sabotage, for tests)\n"
         "campaign exec options: --jobs N --cell-timeout-ms N --retries N --backoff-ms N\n"
         "          --fsync-every N --max-cells N --metrics-out FILE\n",
@@ -490,6 +512,136 @@ int cmd_fuzz(int argc, char** argv) {
     return report.clean() ? 0 : 1;
 }
 
+int cmd_evolve(int argc, char** argv) {
+    fuzz::EvolveOptions opts;
+    std::string out_path;
+    std::string json_out;
+    std::string curve_out;
+    std::string metrics_out;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--seed" && i + 1 < argc) {
+            opts.seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--execs" && i + 1 < argc) {
+            opts.execs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--init" && i + 1 < argc) {
+            opts.init_programs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--batch" && i + 1 < argc) {
+            opts.batch = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opts.jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--max-corpus" && i + 1 < argc) {
+            opts.max_corpus = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--json-out" && i + 1 < argc) {
+            json_out = argv[++i];
+        } else if (arg == "--curve-out" && i + 1 < argc) {
+            curve_out = argv[++i];
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            metrics_out = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown evolve option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    const fuzz::EvolveReport report = fuzz::run_evolve(opts);
+    std::fputs(report.summary().c_str(), stdout);
+    if (!out_path.empty()) {
+        // Unique crashes as repro-v1 records; the triage key rides along as
+        // a comment line (the parser skips '#' lines).
+        std::string repros;
+        for (const fuzz::CrashRecord& c : report.crashes) {
+            repros += "# triage hits=" + std::to_string(c.hits) + " key=" + c.key + "\n";
+            repros += fuzz::to_repro(c.div);
+        }
+        write_out(out_path, repros);
+    }
+    if (!json_out.empty()) {
+        write_out(json_out, report.to_json() + "\n");
+    }
+    if (!curve_out.empty()) {
+        std::string csv = "exec,cumulative\n";
+        for (std::size_t i = 0; i < report.curve.size(); ++i) {
+            csv += std::to_string(i) + "," + std::to_string(report.curve[i]) + "\n";
+        }
+        write_out(curve_out, csv);
+    }
+    if (!metrics_out.empty()) {
+        profile::Registry reg;
+        const profile::Labels base = {{"harness", "evolve"}};
+        reg.counter_add("evolve_execs_total", base, static_cast<std::uint64_t>(report.execs));
+        reg.counter_add("evolve_rounds_total", base, static_cast<std::uint64_t>(report.rounds));
+        reg.counter_add("evolve_runs_total", base, report.runs);
+        reg.counter_add("evolve_divergences_total", base, report.divergences_total);
+        reg.counter_add("evolve_unique_crashes_total", base, report.crashes.size());
+        reg.gauge_set("evolve_corpus_size", base, static_cast<double>(report.corpus_size));
+        reg.gauge_set("coverage_edges", base, static_cast<double>(report.total_buckets));
+        write_out(metrics_out, reg.to_json());
+    }
+    if (!report.crashes.empty()) {
+        for (const fuzz::CrashRecord& c : report.crashes) {
+            std::fputs(fuzz::to_repro(c.div).c_str(), stderr);
+        }
+    }
+    return report.crashes.empty() ? 0 : 1;
+}
+
+/// "a,b,c" -> {a,b,c}; accepts any strtoul-parsable element.
+std::vector<std::uint32_t> parse_u32_list(const std::string& s) {
+    std::vector<std::uint32_t> out;
+    std::string cur;
+    for (const char c : s + ",") {
+        if (c == ',') {
+            if (!cur.empty()) {
+                out.push_back(static_cast<std::uint32_t>(std::strtoul(cur.c_str(), nullptr, 0)));
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    return out;
+}
+
+int cmd_curves(int argc, char** argv) {
+    core::CurveOptions opts;
+    std::string out_path;
+    std::string metrics_out;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--trials" && i + 1 < argc) {
+            opts.trials = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opts.jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--seed" && i + 1 < argc) {
+            opts.seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--aslr-bits" && i + 1 < argc) {
+            opts.aslr_bits = parse_u32_list(argv[++i]);
+        } else if (arg == "--budgets" && i + 1 < argc) {
+            opts.canary_budgets = parse_u32_list(argv[++i]);
+        } else if (arg == "--canary-bits" && i + 1 < argc) {
+            opts.canary_bits = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 0));
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            metrics_out = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown curves option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    const core::CurveReport report = core::run_curves(opts);
+    std::fputs(report.summary().c_str(), stdout);
+    if (!out_path.empty()) {
+        write_out(out_path, report.to_jsonl());
+    }
+    if (!metrics_out.empty()) {
+        write_out(metrics_out, core::curve_metrics(report).to_json());
+    }
+    return 0;
+}
+
 int cmd_fault_sweep(int argc, char** argv) {
     core::FaultSweepOptions opts;
     std::string trace_out;
@@ -536,6 +688,8 @@ int cmd_campaign(int argc, char** argv) {
         const std::string arg = argv[i];
         if (arg == "--kind" && i + 1 < argc) {
             kind_arg = argv[++i];
+        } else if (arg == "--fuzz-evolve") {
+            kind_arg = "fuzz-evolve"; // shorthand for --kind fuzz-evolve
         } else if (arg == "--dir" && i + 1 < argc) {
             dir = argv[++i];
         } else if (arg == "--draws" && i + 1 < argc) {
@@ -546,6 +700,10 @@ int cmd_campaign(int argc, char** argv) {
             spec.seed_base = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg == "--windows" && i + 1 < argc) {
             spec.windows_per_class = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--evolve-execs" && i + 1 < argc) {
+            spec.evolve_execs = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        } else if (arg == "--evolve-init" && i + 1 < argc) {
+            spec.evolve_init = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
         } else if (arg == "--victim-seed" && i + 1 < argc) {
             spec.victim_seed = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg == "--attacker-seed" && i + 1 < argc) {
@@ -592,7 +750,8 @@ int cmd_campaign(int argc, char** argv) {
     campaign::Report report;
     if (verb == "run") {
         if (!campaign::kind_from_name(kind_arg, spec.kind)) {
-            std::fputs("campaign run: --kind must be matrix, fault-sweep or fuzz\n", stderr);
+            std::fputs("campaign run: --kind must be matrix, fault-sweep, fuzz or fuzz-evolve\n",
+                       stderr);
             return 2;
         }
         report = campaign::run_campaign(spec, dir, opts);
@@ -652,6 +811,12 @@ int main(int argc, char** argv) {
         }
         if (cmd == "fuzz") {
             return cmd_fuzz(argc, argv);
+        }
+        if (cmd == "evolve") {
+            return cmd_evolve(argc, argv);
+        }
+        if (cmd == "curves") {
+            return cmd_curves(argc, argv);
         }
         if (cmd == "profile") {
             return cmd_profile(argc, argv);
