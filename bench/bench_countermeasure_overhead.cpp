@@ -109,6 +109,7 @@ void print_overhead_table() {
         core::Defense::standard_hardening(),
         core::Defense::shadow_stack(),  core::Defense::coarse_cfi(),
         core::Defense::safe_language(), core::Defense::memcheck(),
+        core::Defense::sanitize_address(),
     };
     std::printf("Instruction-count overhead vs. unprotected build (per workload):\n\n");
     std::printf("%-18s", "defense");
@@ -138,7 +139,8 @@ void BM_Workload(benchmark::State& state) {
     const core::Defense d = state.range(1) == 0   ? core::Defense::none()
                             : state.range(1) == 1 ? core::Defense::standard_hardening()
                             : state.range(1) == 2 ? core::Defense::safe_language()
-                                                  : core::Defense::memcheck();
+                            : state.range(1) == 3 ? core::Defense::memcheck()
+                                                  : core::Defense::sanitize_address();
     state.SetLabel(std::string(w.name) + " / " + d.name);
     const auto img = cc::compile_program({w.source}, d.copts);
     std::uint64_t steps = 0;
@@ -154,7 +156,7 @@ void BM_Workload(benchmark::State& state) {
     state.counters["insns_per_s"] =
         benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Workload)->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2, 3}});
+BENCHMARK(BM_Workload)->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2, 3, 4}});
 
 } // namespace
 

@@ -305,6 +305,20 @@ private:
             for (std::int64_t i = 0; i < *v; ++i) {
                 emit_byte(0);
             }
+        } else if (name == ".redzone") {
+            // Sanitizer redzone: reserve zero-filled data bytes and record
+            // the range so the loader can poison it in shadow memory.
+            const auto v = parse_number(args);
+            if (!v || *v <= 0) {
+                throw ParseError("bad .redzone operand", line_no);
+            }
+            if (section_ != SectionKind::Data) {
+                throw ParseError(".redzone is only valid in the data section", line_no);
+            }
+            obj_.redzones.push_back({here(), static_cast<std::uint32_t>(*v)});
+            for (std::int64_t i = 0; i < *v; ++i) {
+                emit_byte(0);
+            }
         } else if (name == ".align") {
             const auto v = parse_number(args);
             if (!v || *v <= 0) {

@@ -93,6 +93,13 @@ objfmt::Image link(std::span<const ObjectFile> objects) {
         }
     }
 
+    // Merge sanitizer redzones (data-section offsets, biased per unit).
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+        for (const auto& rz : objects[i].redzones) {
+            img.redzones.push_back({rz.offset + biases[i].data, rz.size});
+        }
+    }
+
     // Resolve relocations.
     for (std::size_t i = 0; i < objects.size(); ++i) {
         for (const auto& rel : objects[i].relocs) {

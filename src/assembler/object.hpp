@@ -52,6 +52,16 @@ struct LineEntry {
     std::uint32_t line = 0;
 };
 
+/// A sanitizer redzone in the data section: [offset, offset+size) holds no
+/// program object and is poisoned into the shadow region by the loader when
+/// the process runs under `sanitize_address`.  Emitted by the `.redzone`
+/// directive (the compiler places one between/around globals); offsets are
+/// granule-aligned by construction.
+struct Redzone {
+    std::uint32_t offset = 0; // data-section offset
+    std::uint32_t size = 0;
+};
+
 /// Output of one assembler run.
 struct ObjectFile {
     std::string name;
@@ -62,6 +72,7 @@ struct ObjectFile {
     std::vector<Symbol> symbols;
     std::vector<Reloc> relocs;
     std::vector<LineEntry> lines; // sorted by offset (emission order)
+    std::vector<Redzone> redzones; // data-section sanitizer redzones
 
     [[nodiscard]] const Symbol* find_symbol(const std::string& sym) const noexcept;
 };
@@ -101,6 +112,7 @@ struct Image {
     std::vector<std::uint32_t> entry_offsets; // text offsets of PMA entry points
     std::vector<ImageLineEntry> line_table;   // sorted by offset
     std::vector<std::string> line_files;      // source file names, indexed by `file`
+    std::vector<Redzone> redzones;            // data-section sanitizer redzones
 
     [[nodiscard]] std::uint32_t data_total_size() const noexcept {
         return static_cast<std::uint32_t>(data.size()) + bss_size;

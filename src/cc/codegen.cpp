@@ -106,7 +106,16 @@ namespace {
 
 int round4(int n) { return (n + 3) & ~3; }
 
-constexpr int kRedZone = 16; // bytes of poison around each stack array (memcheck)
+constexpr int kRedZone = 16; // bytes of poison around each stack array
+                             // (memcheck poison map and/or sanitizer shadow)
+
+// Shadow mapping constants, kept numerically in sync with vm/memory.hpp
+// (kShadowBase / kShadowShift).  The compiler deliberately does not include
+// vm headers — the contract is the emitted ABI, not a C++ dependency — and
+// the static_assert-equivalent lives in tests/test_sanitizer.cpp, which
+// compiles a probe against the real vm constants.
+constexpr std::uint32_t kAsanShadowBase = 0x20000000u; // == vm::kShadowBase
+constexpr int kAsanShadowShift = 2;                    // == vm::kShadowShift
 
 class CodeGen {
 public:
@@ -214,6 +223,13 @@ private:
                 data(".global " + label);
             }
             data(".align 4");
+            if (opts_.sanitize_address) {
+                // Redzone *before* every global: together with the trailing
+                // zone after the last one, every global is bracketed, so a
+                // linear overflow out of one global lands in poison before
+                // it reaches its neighbour.
+                data(".redzone " + std::to_string(kRedZone));
+            }
             if (g.type->is_array()) {
                 if (g.has_init_str) {
                     data(label + ": .asciz \"" + escape(g.init_str) + "\"");
@@ -232,6 +248,10 @@ private:
                 data(label + ": .word " + std::to_string(v));
             }
         }
+        if (opts_.sanitize_address && !prog_.globals.empty()) {
+            data(".align 4");
+            data(".redzone " + std::to_string(kRedZone));
+        }
     }
 
     // ---- frame layout --------------------------------------------------------
@@ -240,7 +260,11 @@ private:
         int cursor = opts_.stack_canaries ? 4 : 0; // canary slot at [bp-4]
         for (std::size_t i = 0; i < fn.local_slots.size(); ++i) {
             const TypePtr& t = fn.local_slots[i];
-            const bool zoned = opts_.memcheck && t->is_array();
+            // MiniC has no structs, so the frame itself plays the aggregate
+            // role (StructZone's intra-object redzones): every array member
+            // of the "frame struct" is bracketed by zones, separating it
+            // from the scalars and arrays that are its sibling fields.
+            const bool zoned = (opts_.memcheck || opts_.sanitize_address) && t->is_array();
             if (zoned) {
                 cursor += kRedZone; // red zone above (closer to bp)
             }
@@ -254,6 +278,34 @@ private:
     }
 
     [[nodiscard]] int param_offset(int index) const { return 8 + 4 * index; }
+
+    /// Emit the sanitizer shadow check for the run-time address held in
+    /// `addr_reg` (r0 or r1).  On a poisoned granule the sequence traps via
+    /// the abort ABI (r0 = AbortReason::Asan, r1 = faulting address); on the
+    /// clean path it preserves every register except r6.  Instrumentation
+    /// covers exactly the accesses whose address is *computed* at run time
+    /// (indexing, dereference, assignment-through-lvalue, ++/--): direct
+    /// bp-relative scalar and named-global accesses are compile-time safe
+    /// and stay uninstrumented, which is most of the sanitizer's low tax.
+    void emit_asan_check(const std::string& addr_reg) {
+        if (!opts_.sanitize_address) {
+            return;
+        }
+        const std::string ok = fresh_label("asan_ok");
+        comment("asan: shadow check " + addr_reg);
+        ins("mov r6, " + addr_reg);
+        ins("shr r6, " + std::to_string(kAsanShadowShift)); // logical: addr is unsigned
+        ins("add r6, " + std::to_string(kAsanShadowBase));
+        ins("load8 r6, [r6+0]");
+        ins("cmp r6, 0");
+        ins("jz " + ok);
+        if (addr_reg != "r1") {
+            ins("mov r1, " + addr_reg); // faulting address for the trap record
+        }
+        ins("mov r0, 5"); // AbortReason::Asan
+        ins("sys 5");
+        text(ok + ":");
+    }
 
     // ---- protected-module support (Section IV-B) -----------------------------
 
@@ -339,8 +391,9 @@ private:
             ins("load r0, [r0+0]");
             ins("store [bp-4], r0");
         }
-        if (opts_.memcheck && frame_size_ > 0) {
-            comment("memcheck: clear stale poison, then poison array red zones");
+        const bool zoned_frames = opts_.memcheck || opts_.sanitize_address;
+        if (zoned_frames && frame_size_ > 0) {
+            comment("redzones: clear stale poison, then poison array red zones");
             ins("lea r0, [bp-" + std::to_string(frame_size_) + "]");
             ins("mov r1, " + std::to_string(frame_size_));
             ins("sys 7"); // unpoison
@@ -359,16 +412,37 @@ private:
                 ins("sys 6"); // poison below
             }
         }
+        if (opts_.sanitize_address && !opts_.memcheck) {
+            // Poison the saved bp + return address ([bp+0, bp+8)) in shadow:
+            // a computed store that *hops* the canary into the return-address
+            // slot hits poison at the compiled check.  Shadow poison is
+            // invisible to the machine's own push/pop (unlike the memcheck
+            // poison map, which is why this is gated off under memcheck —
+            // there the machine's leave/ret would trap on its own frame).
+            comment("asan: poison the caller's frame linkage (ret-addr zone)");
+            ins("lea r0, [bp+0]");
+            ins("mov r1, 8");
+            ins("sys 6");
+        }
 
         gen_stmt(*fn.body);
 
         text(epilogue_label_ + ":");
-        if (opts_.memcheck && frame_size_ > 0) {
-            comment("memcheck: unpoison the whole frame before it is deallocated");
+        if ((zoned_frames && frame_size_ > 0) || (opts_.sanitize_address && !opts_.memcheck)) {
+            comment("redzones: unpoison the frame before it is deallocated");
             ins("mov r3, r0"); // preserve the return value
-            ins("lea r0, [bp-" + std::to_string(frame_size_) + "]");
-            ins("mov r1, " + std::to_string(frame_size_));
-            ins("sys 7");
+            if (zoned_frames && frame_size_ > 0) {
+                ins("lea r0, [bp-" + std::to_string(frame_size_) + "]");
+                ins("mov r1, " + std::to_string(frame_size_));
+                ins("sys 7");
+            }
+            if (opts_.sanitize_address && !opts_.memcheck) {
+                // Clear the ret-addr zone: the slot is about to be legally
+                // consumed by leave/ret, and the caller may reuse it.
+                ins("lea r0, [bp+0]");
+                ins("mov r1, 8");
+                ins("sys 7");
+            }
             ins("mov r0, r3");
         }
         if (opts_.stack_canaries) {
@@ -583,6 +657,7 @@ private:
             ins("push r0");
             eval(*e.rhs);
             ins("pop r1");
+            emit_asan_check("r1");
             ins(is_char_value(*e.lhs) ? "store8 [r1+0], r0" : "store [r1+0], r0");
             break;
         }
@@ -591,6 +666,7 @@ private:
             break;
         case Expr::Kind::Index:
             eval_addr(e);
+            emit_asan_check("r0");
             ins(is_char_value(e) ? "load8 r0, [r0+0]" : "load r0, [r0+0]");
             break;
         case Expr::Kind::Cast:
@@ -623,6 +699,7 @@ private:
         case Expr::Kind::PostIncDec: {
             const int step = e.lhs->type->is_ptr() ? e.lhs->type->step() : 1;
             eval_addr(*e.lhs);
+            emit_asan_check("r0"); // one check covers the load and the store
             ins(is_char_value(*e.lhs) ? "load8 r1, [r0+0]" : "load r1, [r0+0]");
             ins("mov r2, r1"); // original value
             if (e.value > 0) {
@@ -662,6 +739,7 @@ private:
             if (e.object_type->is_array()) {
                 break; // *p where p points to an array: address is the value
             }
+            emit_asan_check("r0");
             ins(is_char_value(e) ? "load8 r0, [r0+0]" : "load r0, [r0+0]");
             break;
         case UnOp::AddrOf:

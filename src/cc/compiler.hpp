@@ -19,6 +19,15 @@
 //                      poison map (heap red zones live in the runtime
 //                      allocator).  Requires a machine with
 //                      MachineOptions::memcheck.
+//  * sanitize_address — deployable shadow-memory sanitizer: the same red
+//                      zones, but tracked in an in-image shadow region
+//                      (vm::kShadowBase) and checked by *compiled* load/
+//                      store instrumentation + kernel syscall interceptors.
+//                      The machine itself performs no checking — this is
+//                      the production countermeasure, memcheck is the
+//                      testing-mode analogue.  Requires
+//                      SecurityProfile::sanitize_address so the loader
+//                      maps the shadow region.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +58,7 @@ struct CompilerOptions {
     bool bounds_checks = false;
     bool fortify_reads = false;
     bool memcheck = false;
+    bool sanitize_address = false;
     bool emit_comments = true;
     PmaMode pma_mode = PmaMode::Off;
 

@@ -99,8 +99,9 @@ const std::string& runtime_libc_minic() {
 
 /* --- allocator: first-fit free list over sbrk --------------------------
  * Chunk layout: [size:int][next:int][user bytes...][16B red zone]
- * free() poisons the user area (memcheck catches use-after-free);
- * malloc() unpoisons on reuse.  Without memcheck the hooks are no-ops
+ * free() poisons the user area (memcheck's poison map and the deployed
+ * shadow-memory sanitizer both catch use-after-free through it);
+ * malloc() unpoisons on reuse.  Without a checker the hooks are no-ops
  * and the reuse behaviour is exactly what temporal attacks exploit.
  *
  * The 8-byte chunk header and any slack in a recycled chunk are poisoned
@@ -150,14 +151,22 @@ void free(char* p) {
   if ((int)p == 0) { return; }
   int* hdr = (int*)(p - 8);
   __unpoison((char*)hdr, 8);   /* allocator-internal header access */
-  __poison(p, hdr[0]);         /* freed memory is poisoned until reuse */
+  int size = hdr[0];           /* read once, before any sealing */
   if (__memcheck_active()) {
-    /* Testing mode: quarantine the chunk forever so every later access
-     * through a stale pointer is detected (ASan-style quarantine [16]).
-     * Re-seal the header on the way out. */
-    __poison((char*)hdr, 8);
+    /* Checker active (memcheck poison map or the deployed shadow-memory
+     * sanitizer — __memcheck_active() reports both): quarantine the chunk
+     * forever so every later access through a stale pointer is detected
+     * (ASan-style quarantine [16]).  Seal the WHOLE extent — header, full
+     * user region and tail red zone — in one sweep so no partially-poisoned
+     * seam is left for a stale-pointer read to slip through.  Skipping the
+     * quarantine here would put the chunk on the free list, and the recycle
+     * path's unpoison would hand the same bytes back to a new owner while
+     * the stale pointer still aliases them — exactly the use-after-free
+     * blind spot the heap_uaf_read matrix row regression-locks. */
+    __poison((char*)hdr, size + 24);
     return;
   }
+  __poison(p, size);           /* no-op without a checker; reuse is the point */
   hdr[1] = free_head;
   free_head = (int)(p - 8);
 }

@@ -113,6 +113,11 @@ struct Lab {
         out.superinsns_retired = d.superinsns_retired;
         out.deopts = d.deopt_page_gen + d.deopt_slow_fetch + d.deopt_trap + d.deopt_budget +
                      d.deopt_syscall + d.deopt_observer;
+        const os::KernelSanitizerStats& sa = v.kernel().sanitizer_stats();
+        out.asan_shadow_poisons = sa.shadow_poisons;
+        out.asan_shadow_unpoisons = sa.shadow_unpoisons;
+        out.asan_interceptor_checks = sa.interceptor_checks;
+        out.asan_interceptor_traps = sa.interceptor_traps;
         return out;
     }
 
@@ -384,6 +389,56 @@ struct Lab {
                       "indexed pokes skipped the red zone into the neighbour's header; "
                       "p[-8] leaked the chunk size");
     }
+
+    // --- STACKHOP: non-contiguous write hops the canary -------------------------
+    AttackOutcome stack_index_hop() {
+        const auto& img = build(scenarios::stack_index_server());
+        Process pr = probe(img);
+        const std::uint32_t grant = pr.addr_of("grant_shell");
+
+        // Frame layout is attacker-known: buf is handle()'s first local, so
+        // the return-address slot [bp+4] sits at buf+20, +4 when a canary
+        // slot is interposed and +16 when red zones bracket the array.  The
+        // single word write lands on the ret slot without touching the
+        // canary or the red zones it hops over — contiguity-based defenses
+        // never fire.
+        const bool zoned = defense.copts.memcheck || defense.copts.sanitize_address;
+        const std::uint32_t off =
+            (defense.copts.stack_canaries ? 24U : 20U) + (zoned ? 16U : 0U);
+
+        PayloadBuilder pb;
+        pb.word(off).word(grant);
+        Process v = victim(img);
+        v.feed_input(pb.bytes());
+        (void)v.run(kMaxSteps);
+        const bool ok = contains(v.output(), "root shell granted");
+        return finish(v, ok, "offset write hopped the canary onto the return address");
+    }
+
+    // --- HEAPOVERREAD: attacker-length echo leaks the neighbour chunk -----------
+    AttackOutcome heap_over_read() {
+        const auto& img = build(scenarios::heap_leak_server());
+        // Echo length 56 spans msg's 16 user bytes, its 16-byte tail red
+        // zone, secret's 8-byte header and the 16 secret bytes — a pure
+        // READ with no addresses in the payload, so ASLR is irrelevant.
+        Process v = victim(img);
+        v.feed_input("56");
+        (void)v.run(kMaxSteps);
+        const bool ok = contains(v.output(), "K3Y-4-HEAP-LEAK");
+        return finish(v, ok, "attacker-length echo leaked the neighbouring heap secret");
+    }
+
+    // --- HEAPUAFREAD: stale read of a recycled chunk ----------------------------
+    AttackOutcome heap_uaf_read() {
+        const auto& img = build(scenarios::uaf_read_server());
+        PayloadBuilder pb;
+        pb.word(0).word(31337).word(0); // req bytes; stale s[1] aliases bytes 4..7
+        Process v = victim(img);
+        v.feed_input(pb.bytes());
+        (void)v.run(kMaxSteps);
+        const bool ok = contains(v.output(), "31337");
+        return finish(v, ok, "recycled chunk let a stale read return attacker bytes");
+    }
 };
 
 } // namespace
@@ -412,6 +467,12 @@ std::string attack_name(AttackKind k) {
         return "heap-metadata";
     case AttackKind::HeapUnderflow:
         return "heap-underflow";
+    case AttackKind::StackIndexHop:
+        return "stack-hop";
+    case AttackKind::HeapOverRead:
+        return "heap-overread";
+    case AttackKind::HeapUafRead:
+        return "heap-uaf-read";
     }
     return "?";
 }
@@ -421,7 +482,8 @@ const std::vector<AttackKind>& all_attacks() {
         AttackKind::StackSmashInject, AttackKind::CodePtrHijack, AttackKind::CodePtrHijackMidFn,
         AttackKind::CodeCorruption,   AttackKind::Ret2Libc,      AttackKind::Rop,
         AttackKind::DataOnly,         AttackKind::InfoLeakBypass, AttackKind::UseAfterFree,
-        AttackKind::HeapMetadata,     AttackKind::HeapUnderflow,
+        AttackKind::HeapMetadata,     AttackKind::HeapUnderflow,  AttackKind::StackIndexHop,
+        AttackKind::HeapOverRead,     AttackKind::HeapUafRead,
     };
     return kinds;
 }
@@ -454,6 +516,12 @@ AttackOutcome run_attack(AttackKind kind, const Defense& defense, std::uint64_t 
         return lab.heap_metadata();
     case AttackKind::HeapUnderflow:
         return lab.heap_underflow();
+    case AttackKind::StackIndexHop:
+        return lab.stack_index_hop();
+    case AttackKind::HeapOverRead:
+        return lab.heap_over_read();
+    case AttackKind::HeapUafRead:
+        return lab.heap_uaf_read();
     }
     throw InternalError("unknown attack kind");
 }

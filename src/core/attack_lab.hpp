@@ -38,6 +38,12 @@ enum class AttackKind : std::uint8_t {
     HeapUnderflow,     // indexed writes skip the tail red zone into the
                        // neighbour's header + p[-8] underflow leaks the
                        // chunk's own size field (the memcheck blind spot)
+    StackIndexHop,     // non-contiguous stack write: attacker offset HOPS
+                       // the canary straight onto the return address
+    HeapOverRead,      // attacker-length echo reads across the tail red
+                       // zone into the neighbouring chunk's secret
+    HeapUafRead,       // stale pointer READ of a recycled chunk leaks
+                       // attacker-controlled bytes as the freed object
 };
 
 [[nodiscard]] std::string attack_name(AttackKind k);
@@ -77,6 +83,12 @@ struct AttackOutcome {
     std::uint64_t fast_steps = 0;
     std::uint64_t superinsns_retired = 0;
     std::uint64_t deopts = 0; // sum over all deopt reasons
+    // Shadow-memory sanitizer tallies (all zero unless the defense sets
+    // sanitize_address; DESIGN.md §15).
+    std::uint64_t asan_shadow_poisons = 0;
+    std::uint64_t asan_shadow_unpoisons = 0;
+    std::uint64_t asan_interceptor_checks = 0;
+    std::uint64_t asan_interceptor_traps = 0;
 
     [[nodiscard]] std::string verdict() const {
         return succeeded ? "ATTACK SUCCEEDED" : "blocked: " + vm::trap_name(trap.kind);

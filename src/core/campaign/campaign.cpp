@@ -102,7 +102,8 @@ std::string run_fault_cell(const Spec& spec, std::uint64_t cell) {
         out += "\",\"windows\":" + std::to_string(t.windows);
         out += ",\"power_cut\":" + std::to_string(t.power_cut);
         out += ",\"still_blocked\":" + std::to_string(t.still_blocked);
-        out += ",\"fail_open\":" + std::to_string(t.fail_open) + "}";
+        out += ",\"fail_open\":" + std::to_string(t.fail_open);
+        out += ",\"glitched_check\":" + std::to_string(t.glitched_check) + "}";
     }
     out += "],\"violations\":[";
     for (std::size_t i = 0; i < cs.violations.size(); ++i) {
@@ -111,6 +112,15 @@ std::string run_fault_cell(const Spec& spec, std::uint64_t cell) {
         }
         out += "\"";
         out += trace::json_escape(cs.violations[i].to_string());
+        out += "\"";
+    }
+    out += "],\"glitched\":[";
+    for (std::size_t i = 0; i < cs.glitched.size(); ++i) {
+        if (i != 0) {
+            out += ",";
+        }
+        out += "\"";
+        out += trace::json_escape(cs.glitched[i].to_string());
         out += "\"";
     }
     out += "]}";

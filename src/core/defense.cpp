@@ -68,6 +68,15 @@ Defense Defense::memcheck() {
     return d;
 }
 
+Defense Defense::sanitize_address() {
+    // Deployable sibling of memcheck: compiled shadow checks + kernel
+    // interceptors instead of machine-level poison-map enforcement.
+    Defense d{"sanitize", {}, {}};
+    d.copts.sanitize_address = true;
+    d.profile.sanitize_address = true;
+    return d;
+}
+
 const std::vector<Defense>& standard_defenses() {
     static const std::vector<Defense> all = {
         Defense::none(),          Defense::canary(),       Defense::dep(),
@@ -75,6 +84,7 @@ const std::vector<Defense>& standard_defenses() {
         Defense::shadow_stack(),  Defense::coarse_cfi(),
         Defense::all_exploit_mitigations(),
         Defense::safe_language(), Defense::memcheck(),
+        Defense::sanitize_address(),
     };
     return all;
 }

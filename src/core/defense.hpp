@@ -30,6 +30,8 @@ struct Defense {
     [[nodiscard]] static Defense all_exploit_mitigations();
     [[nodiscard]] static Defense safe_language(); // bounds checks + fortify
     [[nodiscard]] static Defense memcheck();      // run-time checker (testing mode)
+    [[nodiscard]] static Defense sanitize_address(); // deployed shadow-memory
+                                                     // redzone sanitizer
 };
 
 /// The configurations reported in the attack/defense matrix experiment.

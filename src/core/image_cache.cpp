@@ -12,7 +12,7 @@ namespace swsec::core {
 // bug a differential fuzzer would misattribute to the compiler.  Fail the
 // build instead: adding a field changes the size, and whoever does it must
 // extend options_key() (and this constant) in the same change.
-static_assert(sizeof(cc::CompilerOptions) == 6,
+static_assert(sizeof(cc::CompilerOptions) == 7,
               "cc::CompilerOptions changed: update compiler_options_key() in "
               "core/image_cache.cpp to include the new field, then bump this guard");
 
@@ -22,6 +22,7 @@ std::string compiler_options_key(const cc::CompilerOptions& o) {
     k += o.bounds_checks ? 'b' : '-';
     k += o.fortify_reads ? 'f' : '-';
     k += o.memcheck ? 'm' : '-';
+    k += o.sanitize_address ? 'a' : '-';
     k += o.emit_comments ? 'e' : '-';
     k += static_cast<char>('0' + static_cast<int>(o.pma_mode));
     return k;

@@ -134,6 +134,13 @@ profile::Registry matrix_metrics(const std::vector<MatrixCell>& cells) {
         reg.counter_add("vm_dispatch_fast_steps_total", base, o.fast_steps);
         reg.counter_add("vm_dispatch_superinsns_retired_total", base, o.superinsns_retired);
         reg.counter_add("vm_dispatch_deopts_total", base, o.deopts);
+        // asan.*: shadow-memory sanitizer activity (DESIGN.md §15).  All
+        // zero for non-sanitize defenses, so the totals isolate the
+        // sanitizer column's work.
+        reg.counter_add("asan_shadow_poisons_total", base, o.asan_shadow_poisons);
+        reg.counter_add("asan_shadow_unpoisons_total", base, o.asan_shadow_unpoisons);
+        reg.counter_add("asan_interceptor_checks_total", base, o.asan_interceptor_checks);
+        reg.counter_add("asan_interceptor_traps_total", base, o.asan_interceptor_traps);
         // Per-defense verdicts: which configurations are holding the line.
         reg.counter_add(o.succeeded ? "attacks_succeeded_total" : "attacks_blocked_total",
                         {{"harness", "matrix"}, {"defense", c.defense}});

@@ -194,4 +194,64 @@ std::string heap_index_server() {
     )";
 }
 
+std::string stack_index_server() {
+    return R"(
+        void handle() {
+          char buf[16];        /* slot 0: nearest bp, canary just above */
+          char req[8];
+          read(0, req, 8);     /* request: [off:int][val:int] */
+          int off = *(int*)&req[0];
+          int v = *(int*)&req[4];
+          int* w = (int*)(buf + off);
+          *w = v;              /* BUG: attacker-controlled offset — the
+                                  write HOPS the canary instead of
+                                  sweeping through it */
+        }
+        int main() {
+          handle();
+          write(1, "done\n", 5);
+          return 0;
+        }
+    )";
+}
+
+std::string heap_leak_server() {
+    return R"(
+        int main() {
+          char* msg = malloc(16);
+          char* secret = malloc(16);   /* 40 bytes past msg: 16 user +
+                                          16 red zone + 8 header */
+          strcpy(secret, "K3Y-4-HEAP-LEAK");
+          read(0, msg, 15);            /* request: decimal echo length */
+          int n = atoi(msg);
+          write(1, msg, n);            /* BUG: attacker-controlled echo
+                                          length — a pure heap over-READ */
+          puts("");
+          free(secret);
+          free(msg);
+          write(1, "bye\n", 4);
+          return 0;
+        }
+    )";
+}
+
+std::string uaf_read_server() {
+    return R"(
+        int main() {
+          char* session = malloc(12);
+          int* s = (int*)session;
+          s[0] = 1;            /* logged_in */
+          s[1] = 7;            /* privilege level */
+          free(session);       /* BUG: s read below (temporal) */
+          char* req = malloc(12);
+          read(0, req, 12);    /* allocator reuse: attacker fills the chunk */
+          print_int(s[1]);     /* BUG: use-after-free READ of the stale
+                                  privilege field */
+          puts("");
+          write(1, "bye\n", 4);
+          return 0;
+        }
+    )";
+}
+
 } // namespace swsec::core::scenarios

@@ -58,4 +58,25 @@ namespace swsec::core::scenarios {
 /// red zones never protects.
 [[nodiscard]] std::string heap_index_server();
 
+/// Non-contiguous stack write: an attacker-supplied *offset* from a stack
+/// buffer is dereferenced directly, so the write HOPS over whatever sits
+/// between the buffer and the return address (canary included) instead of
+/// sweeping through it.  Canaries only detect contiguous overflows; the
+/// shadow-memory sanitizer's ret-addr zone catches the hop itself.
+[[nodiscard]] std::string stack_index_server();
+
+/// Heap over-read info leak (Heartbleed on the heap): the attacker controls
+/// the echo length of a 16-byte heap message, and a secret key lives in the
+/// next chunk.  The leak crosses the victim chunk's tail red zone and the
+/// neighbour's header — a pure READ, so canaries/DEP/ASLR never notice.
+[[nodiscard]] std::string heap_leak_server();
+
+/// Use-after-free READ: a freed session struct is read after the allocator
+/// recycled its chunk to an attacker-filled request buffer.  Distinct from
+/// uaf_server (which reads a flag): here the leaked value is printed, so
+/// success needs the stale read to return attacker bytes verbatim.  Only a
+/// quarantining checker (memcheck / sanitize) that re-poisons the *full*
+/// user region on free can trap it.
+[[nodiscard]] std::string uaf_read_server();
+
 } // namespace swsec::core::scenarios

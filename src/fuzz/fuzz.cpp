@@ -302,7 +302,11 @@ std::vector<Divergence> check_program(const std::string& source, std::uint64_t s
     // Decode cache on vs off must agree on observable output *and* on the
     // event trace (the PR2/PR3 equivalence property, applied per program).
     for (const core::Defense& d : defenses) {
-        if (d.name != defenses[0].name && d.name != "all-mitigations") {
+        // "sanitize" rides along: its compiled shadow checks are ordinary
+        // instructions, so tier-2 and the decode cache must be transparent
+        // through them exactly as for uninstrumented code.
+        if (d.name != defenses[0].name && d.name != "all-mitigations" &&
+            d.name != "sanitize") {
             continue;
         }
         const objfmt::Image* image = nullptr;

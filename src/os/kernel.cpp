@@ -70,6 +70,62 @@ fault::SyscallFault Kernel::probe_io_fault(vm::Machine& m, std::uint8_t number) 
     return f;
 }
 
+void Kernel::shadow_set(vm::Machine& m, std::uint32_t addr, std::uint32_t len, bool poisoned) {
+    if (len == 0) {
+        return;
+    }
+    const std::uint32_t granule = vm::kShadowGranule;
+    std::uint32_t first = 0;
+    std::uint32_t last = 0; // exclusive, in granule-aligned byte addresses
+    if (poisoned) {
+        first = (addr + granule - 1) & ~(granule - 1);
+        last = (addr + len) & ~(granule - 1);
+    } else {
+        first = addr & ~(granule - 1);
+        last = (addr + len + granule - 1) & ~(granule - 1);
+    }
+    auto& mem = m.memory();
+    for (std::uint32_t a = first; a < last; a += granule) {
+        const std::uint32_t s = vm::shadow_of(a);
+        if (!mem.is_mapped(s)) {
+            continue; // address outside every sanitized segment: nothing to track
+        }
+        mem.raw_write8(s, poisoned ? 1 : 0);
+        if (poisoned) {
+            ++sanitizer_stats_.shadow_poisons;
+        } else {
+            ++sanitizer_stats_.shadow_unpoisons;
+        }
+    }
+}
+
+bool Kernel::shadow_range_ok(vm::Machine& m, std::uint32_t addr, std::uint32_t len,
+                             const char* what) {
+    if (len == 0) {
+        return true;
+    }
+    ++sanitizer_stats_.interceptor_checks;
+    const std::uint32_t granule = vm::kShadowGranule;
+    const std::uint32_t first = addr & ~(granule - 1);
+    auto& mem = m.memory();
+    // Every redzone is granule-aligned by construction, so a whole-granule
+    // scan over the overlapped granules is exact: a legal buffer never shares
+    // a granule with a redzone.
+    for (std::uint32_t a = first; a < addr + len; a += granule) {
+        const std::uint32_t s = vm::shadow_of(a);
+        if (!mem.is_mapped(s) || mem.raw_read8(s) == 0) {
+            continue;
+        }
+        ++sanitizer_stats_.interceptor_traps;
+        const std::uint32_t fault_addr = std::max(a, addr);
+        m.set_trap(TrapKind::PoisonedAccess, fault_addr,
+                   std::string("address sanitizer: ") + what + " buffer touches a redzone",
+                   trace::CheckOrigin::AddressSanitizer);
+        return false;
+    }
+    return true;
+}
+
 bool Kernel::sys_read(vm::Machine& m) {
     const auto f = probe_io_fault(m, vm::sys_num(Sys::Read));
     if (f.fail) {
@@ -90,6 +146,16 @@ bool Kernel::sys_read(vm::Machine& m) {
         len = f.max_bytes;
     }
     auto& ch = channels_[fd];
+    if (m.options().sanitize_address) {
+        // ASan libc-interceptor analogue: validate the *delivered* range
+        // before the copy starts, so a read() that would straddle a redzone
+        // traps without writing a single byte past it.
+        const auto avail = static_cast<std::uint32_t>(
+            std::min<std::size_t>(len, ch.input.size()));
+        if (!shadow_range_ok(m, buf, avail, "read")) {
+            return true;
+        }
+    }
     std::uint32_t n = 0;
     while (n < len && !ch.input.empty()) {
         const std::uint8_t b = ch.input.front();
@@ -114,6 +180,9 @@ bool Kernel::sys_write(vm::Machine& m) {
     const std::uint32_t buf = m.reg(Reg::R1);
     const std::uint32_t len = m.reg(Reg::R2);
     auto& ch = channels_[fd];
+    if (m.options().sanitize_address && !shadow_range_ok(m, buf, len, "write")) {
+        return true;
+    }
     for (std::uint32_t i = 0; i < len; ++i) {
         std::uint8_t b = 0;
         if (!m.load8(buf + i, b)) {
@@ -139,6 +208,14 @@ bool Kernel::sys_sbrk(vm::Machine& m) {
             return true;
         }
         m.memory().map(old_brk, static_cast<std::uint32_t>(delta), vm::Perm::RW);
+        if (m.options().sanitize_address) {
+            // Materialise the shadow slice for the grown range and clear it:
+            // a brk shrink/regrow cycle must not resurrect stale poison.
+            const std::uint32_t lo = vm::shadow_of(old_brk);
+            const std::uint32_t hi = vm::shadow_of(new_brk - 1) + 1;
+            m.memory().map(lo, hi - lo, vm::Perm::RW);
+            shadow_set(m, old_brk, static_cast<std::uint32_t>(delta), /*poisoned=*/false);
+        }
         layout_->brk = new_brk;
         heap_stats_.grown_bytes += static_cast<std::uint32_t>(delta);
         heap_stats_.high_water = std::max(heap_stats_.high_water, new_brk - layout_->heap_base);
@@ -163,6 +240,9 @@ bool Kernel::sys_sbrk(vm::Machine& m) {
 bool Kernel::sys_getrandom(vm::Machine& m) {
     const std::uint32_t buf = m.reg(Reg::R0);
     const std::uint32_t len = m.reg(Reg::R1);
+    if (m.options().sanitize_address && !shadow_range_ok(m, buf, len, "getrandom")) {
+        return true;
+    }
     for (std::uint32_t i = 0; i < len; ++i) {
         if (!m.store8(buf + i, static_cast<std::uint8_t>(rng_.next_u32() & 0xff))) {
             return true;
@@ -208,6 +288,15 @@ bool Kernel::handle_syscall(vm::Machine& m, std::uint8_t number) {
             m.set_trap(TrapKind::Abort, 0, "module entry-point sanitisation failed",
                        trace::CheckOrigin::Pma);
             break;
+        case vm::AbortReason::Asan:
+            // The compiled shadow check found a poisoned granule; r1 carries
+            // the faulting address.  This is a PoisonedAccess, not an Abort:
+            // the sanitizer is the deployable sibling of memcheck and its
+            // verdict must be comparable cell-for-cell in the matrix.
+            m.set_trap(TrapKind::PoisonedAccess, m.reg(Reg::R1),
+                       "address sanitizer: redzone access detected",
+                       trace::CheckOrigin::AddressSanitizer);
+            break;
         case vm::AbortReason::Generic:
         default:
             m.set_trap(TrapKind::Abort, 0, "program aborted (countermeasure check failed)");
@@ -218,14 +307,23 @@ bool Kernel::handle_syscall(vm::Machine& m, std::uint8_t number) {
         if (m.options().memcheck) {
             m.memory().poison(m.reg(Reg::R0), m.reg(Reg::R1));
         }
+        if (m.options().sanitize_address) {
+            shadow_set(m, m.reg(Reg::R0), m.reg(Reg::R1), /*poisoned=*/true);
+        }
         return true;
     case Sys::Unpoison:
         if (m.options().memcheck) {
             m.memory().unpoison(m.reg(Reg::R0), m.reg(Reg::R1));
         }
+        if (m.options().sanitize_address) {
+            shadow_set(m, m.reg(Reg::R0), m.reg(Reg::R1), /*poisoned=*/false);
+        }
         return true;
     case Sys::MemcheckActive:
-        m.set_reg(Reg::R0, m.options().memcheck ? 1 : 0);
+        // Either checker counts as "active": the allocator quarantines freed
+        // chunks and skips recycling under the sanitizer exactly as under
+        // memcheck, so its own metadata walks never read poisoned headers.
+        m.set_reg(Reg::R0, (m.options().memcheck || m.options().sanitize_address) ? 1 : 0);
         return true;
     default:
         if (extension_ != nullptr) {

@@ -67,6 +67,18 @@ struct KernelHeapStats {
     std::uint32_t high_water = 0; // max(brk - heap_base) over the run
 };
 
+/// Shadow-memory bookkeeping when the process runs under the deployable
+/// address sanitizer (SecurityProfile::sanitize_address).  The kernel is the
+/// only writer of the shadow region (compiled code merely *reads* it via the
+/// instrumented checks) and pre-checks every syscall buffer range against it
+/// — the interceptor role libc shims play in a real ASan runtime.
+struct KernelSanitizerStats {
+    std::uint64_t shadow_poisons = 0;     // granules poisoned via Sys::Poison
+    std::uint64_t shadow_unpoisons = 0;   // granules cleared via Sys::Unpoison
+    std::uint64_t interceptor_checks = 0; // syscall buffer ranges pre-checked
+    std::uint64_t interceptor_traps = 0;  // redzone hits caught pre-copy
+};
+
 /// One byte-stream endpoint pair (what the program reads / what it wrote).
 struct Channel {
     std::deque<std::uint8_t> input;
@@ -91,6 +103,9 @@ public:
     void set_retry_policy(RetryPolicy p) noexcept { retry_ = p; }
     [[nodiscard]] const KernelFaultStats& fault_stats() const noexcept { return fault_stats_; }
     [[nodiscard]] const KernelHeapStats& heap_stats() const noexcept { return heap_stats_; }
+    [[nodiscard]] const KernelSanitizerStats& sanitizer_stats() const noexcept {
+        return sanitizer_stats_;
+    }
 
     // --- I/O attacker interface ------------------------------------------
     /// Queue bytes the program will see on its next SYS read from `fd`.
@@ -122,6 +137,16 @@ private:
     bool sys_write(vm::Machine& m);
     bool sys_sbrk(vm::Machine& m);
     bool sys_getrandom(vm::Machine& m);
+    /// Write the shadow bytes for [addr, addr+len): poison rounds *inward*
+    /// (only fully covered granules), unpoison rounds *outward* (any granule
+    /// touched) — the asymmetry every shadow-memory sanitizer needs so a
+    /// partial-granule free never leaves a live neighbour poisoned.
+    void shadow_set(vm::Machine& m, std::uint32_t addr, std::uint32_t len, bool poisoned);
+    /// Pre-check a syscall buffer range against the shadow before copying.
+    /// On a redzone hit sets TrapKind::PoisonedAccess (AddressSanitizer
+    /// origin) and returns false; the syscall must then return immediately.
+    [[nodiscard]] bool shadow_range_ok(vm::Machine& m, std::uint32_t addr, std::uint32_t len,
+                                       const char* what);
     /// Probe the injector for this syscall, running the bounded-retry loop.
     /// The returned decision is the post-retry verdict: if it still says
     /// fail, the kernel reports the error to the program.  Injected failures
@@ -137,6 +162,7 @@ private:
     RetryPolicy retry_;
     KernelFaultStats fault_stats_;
     KernelHeapStats heap_stats_;
+    KernelSanitizerStats sanitizer_stats_;
 };
 
 } // namespace swsec::os

@@ -28,6 +28,16 @@ std::uint32_t page_round_up(std::uint32_t v) noexcept {
     return (v + vm::kPageSize - 1) & ~(vm::kPageSize - 1);
 }
 
+/// Map the shadow slice covering [base, base+size) read-write.  The shadow
+/// is plain guest RAM: compiled checks load it, the kernel writes it; the
+/// machine itself attaches no semantics to these pages.
+void map_shadow_slice(vm::Memory& mem, std::uint32_t base, std::uint32_t size) {
+    const std::uint32_t span = std::max<std::uint32_t>(size, 1);
+    const std::uint32_t lo = vm::shadow_of(base);
+    const std::uint32_t hi = vm::shadow_of(base + span - 1) + 1;
+    mem.map(lo, hi - lo, vm::Perm::RW);
+}
+
 } // namespace
 
 void assert_disjoint_layout(const ProcessLayout& layout, std::uint32_t stack_size) {
@@ -133,6 +143,45 @@ ProcessLayout load_image(vm::Machine& machine, const Image& image, const LoadOpt
         mem.protect(layout.data_base, std::max<std::uint32_t>(layout.data_size, 1), vm::Perm::RWX);
         mem.protect(layout.stack_low, opts.stack_size, vm::Perm::RWX);
         machine.options().enforce_nx = false;
+    }
+
+    if (opts.sanitize_address) {
+        // The shadow carve-out [kShadowBase, kShadowBase + 2^30) sits between
+        // the heap limit and the lowest possible stack page under maximum
+        // ASLR entropy, but an image is attacker-supplied data: fail closed
+        // if any segment strays into the shadow range rather than let a
+        // segment and its own shadow alias.
+        constexpr std::uint32_t kShadowLo = vm::kShadowBase;
+        constexpr std::uint32_t kShadowHi = vm::kShadowBase + (1U << (32 - vm::kShadowShift));
+        const struct {
+            const char* name;
+            std::uint32_t lo, hi;
+        } segs[] = {
+            {"text", layout.text_base, layout.text_base + page_round_up(std::max<std::uint32_t>(layout.text_size, 1))},
+            {"data", layout.data_base, layout.data_base + page_round_up(std::max<std::uint32_t>(layout.data_size, 1))},
+            {"heap", layout.heap_base, kHeapLimit},
+            {"stack", layout.stack_low, layout.stack_high},
+        };
+        for (const auto& s : segs) {
+            if (s.lo < kShadowHi && kShadowLo < s.hi) {
+                throw Error(std::string("sanitizer shadow region overlaps segment ") + s.name);
+            }
+        }
+        map_shadow_slice(mem, layout.text_base, layout.text_size);
+        map_shadow_slice(mem, layout.data_base, layout.data_size);
+        map_shadow_slice(mem, layout.stack_low, opts.stack_size);
+        // Heap shadow is materialised page-by-page as sbrk grows the break
+        // (os/kernel.cpp) — premapping shadow for the whole kHeapLimit range
+        // would cost more pages than most processes ever touch.
+        //
+        // Poison the compiler-emitted global redzones.  Offsets are
+        // data-section relative and granule-aligned by construction
+        // (.align 4 before every .redzone), so the mapping is exact.
+        for (const auto& rz : image.redzones) {
+            for (std::uint32_t off = 0; off < rz.size; off += vm::kShadowGranule) {
+                mem.raw_write8(vm::shadow_of(layout.data_base + rz.offset + off), 1);
+            }
+        }
     }
 
     if (opts.install_cfi_targets) {

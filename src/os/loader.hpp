@@ -30,6 +30,10 @@ struct LoadOptions {
     std::uint32_t aslr_entropy_bits = 12; // page-granular entropy per segment
     std::uint32_t stack_size = kDefaultStackSize;
     bool install_cfi_targets = true; // publish function starts to the machine
+    bool sanitize_address = false;   // map the sanitizer shadow region for
+                                     // text/data/stack (heap shadow grows
+                                     // with sbrk) and poison the image's
+                                     // global redzones into it
 };
 
 /// Largest supported per-segment ASLR entropy; load_image clamps to this.

@@ -8,6 +8,7 @@ Process::Process(objfmt::Image image, const SecurityProfile& profile, std::uint6
     machine_.options().hardware_shadow_stack = profile.shadow_stack;
     machine_.options().coarse_cfi = profile.coarse_cfi;
     machine_.options().memcheck = profile.memcheck;
+    machine_.options().sanitize_address = profile.sanitize_address;
     machine_.options().decode_cache = profile.decode_cache;
     machine_.options().fast_engine = profile.fast_engine;
 
@@ -27,6 +28,7 @@ Process::Process(objfmt::Image image, const SecurityProfile& profile, std::uint6
     lo.dep = profile.dep;
     lo.aslr = profile.aslr;
     lo.aslr_entropy_bits = profile.aslr_entropy_bits;
+    lo.sanitize_address = profile.sanitize_address;
     layout_ = load_image(machine_, image_, lo, rng_, entry_symbol);
 
     kernel_.attach_layout(&layout_);

@@ -27,6 +27,11 @@ struct SecurityProfile {
     bool shadow_stack = false; // hardware return-address protection
     bool coarse_cfi = false;   // indirect-branch target restriction
     bool memcheck = false;     // ASan-style run-time checker (testing mode)
+    bool sanitize_address = false; // deployable shadow-memory sanitizer: the
+                               // loader maps the shadow region and the kernel
+                               // maintains it; pair with
+                               // CompilerOptions::sanitize_address so the
+                               // image carries the compiled checks
     bool decode_cache = true;  // per-page predecode cache (perf only; the
                                // regression tests flip this off to prove
                                // trap-for-trap equivalence)

@@ -19,6 +19,7 @@ const char* check_origin_name(CheckOrigin o) noexcept {
     case CheckOrigin::Capability: return "capability";
     case CheckOrigin::Watchdog: return "watchdog";
     case CheckOrigin::FaultInjector: return "fault-injector";
+    case CheckOrigin::AddressSanitizer: return "asan";
     }
     return "unknown";
 }

@@ -47,6 +47,7 @@ enum class CheckOrigin : std::uint8_t {
     Capability,    // capability-machine bounds/permission check
     Watchdog,      // step-budget watchdog (OutOfGas)
     FaultInjector, // injected platform fault (power cut etc.)
+    AddressSanitizer, // compiled shadow-memory redzone check / kernel interceptor
 };
 
 [[nodiscard]] const char* check_origin_name(CheckOrigin o) noexcept;

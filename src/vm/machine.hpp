@@ -55,6 +55,11 @@ struct MachineOptions {
     bool hardware_shadow_stack = false;
     bool coarse_cfi = false;          // indirect branch target checking
     bool memcheck = false;            // honour the poison map on data access
+    bool sanitize_address = false;    // shadow-memory sanitizer deployed: the
+                                      // kernel maintains the shadow region and
+                                      // pre-checks syscall buffers; the machine
+                                      // itself never consults the shadow (all
+                                      // in-program checks are compiled code)
     bool capability_mode = false;     // enable the CHERI-style cap opcodes
     bool pure_capability = false;     // pure-cap mode: plain memory ops trap
                                       // (integers can never act as pointers)

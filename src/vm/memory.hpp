@@ -64,6 +64,29 @@ enum class AccessFault : std::uint8_t {
 inline constexpr std::uint32_t kPageSize = 4096;
 inline constexpr std::uint32_t kPageShift = 12;
 
+// --- address-sanitizer shadow region (Section III-C2 deployable variant) ---
+//
+// Unlike the poison map above (host-side state the Machine consults in
+// memcheck mode), the sanitizer's shadow is *ordinary guest RAM*: one shadow
+// byte per 4-byte granule, mapped by the loader at kShadowBase and consulted
+// only by compiled check sequences and kernel interceptors.  The Machine
+// itself never reads it.  With a 4-byte granule every redzone the compiler
+// and allocator emit is granule-aligned, so a shadow byte is simply
+// 0 = addressable, non-zero = poisoned (no partial-granule encoding).
+//
+// [kShadowBase, kShadowBase + 2^32/4) shadows the whole address space; the
+// loader only materialises the slices that shadow live segments.  The region
+// sits far above text/data/heap and far below the stack under every ASLR
+// draw (max entropy is 14 bits of 4 KiB pages), so it never collides with a
+// segment — asserted at load time.
+inline constexpr std::uint32_t kShadowBase = 0x20000000u;
+inline constexpr std::uint32_t kShadowShift = 2;
+inline constexpr std::uint32_t kShadowGranule = 1u << kShadowShift;
+
+[[nodiscard]] constexpr std::uint32_t shadow_of(std::uint32_t addr) noexcept {
+    return kShadowBase + (addr >> kShadowShift);
+}
+
 /// Direct, read-only view of one mapped page (fast-path substrate): the
 /// backing bytes, the page's permissions and its current generation.  The
 /// pointer is invalidated by unmap; the generation changes on any mutation.

@@ -39,6 +39,7 @@ enum class AbortReason : std::uint32_t {
     Bounds = 2,   // array index out of bounds
     Fortify = 3,  // fortified read exceeds destination capacity
     PmaGuard = 4, // protected-module entry/indirect-call sanitisation
+    Asan = 5,     // shadow-memory redzone check (r1 = faulting address)
 };
 
 } // namespace swsec::vm

@@ -131,6 +131,36 @@ TEST(TierSelection, ObserversAndOptionsForceTier1) {
     EXPECT_EQ(tier2_entries_with([](Machine& m) { m.options().decode_cache = false; }), 0u);
 }
 
+TEST(TierSelection, SanitizeAddressStaysOnTier2) {
+    // sanitize_address is compiled-in instrumentation plus kernel
+    // interceptors: the machine itself never consults the shadow, so the
+    // flag must NOT demote execution.  The compiled shadow checks are
+    // ordinary instructions tier 2 executes (and fuses) like any others,
+    // and the trapping `sys` path already deopts at every syscall — so
+    // A/B equivalence over the fused workload proves superinstruction
+    // fusion cannot skip a check (test_sanitizer.cpp drives the same
+    // contract end-to-end through compiled images).
+    MachineOptions fast;
+    fast.sanitize_address = true;
+    MachineOptions slow = fast;
+    slow.fast_engine = false;
+    Runner a(fast);
+    Runner b(slow);
+    const Encoder e = mixed_program();
+    const auto ra = a.run(e);
+    const auto rb = b.run(e);
+    EXPECT_EQ(ra.trap.kind, TrapKind::Halted);
+    EXPECT_EQ(rb.trap.kind, TrapKind::Halted);
+    EXPECT_EQ(ra.steps, rb.steps);
+    for (int i = 0; i < swsec::isa::kNumRegs; ++i) {
+        EXPECT_EQ(a.m.reg(static_cast<Reg>(i)), b.m.reg(static_cast<Reg>(i))) << "r" << i;
+    }
+    EXPECT_GT(a.m.dispatch_stats().tier2_entries, 0u)
+        << "sanitize_address must not force tier 1";
+    EXPECT_GT(a.m.dispatch_stats().superinsns_retired, 0u);
+    EXPECT_EQ(b.m.dispatch_stats().tier2_entries, 0u);
+}
+
 TEST(TierSelection, ProtectedModulesForceTier1) {
     Runner r;
     ProtectedModule mod;

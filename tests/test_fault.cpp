@@ -358,6 +358,51 @@ TEST(FaultSweep, BlockedCellsStayBlockedUnderFaults) {
     }
 }
 
+TEST(FaultSweep, GlitchedCompiledChecksAreDocumentedNotFailOpen) {
+    // The address sanitizer's enforcement is compiled guest code: a shadow
+    // probe before the store.  A register bit flip can jump past it — the
+    // paper's fault-attacker result — so a flip on a sanitize-blocked cell
+    // must land in the `glitched` residual, never in `violations`.  This
+    // sweeps the stack-hop vs sanitize cell with the default seeds, where
+    // a reg-bit-flip window is known to skip the check (replayable).
+    const auto& attacks = core::all_attacks();
+    const auto& defenses = core::standard_defenses();
+    std::size_t ai = attacks.size();
+    std::size_t di = defenses.size();
+    for (std::size_t i = 0; i < attacks.size(); ++i) {
+        if (attacks[i] == core::AttackKind::StackIndexHop) {
+            ai = i;
+        }
+    }
+    for (std::size_t i = 0; i < defenses.size(); ++i) {
+        if (defenses[i].name == "sanitize") {
+            di = i;
+        }
+    }
+    ASSERT_LT(ai, attacks.size());
+    ASSERT_LT(di, defenses.size());
+
+    core::FaultSweepOptions opts;
+    opts.windows_per_class = 6;
+    opts.classes = {FaultClass::RegBitFlip};
+    // Class index must match the full sweep's schedule (RegBitFlip is
+    // class 1 there) so the drawn windows are the ones CI replays.
+    opts.classes.insert(opts.classes.begin(), FaultClass::PowerCut);
+    const auto cell = core::sweep_fault_cell(opts, ai, di);
+
+    ASSERT_FALSE(cell.baseline_success);
+    EXPECT_EQ(cell.record.outcome.trap.origin, trace::CheckOrigin::AddressSanitizer);
+    EXPECT_TRUE(cell.violations.empty())
+        << "a compiled-check bypass must not count as fail-open: "
+        << cell.violations.front().to_string();
+    EXPECT_FALSE(cell.glitched.empty())
+        << "the known reg-bit-flip bypass of the shadow probe should reproduce";
+    for (const auto& g : cell.glitched) {
+        EXPECT_EQ(g.defense, "sanitize");
+        EXPECT_EQ(g.event.cls, FaultClass::RegBitFlip);
+    }
+}
+
 TEST(FaultSweep, ReportsAreDeterministic) {
     core::FaultSweepOptions opts;
     opts.attacks = {core::AttackKind::DataOnly};

@@ -54,6 +54,9 @@ TEST(Matrix, StackSmashingWithCodeInjection) {
                   // The run-time checker's red zone catches the overflow as
                   // the kernel copies byte 17 (Section III-C2).
                   {Defense::memcheck(), false, TrapKind::PoisonedAccess},
+                  // The deployed sanitizer: the read() interceptor validates
+                  // the delivered range against the shadow before copying.
+                  {Defense::sanitize_address(), false, TrapKind::PoisonedAccess},
               });
 }
 
@@ -73,6 +76,7 @@ TEST(Matrix, FunctionPointerOverwrite) {
                   {Defense::coarse_cfi(), true, TrapKind::None},
                   {Defense::safe_language(), false, TrapKind::Abort},
                   {Defense::memcheck(), false, TrapKind::PoisonedAccess},
+                  {Defense::sanitize_address(), false, TrapKind::PoisonedAccess},
               });
 }
 
@@ -99,6 +103,10 @@ TEST(Matrix, CodeCorruption) {
                   // bounds-check retrofit cannot see it (the "unsafe code
                   // remains" caveat of Section III-C2).
                   {Defense::safe_language(), true, TrapKind::None},
+                  // The sanitizer's honest residual: the text segment is
+                  // addressable (never poisoned), so the in-bounds arbitrary
+                  // write sails through the shadow check.
+                  {Defense::sanitize_address(), true, TrapKind::None},
               });
 }
 
@@ -114,6 +122,7 @@ TEST(Matrix, ReturnToLibc) {
                   {Defense::shadow_stack(), false, TrapKind::ShadowStackViolation},
                   {Defense::coarse_cfi(), true, TrapKind::None},
                   {Defense::safe_language(), false, TrapKind::Abort},
+                  {Defense::sanitize_address(), false, TrapKind::PoisonedAccess},
               });
 }
 
@@ -161,6 +170,10 @@ TEST(Matrix, InfoLeakBypassesCanaryDepAslr) {
                   {Defense::shadow_stack(), false, TrapKind::ShadowStackViolation},
                   {Defense::safe_language(), false, TrapKind::Abort},
                   {Defense::memcheck(), false, TrapKind::PoisonedAccess},
+                  // The leak itself is stopped: echoing 32 bytes of a
+                  // 16-byte stack buffer crosses its red zone in the
+                  // write() interceptor.
+                  {Defense::sanitize_address(), false, TrapKind::PoisonedAccess},
               });
 }
 
@@ -174,6 +187,9 @@ TEST(Matrix, UseAfterFree) {
                   {Defense::all_exploit_mitigations(), true, TrapKind::None},
                   {Defense::safe_language(), true, TrapKind::None},
                   {Defense::memcheck(), false, TrapKind::PoisonedAccess},
+                  // Quarantined free(): the chunk is never recycled and its
+                  // shadow stays poisoned, so the stale read traps.
+                  {Defense::sanitize_address(), false, TrapKind::PoisonedAccess},
               });
 }
 
@@ -215,6 +231,7 @@ TEST(Matrix, HeapMetadataCorruption) {
                   {Defense::safe_language(), true, TrapKind::None},
                   // ...but the allocator's red zones catch the overflow.
                   {Defense::memcheck(), false, TrapKind::PoisonedAccess},
+                  {Defense::sanitize_address(), false, TrapKind::PoisonedAccess},
               });
 }
 } // namespace
@@ -241,6 +258,87 @@ TEST(Matrix, HeapUnderflowIndexedPokes) {
                   {Defense::safe_language(), true, TrapKind::None},
                   // Poisoned chunk headers stop the very first poke.
                   {Defense::memcheck(), false, TrapKind::PoisonedAccess},
+                  // The compiled shadow check on the indexed store fires on
+                  // the same poisoned header byte.
+                  {Defense::sanitize_address(), false, TrapKind::PoisonedAccess},
+              });
+}
+} // namespace
+
+// Appended: the three spatial-safety blind-spot rows the shadow-memory
+// sanitizer closes (DESIGN.md §15).
+namespace {
+TEST(Matrix, StackIndexHopOverCanary) {
+    // A non-contiguous write: the attacker-supplied offset lands the word
+    // directly on the return-address slot, hopping over the canary (and over
+    // memcheck's array red zones) without touching them.  Contiguity-based
+    // defenses never fire; only poisoning the ret slot itself catches the
+    // hop.
+    check_row(AttackKind::StackIndexHop,
+              {
+                  {Defense::none(), true, TrapKind::None},
+                  // The canary survives untouched: StackGuard passes.
+                  {Defense::canary(), true, TrapKind::None},
+                  // Code reuse (ret into grant_shell): DEP is irrelevant.
+                  {Defense::dep(), true, TrapKind::None},
+                  // The probe's grant_shell address is wrong under ASLR.
+                  {Defense::aslr(), false, TrapKind::SegvExec},
+                  // Red zones bracket the array, but the hop lands PAST
+                  // them on the never-poisoned ret slot: the testing
+                  // checker's blind spot this row regression-locks.
+                  {Defense::memcheck(), true, TrapKind::None},
+                  // The write goes through a cast pointer: no bounds info.
+                  {Defense::safe_language(), true, TrapKind::None},
+                  // The return address still changes: the shadow stack's
+                  // copy disagrees at ret.
+                  {Defense::shadow_stack(), false, TrapKind::ShadowStackViolation},
+                  // sanitize_address poisons the ret-addr zone itself
+                  // (DESIGN.md §15): the hopping store traps.
+                  {Defense::sanitize_address(), false, TrapKind::PoisonedAccess},
+              });
+}
+
+TEST(Matrix, HeapOverReadInfoLeak) {
+    // Heartbleed on the heap: an attacker-controlled echo length reads
+    // across the victim chunk's tail red zone and the neighbour's header
+    // into a secret.  A pure READ — canary/DEP/shadow-stack/CFI watch
+    // writes and control flow, and the payload contains no addresses, so
+    // ASLR has nothing to randomize away.
+    check_row(AttackKind::HeapOverRead,
+              {
+                  {Defense::none(), true, TrapKind::None},
+                  {Defense::canary(), true, TrapKind::None},
+                  {Defense::dep(), true, TrapKind::None},
+                  {Defense::aslr(), true, TrapKind::None},
+                  {Defense::standard_hardening(), true, TrapKind::None},
+                  {Defense::shadow_stack(), true, TrapKind::None},
+                  {Defense::coarse_cfi(), true, TrapKind::None},
+                  // Bounds retrofits cannot size a malloc'd chunk.
+                  {Defense::safe_language(), true, TrapKind::None},
+                  // memcheck: the kernel's checked copy loop hits the
+                  // poisoned tail red zone at byte 16 — nothing past the
+                  // chunk ever reaches the output.
+                  {Defense::memcheck(), false, TrapKind::PoisonedAccess},
+                  // sanitize: the write() interceptor validates the whole
+                  // range against the shadow before copying a single byte.
+                  {Defense::sanitize_address(), false, TrapKind::PoisonedAccess},
+              });
+}
+
+TEST(Matrix, HeapUafReadLeak) {
+    // Use-after-free READ: the allocator recycles the freed session chunk
+    // into the attacker-filled request buffer, so the stale s[1] read
+    // returns attacker bytes verbatim.  Only quarantine + full-extent
+    // re-poisoning on free() makes the stale read trap; a free() that
+    // recycles (or re-poisons only part of the user region) leaks.
+    check_row(AttackKind::HeapUafRead,
+              {
+                  {Defense::none(), true, TrapKind::None},
+                  {Defense::standard_hardening(), true, TrapKind::None},
+                  {Defense::all_exploit_mitigations(), true, TrapKind::None},
+                  {Defense::safe_language(), true, TrapKind::None},
+                  {Defense::memcheck(), false, TrapKind::PoisonedAccess},
+                  {Defense::sanitize_address(), false, TrapKind::PoisonedAccess},
               });
 }
 } // namespace

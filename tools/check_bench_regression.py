@@ -6,6 +6,11 @@ Compares BM_VmExecute/* real_time in a freshly produced bench aggregate
 newest committed BENCH_PR<N>.json snapshot and fails if any benchmark
 regressed by more than the threshold (default 15%).
 
+The prefix is a startswith match, so the default also guards the
+BM_VmExecuteSanitized pair (sanitizer off/on, bench_attack_matrix): both
+the uninstrumented hot path and the shadow-check instrumentation tax sit
+under the same one-directional budget once a snapshot records them.
+
 The committed snapshots form the repo's performance trajectory; this guard
 makes that trajectory one-directional for the execution engine: a PR may
 make BM_VmExecute faster, but a slowdown beyond noise fails CI.

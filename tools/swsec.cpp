@@ -72,6 +72,7 @@
 //
 // Hardening options (run/asm/disasm):
 //   --canary --bounds --fortify --memcheck     compiler passes
+//   --sanitize                                 shadow-memory red zones (compiler+kernel)
 //   --dep --aslr --shadow-stack --cfi          platform configuration
 //   --seed N                                   deterministic randomness
 //   --input STR                                bytes fed to fd 0
@@ -120,7 +121,7 @@ int usage() {
         "usage: swsec "
         "<run|asm|disasm|lint|gadgets|fig1|matrix|fault-sweep|trace|fuzz|evolve|curves|"
         "profile|campaign> [file.mc|scenario] [options]\n"
-        "options: --canary --bounds --fortify --memcheck --dep --aslr\n"
+        "options: --canary --bounds --fortify --memcheck --sanitize --dep --aslr\n"
         "         --shadow-stack --cfi --seed N --input STR\n"
         "matrix options: --jobs N --trace-out FILE --metrics-out FILE\n"
         "fault-sweep options: --fault-seed N --windows N --jobs N --trace-out FILE\n"
@@ -182,6 +183,9 @@ bool parse_options(int argc, char** argv, int start, Options& out) {
         } else if (arg == "--memcheck") {
             out.copts.memcheck = true;
             out.profile.memcheck = true;
+        } else if (arg == "--sanitize") {
+            out.copts.sanitize_address = true;
+            out.profile.sanitize_address = true;
         } else if (arg == "--dep") {
             out.profile.dep = true;
         } else if (arg == "--aslr") {
@@ -320,6 +324,9 @@ int cmd_profile(int argc, char** argv) {
         } else if (arg == "--memcheck") {
             opt.copts.memcheck = true;
             opt.profile.memcheck = true;
+        } else if (arg == "--sanitize") {
+            opt.copts.sanitize_address = true;
+            opt.profile.sanitize_address = true;
         } else if (arg == "--dep") {
             opt.profile.dep = true;
         } else if (arg == "--aslr") {
