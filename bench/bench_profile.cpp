@@ -12,6 +12,10 @@
 //                           the annotated disassembly render.
 //  * BM_ProfileScenario   — end-to-end `swsec profile <scenario>`: attack,
 //                           victim run with profiler attached, report.
+//  * BM_HistogramObserve  — one histogram_observe on a resolved series:
+//                           the per-cell price campaign workers pay inline.
+//  * BM_RegistryToPrometheus — full text-exposition render of a registry
+//                           sized like a campaign export.
 //
 // The *detached* profiler cost is deliberately benched next to the tracer
 // in bench_trace.cpp (BM_VmExecuteProfiled arg 0) so the two disabled-
@@ -21,6 +25,7 @@
 #include "cc/compiler.hpp"
 #include "core/profile_scenarios.hpp"
 #include "os/process.hpp"
+#include "profile/metrics.hpp"
 #include "profile/profiler.hpp"
 #include "profile/report.hpp"
 #include "profile/symbolize.hpp"
@@ -105,6 +110,47 @@ void BM_ProfileScenario(benchmark::State& state) {
         benchmark::Counter(static_cast<double>(retired), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ProfileScenario)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+
+void BM_HistogramObserve(benchmark::State& state) {
+    profile::Registry reg;
+    const profile::Labels labels = {{"harness", "campaign"}, {"kind", "fuzz"}};
+    std::uint64_t v = 1;
+    for (auto _ : state) {
+        reg.histogram_observe("campaign_cell_wall_ms", labels, v,
+                              profile::Volatile::Yes);
+        v = (v * 2862933555777941757ull + 3037000493ull) & 0xffffff; // spread buckets
+        benchmark::DoNotOptimize(reg);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_RegistryToPrometheus(benchmark::State& state) {
+    // A registry shaped like a real campaign export: a few counter/gauge
+    // families plus histograms fanned out over label combinations.
+    profile::Registry reg;
+    for (int k = 0; k < 8; ++k) {
+        const profile::Labels labels = {{"harness", "campaign"},
+                                        {"kind", k % 2 ? "fuzz" : "evolve"},
+                                        {"shard", std::to_string(k)}};
+        reg.counter_add("campaign_cells_total", labels, 100 + k);
+        reg.gauge_set("campaign_workers", labels, 4);
+        for (std::uint64_t v = 1; v < 1u << 20; v <<= 1) {
+            reg.histogram_observe("campaign_cell_wall_ms", labels, v,
+                                  profile::Volatile::Yes);
+            reg.histogram_observe("campaign_cell_attempts", labels, v & 7);
+        }
+    }
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        const std::string text = reg.to_prometheus(true);
+        bytes += text.size();
+        benchmark::DoNotOptimize(text);
+    }
+    state.counters["exposition_bytes_per_s"] =
+        benchmark::Counter(static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RegistryToPrometheus);
 
 } // namespace
 

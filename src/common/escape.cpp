@@ -1,0 +1,70 @@
+#include "common/escape.hpp"
+
+namespace swsec {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char* hex = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string prom_escape_label(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string prom_escape_help(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string prom_sanitize_name(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 1);
+    for (const char c : s) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+        out.insert(out.begin(), '_');
+    }
+    return out;
+}
+
+} // namespace swsec

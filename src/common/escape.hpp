@@ -1,0 +1,35 @@
+// Shared text escapers for the export formats the harnesses emit.
+//
+// Every writer that embeds an untrusted string (scenario names, trap
+// details, label values) in a structured document must escape it, and the
+// JSON and Prometheus writers must agree on what "escaped" means — a
+// scenario name that round-trips through `--metrics-out` has to survive
+// `--prom-out` too.  One implementation here, used by trace JSONL, the
+// metrics registry's JSON export and the Prometheus text-exposition writer,
+// so the escaping rules cannot drift apart per call site.
+#pragma once
+
+#include <string>
+
+namespace swsec {
+
+/// Escape a string for embedding inside a double-quoted JSON value:
+/// backslash, quote, and all control characters (\n \r \t named, the rest
+/// as \u00XX).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Escape a string for a Prometheus exposition-format label value
+/// (double-quoted): backslash -> \\, quote -> \", newline -> \n.
+[[nodiscard]] std::string prom_escape_label(const std::string& s);
+
+/// Escape a string for a Prometheus # HELP line: backslash -> \\,
+/// newline -> \n (quotes are legal in help text).
+[[nodiscard]] std::string prom_escape_help(const std::string& s);
+
+/// Sanitize a metric or label name into the Prometheus charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid byte becomes '_', and a leading
+/// digit gets a '_' prefix.  Identity for the registry's own names, which
+/// are already snake_case.
+[[nodiscard]] std::string prom_sanitize_name(const std::string& s);
+
+} // namespace swsec

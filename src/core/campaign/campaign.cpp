@@ -3,9 +3,13 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <unordered_set>
@@ -59,6 +63,12 @@ std::string read_file(const std::string& path) {
     std::ostringstream buf;
     buf << in.rdbuf();
     return buf.str();
+}
+
+std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
 }
 
 // ---- cell execution -----------------------------------------------------
@@ -200,13 +210,35 @@ std::string run_cell_attempt(const Spec& spec, std::uint64_t cell, unsigned atte
     throw InternalError("campaign: unknown kind");
 }
 
+/// Shared tallies for one run: atomics the workers bump and the heartbeat
+/// thread reads, plus the registry the per-cell histograms land in (the
+/// Registry is itself thread-safe).
+struct RunCounters {
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> done{0};        // cells finished Done this run
+    std::atomic<std::uint64_t> quarantined{0}; // cells quarantined this run
+};
+
 void execute_cell(const Spec& spec, std::uint64_t cell, const Options& opts, WalWriter& writer,
-                  std::atomic<std::uint64_t>& retries, std::atomic<std::uint64_t>& timeouts) {
+                  RunCounters& rc, profile::Registry& metrics, const profile::Labels& base) {
+    const Clock::time_point cell_t0 = Clock::now();
+    const auto observe_cell = [&](unsigned attempts) {
+        // Wall time and attempt count are schedule/history dependent:
+        // Volatile, like every other timing the campaign exports.
+        const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now() - cell_t0);
+        metrics.histogram_observe("campaign_cell_wall_ms", base,
+                                  static_cast<std::uint64_t>(ms.count()),
+                                  profile::Volatile::Yes);
+        metrics.histogram_observe("campaign_cell_attempts", base, attempts,
+                                  profile::Volatile::Yes);
+    };
     std::string reason = "crash";
     std::string last_detail;
     for (unsigned attempt = 1; attempt <= opts.max_attempts; ++attempt) {
         if (attempt > 1) {
-            ++retries;
+            ++rc.retries;
             // Exponential backoff before each retry: 1x, 2x, 4x ... the base.
             std::this_thread::sleep_for(std::chrono::milliseconds(
                 opts.retry_backoff_ms << (attempt - 2)));
@@ -217,9 +249,11 @@ void execute_cell(const Spec& spec, std::uint64_t cell, const Options& opts, Wal
             rec.status = CellStatus::Done;
             rec.payload = run_cell_attempt(spec, cell, attempt, opts);
             writer.append(rec);
+            observe_cell(attempt);
+            ++rc.done;
             return;
         } catch (const CellTimeout& e) {
-            ++timeouts;
+            ++rc.timeouts;
             reason = "timeout";
             last_detail = e.what();
         } catch (const std::exception& e) {
@@ -236,6 +270,8 @@ void execute_cell(const Spec& spec, std::uint64_t cell, const Options& opts, Wal
     q.attempts = opts.max_attempts;
     q.detail = last_detail + " | repro: " + spec.cell_coords_json(cell);
     writer.append(q);
+    observe_cell(opts.max_attempts);
+    ++rc.quarantined;
 }
 
 // ---- merge artifacts ----------------------------------------------------
@@ -294,9 +330,11 @@ Report run_in_dir(const Spec& spec, const std::string& dir, const Options& opts)
     }
 
     std::unordered_set<std::uint64_t> have;
+    std::uint64_t resumed_quarantined = 0;
     for (const WalRecord& rec : wal.records) {
-        if (rec.cell < rep.cells_total) {
-            have.insert(rec.cell);
+        if (rec.cell < rep.cells_total && have.insert(rec.cell).second &&
+            rec.status == CellStatus::Quarantined) {
+            ++resumed_quarantined;
         }
     }
     rep.cells_resumed = have.size();
@@ -312,20 +350,118 @@ Report run_in_dir(const Spec& spec, const std::string& dir, const Options& opts)
     }
     rep.cells_run = remaining.size();
 
+    const profile::Labels base = {{"harness", "campaign"}, {"kind", kind_name(spec.kind)}};
+    rep.metrics.set_help("campaign_cell_wall_ms",
+                         "Wall-clock milliseconds per campaign cell, all attempts included");
+    rep.metrics.set_help("campaign_cell_attempts", "Attempts needed per campaign cell");
+    rep.metrics.set_help("campaign_worker_chunks", "Work-stealing chunks executed per worker");
+    rep.metrics.set_help("campaign_worker_steals", "Chunks stolen from a sibling per worker");
+
+    RunCounters rc;
+
+    // Live telemetry: every heartbeat, one swsec-progress-v1 record goes to
+    // <dir>/progress.jsonl (whole-file atomic snapshot: a reader never sees
+    // a torn line) and, when asked, a Prometheus snapshot of the live
+    // registry.  The EWMA smooths the accounted-cells rate; ETA is
+    // remaining / EWMA once a rate exists.
+    const std::string progress_path = dir + "/progress.jsonl";
+    std::string progress_text = read_file(progress_path); // append across resumes
+    std::uint64_t hb_seq = 0;
+    double hb_ewma = 0.0;
+    std::uint64_t hb_last_accounted = rep.cells_resumed;
+    Clock::time_point hb_last_t = t0;
+    const auto emit_heartbeat = [&](bool complete_flag) {
+        const Clock::time_point now = Clock::now();
+        const double elapsed =
+            std::chrono::duration_cast<std::chrono::duration<double>>(now - t0).count();
+        const std::uint64_t accounted = rep.cells_resumed + rc.done.load() +
+                                        rc.quarantined.load();
+        const std::uint64_t quarantined = resumed_quarantined + rc.quarantined.load();
+        const double dt =
+            std::chrono::duration_cast<std::chrono::duration<double>>(now - hb_last_t).count();
+        if (dt > 0.0) {
+            const double inst = static_cast<double>(accounted - hb_last_accounted) / dt;
+            hb_ewma = hb_seq == 0 ? inst : 0.3 * inst + 0.7 * hb_ewma;
+        }
+        hb_last_accounted = accounted;
+        hb_last_t = now;
+        ++hb_seq;
+        const std::uint64_t left = rep.cells_total - accounted;
+        std::string line = "{\"schema\":\"swsec-progress-v1\"";
+        line += ",\"seq\":" + std::to_string(hb_seq);
+        line += ",\"elapsed_sec\":" + format_double(elapsed);
+        line += ",\"cells_total\":" + std::to_string(rep.cells_total);
+        line += ",\"cells_done\":" + std::to_string(accounted - quarantined);
+        line += ",\"cells_quarantined\":" + std::to_string(quarantined);
+        line += ",\"cells_remaining\":" + std::to_string(left);
+        line += ",\"ewma_cells_per_sec\":" + format_double(hb_ewma);
+        line += ",\"eta_sec\":" +
+                (hb_ewma > 0.0 ? format_double(static_cast<double>(left) / hb_ewma) : "null");
+        line += complete_flag ? ",\"complete\":true}" : ",\"complete\":false}";
+        progress_text += line + "\n";
+        write_file_atomic(progress_path, progress_text);
+        if (!opts.prom_out.empty()) {
+            write_file_atomic(opts.prom_out, rep.metrics.to_prometheus(true));
+        }
+    };
+
     if (!remaining.empty()) {
         WalWriter writer(wal_path, opts.fsync_every);
-        std::atomic<std::uint64_t> retries{0};
-        std::atomic<std::uint64_t> timeouts{0};
+
+        std::mutex hb_mu;
+        std::condition_variable hb_cv;
+        bool hb_stop = false;
+        std::thread hb_thread;
+        if (opts.heartbeat_ms > 0) {
+            hb_thread = std::thread([&] {
+                std::unique_lock<std::mutex> lk(hb_mu);
+                while (!hb_cv.wait_for(lk, std::chrono::milliseconds(opts.heartbeat_ms),
+                                       [&] { return hb_stop; })) {
+                    lk.unlock();
+                    emit_heartbeat(false);
+                    lk.lock();
+                }
+            });
+        }
+
         core::ParallelOptions popts;
         popts.jobs = opts.jobs;
         popts.grain = 1; // cells are coarse; maximum balance beats chunk locality
         popts.stats = &rep.sched;
-        core::parallel_for_ws(remaining.size(), popts, [&](std::size_t k) {
-            execute_cell(spec, remaining[k], opts, writer, retries, timeouts);
-        });
+        try {
+            core::parallel_for_ws(remaining.size(), popts, [&](std::size_t k) {
+                execute_cell(spec, remaining[k], opts, writer, rc, rep.metrics, base);
+            });
+        } catch (...) {
+            if (hb_thread.joinable()) {
+                {
+                    const std::lock_guard<std::mutex> lk(hb_mu);
+                    hb_stop = true;
+                }
+                hb_cv.notify_all();
+                hb_thread.join();
+            }
+            throw;
+        }
+        if (hb_thread.joinable()) {
+            {
+                const std::lock_guard<std::mutex> lk(hb_mu);
+                hb_stop = true;
+            }
+            hb_cv.notify_all();
+            hb_thread.join();
+        }
         writer.sync();
-        rep.retries = retries.load();
-        rep.timeouts = timeouts.load();
+        rep.retries = rc.retries.load();
+        rep.timeouts = rc.timeouts.load();
+        for (const std::uint64_t v : rep.sched.worker_chunks) {
+            rep.metrics.histogram_observe("campaign_worker_chunks", base, v,
+                                          profile::Volatile::Yes);
+        }
+        for (const std::uint64_t v : rep.sched.worker_steals) {
+            rep.metrics.histogram_observe("campaign_worker_steals", base, v,
+                                          profile::Volatile::Yes);
+        }
     }
 
     // Final accounting from a re-read: the log on disk is the single source
@@ -346,6 +482,11 @@ Report run_in_dir(const Spec& spec, const std::string& dir, const Options& opts)
     }
     if (rep.complete()) {
         write_merge_artifacts(dir, rep, by_cell);
+    }
+    // A final heartbeat whenever the thread was enabled, so even a run
+    // faster than one period leaves a record and followers see completion.
+    if (opts.heartbeat_ms > 0) {
+        emit_heartbeat(rep.complete());
     }
     rep.elapsed_sec =
         std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() - t0).count();
@@ -376,6 +517,28 @@ Spec read_manifest(const std::string& dir) {
     return Spec::from_json(text.substr(pos + 7, text.size() - (pos + 7) - 1));
 }
 
+namespace {
+
+/// Extract `"key":<number>` from one of our own fixed-schema JSON lines.
+/// Not a JSON parser — every producer in this file writes flat objects with
+/// unambiguous keys, which is all the probe needs.
+bool json_number_field(const std::string& line, const std::string& key, double& out) {
+    const std::size_t pos = line.find("\"" + key + "\":");
+    if (pos == std::string::npos) {
+        return false;
+    }
+    const char* start = line.c_str() + pos + key.size() + 3;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) {
+        return false; // e.g. "eta_sec":null
+    }
+    out = v;
+    return true;
+}
+
+} // namespace
+
 Status campaign_status(const std::string& dir) {
     Status st;
     const std::string text = read_file(dir + "/manifest.json");
@@ -398,9 +561,41 @@ Status campaign_status(const std::string& dir) {
             continue;
         }
         (rec.status == CellStatus::Done ? done : quarantined).insert(rec.cell);
+        if (rec.status == CellStatus::Quarantined) {
+            (rec.reason == "timeout" ? st.quarantined_timeout : st.quarantined_crash) += 1;
+        }
     }
     st.cells_completed = done.size();
     st.cells_quarantined = quarantined.size();
+
+    // Last heartbeat, if the campaign ran with telemetry on.  The file is
+    // written as an atomic whole-file snapshot, so the last line is intact.
+    const std::string progress = read_file(dir + "/progress.jsonl");
+    if (!progress.empty()) {
+        std::size_t end = progress.find_last_not_of('\n');
+        if (end != std::string::npos) {
+            const std::size_t start = progress.rfind('\n', end);
+            const std::string last =
+                progress.substr(start == std::string::npos ? 0 : start + 1,
+                                end - (start == std::string::npos ? 0 : start + 1) + 1);
+            double v = 0.0;
+            if (last.find("\"schema\":\"swsec-progress-v1\"") != std::string::npos) {
+                st.heartbeat = true;
+                if (json_number_field(last, "seq", v)) {
+                    st.hb_seq = static_cast<std::uint64_t>(v);
+                }
+                if (json_number_field(last, "elapsed_sec", v)) {
+                    st.hb_elapsed_sec = v;
+                }
+                if (json_number_field(last, "ewma_cells_per_sec", v)) {
+                    st.hb_cells_per_sec = v;
+                }
+                if (json_number_field(last, "eta_sec", v)) {
+                    st.hb_eta_sec = v;
+                }
+            }
+        }
+    }
     return st;
 }
 
@@ -431,12 +626,32 @@ std::string Status::to_string() const {
     std::string out = "campaign " + id + "\n";
     out += "kind: ";
     out += kind_name(kind);
+    const std::uint64_t accounted = cells_completed + cells_quarantined;
+    const std::uint64_t pct = cells_total == 0 ? 100 : accounted * 100 / cells_total;
     out += "\ncells: " + std::to_string(cells_total) + " total, " +
            std::to_string(cells_completed) + " completed, " +
-           std::to_string(cells_quarantined) + " quarantined\n";
+           std::to_string(cells_quarantined) + " quarantined (" + std::to_string(pct) +
+           "% accounted)\n";
+    if (cells_quarantined > 0) {
+        out += "quarantine reasons: timeout=" + std::to_string(quarantined_timeout) +
+               " crash=" + std::to_string(quarantined_crash) + "\n";
+    }
     if (wal_truncated) {
         out += "wal: damaged suffix (" + std::to_string(wal_lines_dropped) +
                " lines) — next resume truncates and re-runs those cells\n";
+    }
+    if (heartbeat) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "last heartbeat: #%llu at %.1fs, %.2f cells/s (EWMA)",
+                      static_cast<unsigned long long>(hb_seq), hb_elapsed_sec,
+                      hb_cells_per_sec);
+        out += buf;
+        if (hb_eta_sec >= 0.0) {
+            std::snprintf(buf, sizeof buf, ", ETA %.1fs", hb_eta_sec);
+            out += buf;
+        }
+        out += "\n";
     }
     out += complete() ? "status: COMPLETE\n" : "status: INCOMPLETE\n";
     return out;
@@ -464,6 +679,9 @@ profile::Registry campaign_metrics(const Report& r) {
     reg.gauge_set("cells_per_sec", base,
                   r.elapsed_sec > 0.0 ? static_cast<double>(r.cells_run) / r.elapsed_sec : 0.0,
                   profile::Volatile::Yes);
+    // Per-cell wall-time/attempt and per-worker depth histograms gathered
+    // while the run executed (already Volatile at observation time).
+    reg.merge(r.metrics);
     return reg;
 }
 

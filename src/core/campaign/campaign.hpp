@@ -51,6 +51,16 @@ struct Options {
     /// remaining ones — so tests can interrupt a campaign at an exact
     /// checkpoint boundary without signals.
     std::uint64_t max_cells = 0;
+    /// Live telemetry cadence: every `heartbeat_ms`, append one
+    /// `swsec-progress-v1` record (cells accounted, EWMA cells/s, ETA) to
+    /// `<dir>/progress.jsonl`, rewritten as an atomic whole-file snapshot
+    /// so a tail never sees a torn line.  0 disables the heartbeat thread;
+    /// a final record is still appended at completion when enabled.
+    std::uint64_t heartbeat_ms = 0;
+    /// When non-empty: write the Prometheus exposition of the live metrics
+    /// registry (volatile series included — this is telemetry, not a CI
+    /// artifact) to this path atomically at each heartbeat.
+    std::string prom_out;
 };
 
 struct Report {
@@ -67,6 +77,10 @@ struct Report {
     double elapsed_sec = 0.0;            // this run, wall clock
     core::ParallelStats sched;           // this run's scheduler stats
     std::vector<WalRecord> quarantined;  // cell-index order
+    /// Histograms gathered while the run executed (per-cell wall time and
+    /// attempts, per-worker chunk/steal depth) — all Volatile, folded into
+    /// campaign_metrics().
+    profile::Registry metrics;
 
     /// Every cell accounted for (done or quarantined) — the final merge
     /// artifacts exist iff this holds.
@@ -99,8 +113,16 @@ struct Status {
     std::uint64_t cells_total = 0;
     std::uint64_t cells_completed = 0;
     std::uint64_t cells_quarantined = 0;
+    std::uint64_t quarantined_timeout = 0; // quarantine breakdown by reason
+    std::uint64_t quarantined_crash = 0;
     bool wal_truncated = false;       // a damaged suffix is present
     std::size_t wal_lines_dropped = 0;
+    /// Last swsec-progress-v1 record from <dir>/progress.jsonl, if any.
+    bool heartbeat = false;
+    std::uint64_t hb_seq = 0;
+    double hb_elapsed_sec = 0.0;
+    double hb_cells_per_sec = 0.0; // EWMA; 0 when the run had no throughput yet
+    double hb_eta_sec = -1.0;      // negative = unknown (no rate established)
 
     [[nodiscard]] bool complete() const noexcept {
         return exists && cells_completed + cells_quarantined == cells_total;

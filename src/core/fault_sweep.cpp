@@ -517,7 +517,19 @@ profile::Registry fault_sweep_metrics(const FaultSweepReport& report) {
         reg.counter_add("vm_dispatch_fast_steps_total", base, o.fast_steps);
         reg.counter_add("vm_dispatch_superinsns_retired_total", base, o.superinsns_retired);
         reg.counter_add("vm_dispatch_deopts_total", base, o.deopts);
+        // Trap latency over the healthy-platform baseline: same definition
+        // as the matrix harness, under this harness's label so the two
+        // exports stay independently diffable.
+        if (!o.succeeded) {
+            reg.histogram_observe("sweep_trap_latency_steps",
+                                  {{"harness", "fault-sweep"},
+                                   {"attack", attack_name(c.attack)}},
+                                  o.steps);
+        }
     }
+    reg.set_help("sweep_trap_latency_steps",
+                 "Victim instructions retired before a defense trapped the attack "
+                 "(healthy-platform baseline cells)");
     reg.gauge_set("image_cache_images", base, static_cast<double>(image_cache_size()),
                   profile::Volatile::Yes);
     reg.gauge_set("image_cache_hits", base, static_cast<double>(image_cache_hits()),

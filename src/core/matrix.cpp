@@ -144,7 +144,18 @@ profile::Registry matrix_metrics(const std::vector<MatrixCell>& cells) {
         // Per-defense verdicts: which configurations are holding the line.
         reg.counter_add(o.succeeded ? "attacks_succeeded_total" : "attacks_blocked_total",
                         {{"harness", "matrix"}, {"defense", c.defense}});
+        // Trap latency: how many victim instructions each attack ran before
+        // a countermeasure stopped it.  Succeeded cells never trapped, so
+        // they stay out of the series; step counts are deterministic, so the
+        // histogram is too.
+        if (!o.succeeded) {
+            reg.histogram_observe("matrix_trap_latency_steps",
+                                  {{"harness", "matrix"}, {"attack", attack_name(c.attack)}},
+                                  o.steps);
+        }
     }
+    reg.set_help("matrix_trap_latency_steps",
+                 "Victim instructions retired before a defense trapped the attack");
     reg.gauge_set("image_cache_images", base, static_cast<double>(image_cache_size()),
                   profile::Volatile::Yes);
     reg.gauge_set("image_cache_hits", base, static_cast<double>(image_cache_hits()),

@@ -69,6 +69,8 @@ void parallel_for_ws(std::size_t n, const ParallelOptions& opts,
         }
         if (opts.stats != nullptr) {
             opts.stats->chunks = 1;
+            opts.stats->worker_chunks = {1};
+            opts.stats->worker_steals = {0};
         }
         return;
     }
@@ -93,6 +95,10 @@ void parallel_for_ws(std::size_t n, const ParallelOptions& opts,
 
     std::atomic<std::uint64_t> chunks_run{0};
     std::atomic<std::uint64_t> steals{0};
+    // Per-worker tallies: each slot is written by exactly one worker and read
+    // only after the joins below, so plain uint64s suffice.
+    std::vector<std::uint64_t> worker_chunks(static_cast<std::size_t>(workers), 0);
+    std::vector<std::uint64_t> worker_steals(static_cast<std::size_t>(workers), 0);
     std::exception_ptr first_error;
     std::mutex error_mutex;
 
@@ -111,8 +117,10 @@ void parallel_for_ws(std::size_t n, const ParallelOptions& opts,
                     return; // every deque empty: the chunk set is static, so we are done
                 }
                 steals.fetch_add(1, std::memory_order_relaxed);
+                ++worker_steals[static_cast<std::size_t>(self)];
             }
             chunks_run.fetch_add(1, std::memory_order_relaxed);
+            ++worker_chunks[static_cast<std::size_t>(self)];
             for (std::size_t i = chunk.first; i < chunk.second; ++i) {
                 try {
                     body(i);
@@ -141,6 +149,8 @@ void parallel_for_ws(std::size_t n, const ParallelOptions& opts,
     if (opts.stats != nullptr) {
         opts.stats->chunks = chunks_run.load();
         opts.stats->steals = steals.load();
+        opts.stats->worker_chunks = std::move(worker_chunks);
+        opts.stats->worker_steals = std::move(worker_steals);
     }
     if (first_error) {
         std::rethrow_exception(first_error);

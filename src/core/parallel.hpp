@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace swsec::core {
 
@@ -27,11 +28,18 @@ namespace swsec::core {
 /// means "one worker per hardware thread" (min 1).
 [[nodiscard]] int resolve_jobs(int jobs) noexcept;
 
-/// Scheduler observability for the metrics registry.  Both numbers depend
-/// on thread timing, never on the computed results.
+/// Scheduler observability for the metrics registry.  Every number here
+/// depends on thread timing, never on the computed results — harnesses
+/// export them only as Volatile metrics.
 struct ParallelStats {
     std::uint64_t chunks = 0; // chunks executed (serial runs count 1)
     std::uint64_t steals = 0; // chunks taken from another worker's deque
+    /// Per-worker distribution of the same two totals (one slot per worker;
+    /// serial runs report a single slot).  Feeds the scheduler-depth
+    /// histograms: how evenly the chunk load spread, and how deep each
+    /// worker had to steal to stay busy.
+    std::vector<std::uint64_t> worker_chunks;
+    std::vector<std::uint64_t> worker_steals;
 };
 
 struct ParallelOptions {

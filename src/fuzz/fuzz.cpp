@@ -454,6 +454,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
         if (opts.minimize) {
             for (Divergence& d : r.divs) {
                 const Divergence target = d;
+                std::uint64_t rounds = 0;
                 const GenProgram small = minimize(prog, [&](const std::string& candidate) {
                     for (const Divergence& x :
                          check_program(candidate, seed, opts.max_steps, nullptr)) {
@@ -463,8 +464,9 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
                         }
                     }
                     return false;
-                });
+                }, &rounds);
                 d.source = small.render();
+                r.stats.minimizer_rounds.push_back(rounds);
             }
         }
     });
@@ -481,6 +483,10 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
         report.fast_steps += r.stats.fast_steps;
         report.superinsns_retired += r.stats.superinsns_retired;
         report.deopts += r.stats.deopts;
+        report.seed_runs.push_back(r.stats.runs);
+        report.minimizer_rounds.insert(report.minimizer_rounds.end(),
+                                       r.stats.minimizer_rounds.begin(),
+                                       r.stats.minimizer_rounds.end());
         for (Divergence& d : r.divs) {
             report.divergences.push_back(std::move(d));
         }
@@ -510,6 +516,44 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
         report.coverage.total_edges = cumulative.popcount();
     }
     return report;
+}
+
+profile::Registry fuzz_metrics(const FuzzReport& report) {
+    profile::Registry reg;
+    const profile::Labels base = {{"harness", "fuzz"}};
+    reg.counter_add("fuzz_programs_total", base, static_cast<std::uint64_t>(report.programs));
+    reg.counter_add("fuzz_runs_total", base, report.runs);
+    reg.counter_add("fuzz_const_checks_total", base, report.const_checks);
+    reg.counter_add("fuzz_divergences_total", base, report.divergences.size());
+    reg.counter_add("victim_instructions_total", base, report.counters.instructions);
+    reg.counter_add("dcache_hits_total", base, report.counters.dcache_hits);
+    reg.counter_add("dcache_decodes_total", base, report.counters.dcache_misses);
+    reg.counter_add("syscalls_total", base, report.counters.syscalls);
+    reg.counter_add("heap_allocs_total", base, report.counters.heap_allocs);
+    reg.counter_add("heap_frees_total", base, report.counters.heap_frees);
+    // vm.dispatch.*: which execution tier did the work (DESIGN.md §13).
+    reg.counter_add("vm_dispatch_tier2_entries_total", base, report.tier2_entries);
+    reg.counter_add("vm_dispatch_fast_steps_total", base, report.fast_steps);
+    reg.counter_add("vm_dispatch_superinsns_retired_total", base, report.superinsns_retired);
+    reg.counter_add("vm_dispatch_deopts_total", base, report.deopts);
+    if (report.coverage.enabled) {
+        reg.gauge_set("coverage_edges", base, static_cast<double>(report.coverage.total_edges));
+        reg.counter_add("coverage_interesting_seeds_total", base,
+                        report.coverage.interesting.size());
+    }
+    // Distributions the totals above flatten: how many differential
+    // executions each seed cost (extra re-runs mean a divergence path) and
+    // how many fixpoint passes each minimization took.
+    for (const std::uint64_t runs : report.seed_runs) {
+        reg.histogram_observe("fuzz_seed_runs", base, runs);
+    }
+    for (const std::uint64_t rounds : report.minimizer_rounds) {
+        reg.histogram_observe("fuzz_minimizer_rounds", base, rounds);
+    }
+    reg.set_help("fuzz_seed_runs", "Differential process executions per fuzzed seed");
+    reg.set_help("fuzz_minimizer_rounds",
+                 "Greedy minimizer fixpoint passes per minimized divergence");
+    return reg;
 }
 
 std::string CoverageReport::curve_csv(std::uint64_t seed_base) const {
@@ -553,11 +597,14 @@ std::string FuzzReport::summary() const {
 }
 
 GenProgram minimize(const GenProgram& prog,
-                    const std::function<bool(const std::string&)>& still_diverges) {
+                    const std::function<bool(const std::string&)>& still_diverges,
+                    std::uint64_t* rounds_out) {
     std::vector<bool> keep(prog.chunks.size(), true);
+    std::uint64_t rounds = 0;
     bool changed = true;
     while (changed) {
         changed = false;
+        ++rounds;
         for (std::size_t i = 0; i < keep.size(); ++i) {
             if (!keep[i]) {
                 continue;
@@ -569,6 +616,9 @@ GenProgram minimize(const GenProgram& prog,
                 keep[i] = true;
             }
         }
+    }
+    if (rounds_out != nullptr) {
+        *rounds_out = rounds;
     }
     GenProgram out;
     out.seed = prog.seed;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "fuzz/generator.hpp"
+#include "profile/metrics.hpp"
 #include "profile/profiler.hpp"
 #include "trace/trace.hpp"
 
@@ -124,6 +125,14 @@ struct FuzzReport {
     std::uint64_t fast_steps = 0;
     std::uint64_t superinsns_retired = 0;
     std::uint64_t deopts = 0;
+    /// Per-seed differential executions, in seed order (one entry per
+    /// generated program; empty for replay runs).  Feeds the
+    /// fuzz_seed_runs histogram — the distribution shows which seeds
+    /// tripped extra oracle re-runs, where the totals above cannot.
+    std::vector<std::uint64_t> seed_runs;
+    /// Fixpoint rounds per minimized divergence, in seed order (only
+    /// populated under --minimize).  Feeds fuzz_minimizer_rounds.
+    std::vector<std::uint64_t> minimizer_rounds;
     /// Seed order, deterministic for any jobs value.
     std::vector<Divergence> divergences;
     /// Populated when FuzzOptions::coverage was set.
@@ -147,8 +156,16 @@ struct FuzzReport {
 /// Greedy statement-level minimizer: repeatedly drop chunks whose removal
 /// keeps `still_diverges(rendered_source)` true, to a fixpoint.  The result
 /// is idempotent: minimizing a minimized program removes nothing.
+/// `rounds_out` (optional) receives the number of full passes over the
+/// chunk list, including the final no-change pass that proves the fixpoint.
 [[nodiscard]] GenProgram minimize(const GenProgram& prog,
-                                  const std::function<bool(const std::string&)>& still_diverges);
+                                  const std::function<bool(const std::string&)>& still_diverges,
+                                  std::uint64_t* rounds_out = nullptr);
+
+/// The campaign's metrics registry: totals mirrored from the report plus the
+/// per-seed execution-count and minimizer-rounds histograms.  Deterministic
+/// given the report (which is itself jobs-invariant).
+[[nodiscard]] profile::Registry fuzz_metrics(const FuzzReport& report);
 
 // ---- repro records ------------------------------------------------------
 // A text format for committing divergences as regression cases.  One file

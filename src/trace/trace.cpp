@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/escape.hpp"
+
 namespace swsec::trace {
 
 const char* check_origin_name(CheckOrigin o) noexcept {
@@ -42,27 +44,10 @@ const char* event_kind_name(EventKind k) noexcept {
 }
 
 std::string json_escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\r': out += "\\r"; break;
-        case '\t': out += "\\t"; break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                static const char* hex = "0123456789abcdef";
-                out += "\\u00";
-                out += hex[(c >> 4) & 0xf];
-                out += hex[c & 0xf];
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
+    // One escaper for every JSON writer in the repo (common/escape.hpp); the
+    // metrics registry and the Prometheus exposition writer share it so the
+    // escaping rules cannot drift per call site.
+    return swsec::json_escape(s);
 }
 
 namespace {

@@ -386,6 +386,92 @@ TEST(CampaignMetrics, DeterministicCountersAndVolatileQuarantine) {
     std::filesystem::remove_all(dir);
 }
 
+TEST(CampaignMetrics, CellHistogramsAreVolatileAndPresent) {
+    const std::string dir = scratch("cell_hist");
+    const Report rep = run_campaign(small_fuzz_spec(), dir, fast_opts());
+    const profile::Registry reg = campaign_metrics(rep);
+    const profile::Labels base = {{"harness", "campaign"}, {"kind", "fuzz"}};
+    // Every executed cell lands one wall-time and one attempts observation.
+    EXPECT_EQ(reg.histogram_count("campaign_cell_wall_ms", base), 6u);
+    EXPECT_EQ(reg.histogram_count("campaign_cell_attempts", base), 6u);
+    EXPECT_EQ(reg.histogram_sum("campaign_cell_attempts", base), 6u); // all first-try
+    // Serial run: exactly one worker slot in the depth histograms.
+    EXPECT_EQ(reg.histogram_count("campaign_worker_chunks", base), 1u);
+    // Wall times are schedule-dependent: the deterministic exposition must
+    // not contain them, the volatile one must.
+    EXPECT_EQ(reg.to_prometheus(false).find("campaign_cell_wall_ms"), std::string::npos);
+    EXPECT_NE(reg.to_prometheus(true).find("campaign_cell_wall_ms_bucket"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+// ---- live telemetry -----------------------------------------------------
+
+TEST(CampaignTelemetry, HeartbeatWritesProgressV1Records) {
+    const std::string dir = scratch("heartbeat");
+    Options opts = fast_opts();
+    opts.heartbeat_ms = 1; // fire as often as the scheduler allows
+    const Report rep = run_campaign(small_fuzz_spec(), dir, opts);
+    EXPECT_TRUE(rep.complete());
+    const std::string progress = slurp(dir + "/progress.jsonl");
+    ASSERT_FALSE(progress.empty());
+    // Every line is one self-describing record; the last one says complete.
+    std::istringstream in(progress);
+    std::string line;
+    std::string last;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        EXPECT_NE(line.find("\"schema\":\"swsec-progress-v1\""), std::string::npos);
+        EXPECT_NE(line.find("\"cells_total\":6"), std::string::npos);
+        EXPECT_NE(line.find("\"ewma_cells_per_sec\":"), std::string::npos);
+        EXPECT_NE(line.find("\"eta_sec\":"), std::string::npos);
+        last = line;
+        ++lines;
+    }
+    EXPECT_GE(lines, 1u);
+    EXPECT_NE(last.find("\"complete\":true"), std::string::npos);
+    EXPECT_NE(last.find("\"cells_done\":6"), std::string::npos);
+    EXPECT_NE(last.find("\"cells_remaining\":0"), std::string::npos);
+
+    // The status probe surfaces the last heartbeat.
+    const Status st = campaign_status(dir);
+    EXPECT_TRUE(st.heartbeat);
+    EXPECT_GE(st.hb_seq, 1u);
+    EXPECT_NE(st.to_string().find("last heartbeat:"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignTelemetry, PromOutSnapshotWrittenAtCompletion) {
+    const std::string dir = scratch("prom_out");
+    Options opts = fast_opts();
+    opts.heartbeat_ms = 1;
+    opts.prom_out = dir + "/metrics.prom";
+    const Report rep = run_campaign(small_fuzz_spec(), dir, opts);
+    EXPECT_TRUE(rep.complete());
+    const std::string prom = slurp(opts.prom_out);
+    ASSERT_FALSE(prom.empty());
+    // Heartbeat snapshots include the volatile telemetry series.
+    EXPECT_NE(prom.find("# TYPE campaign_cell_wall_ms histogram"), std::string::npos);
+    EXPECT_NE(prom.find("campaign_cell_wall_ms_count"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignTelemetry, StatusBreaksDownQuarantineReasons) {
+    Spec spec = small_fuzz_spec(4);
+    spec.sabotage.crash_cell = 3;
+    spec.sabotage.crash_times = 2; // both attempts throw -> quarantine: crash
+    const std::string dir = scratch("status_breakdown");
+    const Report rep = run_campaign(spec, dir, fast_opts());
+    EXPECT_TRUE(rep.complete());
+    const Status st = campaign_status(dir);
+    EXPECT_EQ(st.cells_quarantined, 1u);
+    EXPECT_EQ(st.quarantined_crash, 1u);
+    EXPECT_EQ(st.quarantined_timeout, 0u);
+    const std::string text = st.to_string();
+    EXPECT_NE(text.find("quarantine reasons: timeout=0 crash=1"), std::string::npos);
+    EXPECT_NE(text.find("% accounted"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
 // ---- crash-recovery harness: SIGKILL a real subprocess ------------------
 
 #ifdef SWSEC_TOOL

@@ -91,6 +91,32 @@ TEST(ParallelForWs, SerialPathReportsOneChunk) {
     EXPECT_EQ(calls, 64);
     EXPECT_EQ(stats.chunks, 1u);
     EXPECT_EQ(stats.steals, 0u);
+    // Serial runs report one worker slot so per-worker depth histograms see
+    // a single well-defined observation.
+    ASSERT_EQ(stats.worker_chunks, (std::vector<std::uint64_t>{1}));
+    ASSERT_EQ(stats.worker_steals, (std::vector<std::uint64_t>{0}));
+}
+
+TEST(ParallelForWs, PerWorkerTalliesSumToTotals) {
+    ParallelStats stats;
+    ParallelOptions opts;
+    opts.jobs = 4;
+    opts.grain = 2; // 32 chunks over 4 workers
+    opts.stats = &stats;
+    std::atomic<int> calls{0};
+    parallel_for_ws(64, opts, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 64);
+    ASSERT_EQ(stats.worker_chunks.size(), 4u);
+    ASSERT_EQ(stats.worker_steals.size(), 4u);
+    std::uint64_t chunk_sum = 0;
+    std::uint64_t steal_sum = 0;
+    for (std::size_t w = 0; w < stats.worker_chunks.size(); ++w) {
+        chunk_sum += stats.worker_chunks[w];
+        steal_sum += stats.worker_steals[w];
+        EXPECT_LE(stats.worker_steals[w], stats.worker_chunks[w]);
+    }
+    EXPECT_EQ(chunk_sum, stats.chunks);
+    EXPECT_EQ(steal_sum, stats.steals);
 }
 
 TEST(ParallelForWs, ChunkCountMatchesGrain) {

@@ -9,6 +9,7 @@
 #include "assembler/assembler.hpp"
 #include "assembler/linker.hpp"
 #include "cc/compiler.hpp"
+#include "common/escape.hpp"
 #include "core/attack_lab.hpp"
 #include "core/defense.hpp"
 #include "core/matrix.hpp"
@@ -282,6 +283,188 @@ TEST(Metrics, MatrixMetricsIdenticalSerialVsJobs) {
     // The jsonl carries the draw-independent coordinates.
     EXPECT_NE(core::matrix_cells_jsonl(serial).find("\"text_base\""), std::string::npos);
     EXPECT_NE(core::matrix_cells_jsonl(serial).find("\"sym\""), std::string::npos);
+}
+
+// --- histograms --------------------------------------------------------------
+
+TEST(Metrics, HistogramBucketLadder) {
+    // Smallest i with value <= 2^i; 0 shares the le="1" bucket.
+    EXPECT_EQ(profile::histogram_bucket_index(0), 0u);
+    EXPECT_EQ(profile::histogram_bucket_index(1), 0u);
+    EXPECT_EQ(profile::histogram_bucket_index(2), 1u);
+    EXPECT_EQ(profile::histogram_bucket_index(3), 2u);
+    EXPECT_EQ(profile::histogram_bucket_index(4), 2u);
+    EXPECT_EQ(profile::histogram_bucket_index(5), 3u);
+    EXPECT_EQ(profile::histogram_bucket_index(std::uint64_t{1} << 26), 26u);
+    EXPECT_EQ(profile::histogram_bucket_index((std::uint64_t{1} << 26) + 1),
+              profile::kHistogramBuckets); // +Inf
+    EXPECT_EQ(profile::histogram_bounds().front(), "1");
+    EXPECT_EQ(profile::histogram_bounds().back(), "67108864");
+}
+
+TEST(Metrics, HistogramObserveCountSumBuckets) {
+    profile::Registry reg;
+    reg.histogram_observe("lat", {{"h", "x"}}, 1);
+    reg.histogram_observe("lat", {{"h", "x"}}, 2);
+    reg.histogram_observe("lat", {{"h", "x"}}, 1000);
+    EXPECT_EQ(reg.histogram_count("lat", {{"h", "x"}}), 3u);
+    EXPECT_EQ(reg.histogram_sum("lat", {{"h", "x"}}), 1003u);
+    const auto buckets = reg.histogram_buckets("lat", {{"h", "x"}});
+    ASSERT_EQ(buckets.size(), profile::kHistogramBuckets + 1);
+    EXPECT_EQ(buckets[0], 1u);  // value 1
+    EXPECT_EQ(buckets[1], 1u);  // value 2
+    EXPECT_EQ(buckets[10], 1u); // 1000 <= 1024 = 2^10
+    // Absent series: empty accessors, not phantom zero-filled ones.
+    EXPECT_TRUE(reg.histogram_buckets("nope").empty());
+    EXPECT_EQ(reg.histogram_count("nope"), 0u);
+}
+
+TEST(Metrics, MergeIsAssociativeCommutativeAndIdempotentOnEmpty) {
+    // The schedule-invariance of every export rests on merge being a
+    // commutative monoid over registries; lock it for all three kinds.
+    const auto make = [](std::uint64_t c, double g, std::uint64_t h) {
+        profile::Registry r;
+        r.counter_add("c_total", {{"k", "v"}}, c);
+        r.gauge_max("g", {}, g);
+        r.histogram_observe("h", {}, h);
+        r.histogram_observe("h", {}, h * 3 + 1);
+        return r;
+    };
+    const profile::Registry a = make(1, 5.0, 2);
+    const profile::Registry b = make(10, 2.0, 900);
+    const profile::Registry c = make(100, 9.0, 31);
+
+    // Associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    profile::Registry left = a;
+    left.merge(b);
+    left.merge(c);
+    profile::Registry bc = b;
+    bc.merge(c);
+    profile::Registry right = a;
+    right.merge(bc);
+    EXPECT_EQ(left.to_json(true), right.to_json(true));
+    EXPECT_EQ(left.to_prometheus(true), right.to_prometheus(true));
+
+    // Commutative: a ⊕ b == b ⊕ a.
+    profile::Registry ab = a;
+    ab.merge(b);
+    profile::Registry ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab.to_json(true), ba.to_json(true));
+    EXPECT_EQ(ab.to_prometheus(true), ba.to_prometheus(true));
+
+    // Identity: merging an empty registry changes nothing, either way round.
+    profile::Registry ae = a;
+    ae.merge(profile::Registry{});
+    EXPECT_EQ(ae.to_json(true), a.to_json(true));
+    profile::Registry ea;
+    ea.merge(a);
+    EXPECT_EQ(ea.to_json(true), a.to_json(true));
+    EXPECT_EQ(ea.to_prometheus(true), a.to_prometheus(true));
+}
+
+TEST(Metrics, HistogramMergeAddsBucketwise) {
+    profile::Registry a;
+    profile::Registry b;
+    a.histogram_observe("h", {}, 1);
+    b.histogram_observe("h", {}, 1);
+    b.histogram_observe("h", {}, 1'000'000'000); // +Inf bucket
+    a.merge(b);
+    EXPECT_EQ(a.histogram_count("h"), 3u);
+    EXPECT_EQ(a.histogram_sum("h"), 1'000'000'002u);
+    const auto buckets = a.histogram_buckets("h");
+    EXPECT_EQ(buckets[0], 2u);
+    EXPECT_EQ(buckets[profile::kHistogramBuckets], 1u);
+}
+
+// --- prometheus exposition ---------------------------------------------------
+
+TEST(Metrics, PrometheusFamiliesSortedWithTypeAndHelp) {
+    profile::Registry reg;
+    reg.counter_add("zz_total", {}, 1);
+    reg.gauge_set("aa_gauge", {}, 1.5);
+    reg.set_help("aa_gauge", "a help line");
+    const std::string out = reg.to_prometheus();
+    const std::size_t a_help = out.find("# HELP aa_gauge a help line\n");
+    const std::size_t a_type = out.find("# TYPE aa_gauge gauge\n");
+    const std::size_t a_series = out.find("aa_gauge 1.5\n");
+    const std::size_t z_type = out.find("# TYPE zz_total counter\n");
+    const std::size_t z_series = out.find("zz_total 1\n");
+    ASSERT_NE(a_help, std::string::npos);
+    ASSERT_NE(a_type, std::string::npos);
+    ASSERT_NE(a_series, std::string::npos);
+    ASSERT_NE(z_type, std::string::npos);
+    ASSERT_NE(z_series, std::string::npos);
+    EXPECT_LT(a_help, a_type);
+    EXPECT_LT(a_type, a_series);
+    EXPECT_LT(a_series, z_type); // families sorted, each TYPE before its series
+    EXPECT_LT(z_type, z_series);
+}
+
+TEST(Metrics, PrometheusHistogramCumulativeBucketsSumCount) {
+    profile::Registry reg;
+    reg.histogram_observe("lat_ms", {{"h", "x"}}, 1);
+    reg.histogram_observe("lat_ms", {{"h", "x"}}, 2);
+    reg.histogram_observe("lat_ms", {{"h", "x"}}, 1'000'000'000);
+    const std::string out = reg.to_prometheus();
+    EXPECT_NE(out.find("# TYPE lat_ms histogram\n"), std::string::npos);
+    EXPECT_NE(out.find("lat_ms_bucket{h=\"x\",le=\"1\"} 1\n"), std::string::npos);
+    EXPECT_NE(out.find("lat_ms_bucket{h=\"x\",le=\"2\"} 2\n"), std::string::npos);
+    // The giant observation lives only in +Inf; the last finite bucket holds
+    // the cumulative 2, +Inf equals the count.
+    EXPECT_NE(out.find("lat_ms_bucket{h=\"x\",le=\"67108864\"} 2\n"), std::string::npos);
+    EXPECT_NE(out.find("lat_ms_bucket{h=\"x\",le=\"+Inf\"} 3\n"), std::string::npos);
+    EXPECT_NE(out.find("lat_ms_sum{h=\"x\"} 1000000003\n"), std::string::npos);
+    EXPECT_NE(out.find("lat_ms_count{h=\"x\"} 3\n"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusEscapesLabelValuesAndSanitizesNames) {
+    profile::Registry reg;
+    reg.counter_add("hits", {{"path", "a\\b\"c\nd"}}, 1);
+    reg.counter_add("weird.name", {}, 2); // '.' is invalid in exposition names
+    const std::string out = reg.to_prometheus();
+    EXPECT_NE(out.find("hits{path=\"a\\\\b\\\"c\\nd\"} 1\n"), std::string::npos);
+    EXPECT_NE(out.find("# TYPE weird_name counter\n"), std::string::npos);
+    EXPECT_NE(out.find("weird_name 2\n"), std::string::npos);
+}
+
+TEST(Metrics, VolatileMetricsExcludedFromPrometheusByDefault) {
+    profile::Registry reg;
+    reg.counter_add("stable_total", {}, 1);
+    reg.gauge_set("wallclock", {}, 123.0, profile::Volatile::Yes);
+    const std::string out = reg.to_prometheus();
+    EXPECT_NE(out.find("stable_total"), std::string::npos);
+    EXPECT_EQ(out.find("wallclock"), std::string::npos);
+    EXPECT_NE(reg.to_prometheus(true).find("wallclock"), std::string::npos);
+}
+
+TEST(Metrics, SharedEscaperBetweenJsonAndTraceIsLocked) {
+    // One escaper for every writer (common/escape.hpp): the trace layer
+    // delegates to it, and the metrics JSON uses it for names and label
+    // values — so a hostile label value cannot produce invalid JSON.
+    // "\x01" is split from "f": a hex escape is greedy and "\x01f" would
+    // parse as the single byte 0x1f.
+    const std::string nasty = "a\\b\"c\nd\te\x01" "f";
+    EXPECT_EQ(trace::json_escape(nasty), swsec::json_escape(nasty));
+    EXPECT_EQ(swsec::json_escape(nasty), "a\\\\b\\\"c\\nd\\te\\u0001f");
+
+    profile::Registry reg;
+    reg.counter_add("c", {{"k", "v\"w\\x"}}, 1);
+    const std::string json = reg.to_json();
+    EXPECT_NE(json.find("\"k\":\"v\\\"w\\\\x\""), std::string::npos);
+}
+
+TEST(Metrics, PrometheusIdenticalSerialVsJobsOnMatrixRun) {
+    // The acceptance bar for the whole layer: a real harness's exposition
+    // file is byte-identical for any --jobs value.
+    const auto serial = core::run_matrix(1001, 2002, 1);
+    const auto parallel = core::run_matrix(1001, 2002, 4);
+    const std::string a = core::matrix_metrics(serial).to_prometheus();
+    const std::string b = core::matrix_metrics(parallel).to_prometheus();
+    EXPECT_EQ(a, b);
+    // And the histogram series the layer exists for is actually present.
+    EXPECT_NE(a.find("# TYPE matrix_trap_latency_steps histogram\n"), std::string::npos);
+    EXPECT_NE(a.find("matrix_trap_latency_steps_count"), std::string::npos);
 }
 
 // --- coverage bitmaps --------------------------------------------------------

@@ -18,6 +18,13 @@ make BM_VmExecute faster, but a slowdown beyond noise fails CI.
 Usage:
     tools/check_bench_regression.py --current build/BENCH_RESULTS.json
         [--baseline-dir .] [--threshold 0.15] [--prefix BM_VmExecute]
+        [--allow-missing NAME ...]
+
+A benchmark present in the baseline but absent from the current run is a
+hard failure by default (a silently dropped bench is a silently dropped
+guard).  When a bench is intentionally renamed or removed, list it with
+--allow-missing (the full "binary:name" key as printed, or a bare
+substring of it): allowlisted names downgrade to a warning.
 
 Exit status: 0 = within budget (or no baseline to compare), 1 = regression,
 2 = usage/input error.
@@ -72,6 +79,9 @@ def main() -> int:
                     help="allowed fractional real_time regression (default 0.15)")
     ap.add_argument("--prefix", default="BM_VmExecute",
                     help="benchmark name prefix to guard (default BM_VmExecute)")
+    ap.add_argument("--allow-missing", nargs="*", default=[], metavar="NAME",
+                    help="benchmarks allowed to be absent from the current run "
+                         "(renamed/removed on purpose); matched as substrings")
     args = ap.parse_args()
 
     if not args.current.is_file():
@@ -104,7 +114,12 @@ def main() -> int:
         print(f"  {name}: {cur:9.3f} ms  vs {base:9.3f} ms  "
               f"({ratio - 1.0:+.1%})  {verdict}")
     for name in sorted(set(baseline) - set(current)):
-        print(f"  {name}: missing from current run (was {baseline[name]:.3f} ms)",
+        if any(allowed in name for allowed in args.allow_missing):
+            print(f"  {name}: missing from current run (was {baseline[name]:.3f} ms)"
+                  f" — allowlisted, warning only")
+            continue
+        print(f"  {name}: missing from current run (was {baseline[name]:.3f} ms); "
+              f"pass --allow-missing if the rename/removal is intentional",
               file=sys.stderr)
         failed.append(name)
 

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition file produced by `--prom-out`.
+
+Checks the properties the writer promises (and CI relies on):
+
+  * every series line parses: `name{label="value",...} number`
+  * metric and label names match the exposition charset
+  * each family has exactly one `# TYPE` line, emitted before its series,
+    and families appear in sorted order
+  * label values escape `\\`, `"` and newline (an unescaped quote or a raw
+    newline cannot parse, so this falls out of the line grammar)
+  * no duplicate series (same name + identical label set)
+  * histograms: `_bucket` series are cumulative in `le` order, end with
+    `le="+Inf"`, and the +Inf count equals the family's `_count`; `_sum`
+    and `_count` are present
+
+Exit 0 when clean; exit 1 with one diagnostic per violation otherwise.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One series line: name, optional {labels}, a space, a number.
+SERIES_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^\n]*\})? (\S+)$")
+# One label inside the braces; values may contain escaped chars.
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+NUMBER_RE = re.compile(r"^[+-]?(\d+(\.\d+)?([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?|Inf|NaN)$")
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(name, typed_families):
+    """Map a series name to its family: histogram series drop their suffix
+    when the base name was declared as a histogram."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if typed_families.get(base) == "histogram":
+                return base
+    return name
+
+
+def parse_labels(block, lineno, errors):
+    """Return the labels as a sorted tuple of (key, value) pairs."""
+    inner = block[1:-1]
+    labels = []
+    matched = "".join(m.group(0) for m in LABEL_RE.finditer(inner))
+    # Everything except separators must have been consumed by label matches.
+    leftover = inner
+    for m in LABEL_RE.finditer(inner):
+        leftover = leftover.replace(m.group(0), "", 1)
+    if leftover.strip(",") != "":
+        errors.append(f"line {lineno}: malformed label block {block!r}")
+    for m in LABEL_RE.finditer(inner):
+        key, value = m.group(1), m.group(2)
+        if not LABEL_NAME_RE.match(key):
+            errors.append(f"line {lineno}: bad label name {key!r}")
+        # The only legal escapes in a label value are \\ , \" and \n.
+        for esc in re.finditer(r"\\(.)", value):
+            if esc.group(1) not in ('\\', '"', 'n'):
+                errors.append(f"line {lineno}: bad escape \\{esc.group(1)} in label value")
+        labels.append((key, value))
+    return tuple(sorted(labels))
+
+
+def check(text):
+    errors = []
+    typed_families = {}   # family -> type string
+    family_order = []     # families in order of first appearance
+    family_closed = set() # families whose series section has ended
+    seen_series = set()   # (name, labels) pairs
+    histograms = {}       # family -> {labels-sans-le: [(le, value)], sums: {}, counts: {}}
+    current_family = None
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line == "":
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                errors.append(f"line {lineno}: malformed TYPE line {line!r}")
+                continue
+            fam, typ = parts[2], parts[3]
+            if fam in typed_families:
+                errors.append(f"line {lineno}: duplicate TYPE for family {fam!r}")
+            typed_families[fam] = typ
+            if current_family is not None:
+                family_closed.add(current_family)
+            current_family = fam
+            family_order.append(fam)
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {lineno}: unknown comment {line!r}")
+            continue
+
+        m = SERIES_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparsable series line {line!r}")
+            continue
+        name, label_block, value = m.group(1), m.group(2), m.group(3)
+        if not NAME_RE.match(name):
+            errors.append(f"line {lineno}: bad metric name {name!r}")
+        if not NUMBER_RE.match(value):
+            errors.append(f"line {lineno}: bad sample value {value!r}")
+        labels = parse_labels(label_block, lineno, errors) if label_block else ()
+
+        fam = family_of(name, typed_families)
+        if fam not in typed_families:
+            errors.append(f"line {lineno}: series {name!r} has no preceding TYPE line")
+        elif fam != current_family:
+            errors.append(
+                f"line {lineno}: series {name!r} appears outside its family block "
+                f"(current family {current_family!r})")
+        if fam in family_closed:
+            errors.append(f"line {lineno}: family {fam!r} reopened after other families")
+
+        key = (name, labels)
+        if key in seen_series:
+            errors.append(f"line {lineno}: duplicate series {name}{dict(labels)}")
+        seen_series.add(key)
+
+        if typed_families.get(fam) == "histogram":
+            h = histograms.setdefault(fam, {"buckets": {}, "sum": {}, "count": {}})
+            base_labels = tuple(kv for kv in labels if kv[0] != "le")
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: _bucket series without le label")
+                else:
+                    h["buckets"].setdefault(base_labels, []).append((lineno, le, float(value)))
+            elif name.endswith("_sum"):
+                h["sum"][base_labels] = float(value)
+            elif name.endswith("_count"):
+                h["count"][base_labels] = float(value)
+            else:
+                errors.append(f"line {lineno}: series {name!r} in histogram family {fam!r} "
+                              f"is not _bucket/_sum/_count")
+
+    if family_order != sorted(family_order):
+        errors.append(f"families not in sorted order: {family_order}")
+
+    for fam, h in histograms.items():
+        for base_labels, rows in h["buckets"].items():
+            prev = -1.0
+            prev_bound = None
+            for lineno, le, value in rows:
+                bound = float("inf") if le == "+Inf" else float(le)
+                if prev_bound is not None and bound <= prev_bound:
+                    errors.append(f"line {lineno}: {fam} le={le} out of order")
+                if value < prev:
+                    errors.append(f"line {lineno}: {fam} bucket counts not cumulative "
+                                  f"(le={le}: {value} < {prev})")
+                prev, prev_bound = value, bound
+            if rows[-1][1] != "+Inf":
+                errors.append(f"{fam}{dict(base_labels)}: bucket list does not end at le=+Inf")
+            if base_labels not in h["count"]:
+                errors.append(f"{fam}{dict(base_labels)}: missing _count series")
+            elif rows[-1][1] == "+Inf" and rows[-1][2] != h["count"][base_labels]:
+                errors.append(f"{fam}{dict(base_labels)}: +Inf bucket {rows[-1][2]} != "
+                              f"_count {h['count'][base_labels]}")
+            if base_labels not in h["sum"]:
+                errors.append(f"{fam}{dict(base_labels)}: missing _sum series")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+", help="exposition files to lint")
+    args = ap.parse_args()
+    status = 0
+    for path in args.files:
+        with open(path, "r", encoding="utf-8") as f:
+            errors = check(f.read())
+        if errors:
+            status = 1
+            for e in errors:
+                print(f"{path}: {e}", file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

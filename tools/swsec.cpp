@@ -62,7 +62,9 @@
 // matrix, fault-sweep and fuzz also accept --metrics-out FILE: the unified
 // metrics registry (decode-cache hit rates, heap high-water, fault/retry
 // tallies, verdict counts) as deterministic JSON — byte-identical for any
-// --jobs value.
+// --jobs value.  --prom-out FILE writes the same registry in Prometheus
+// text exposition format, equally deterministic; the campaign variant also
+// refreshes it at every heartbeat (see --heartbeat-ms).
 //
 // Both sweeps are deterministic for any --jobs value: cells are handed out
 // by index and merged by index, so parallel output — including --trace-out
@@ -77,11 +79,13 @@
 //   --seed N                                   deterministic randomness
 //   --input STR                                bytes fed to fd 0
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "attacks/gadgets.hpp"
@@ -123,13 +127,13 @@ int usage() {
         "profile|campaign> [file.mc|scenario] [options]\n"
         "options: --canary --bounds --fortify --memcheck --sanitize --dep --aslr\n"
         "         --shadow-stack --cfi --seed N --input STR\n"
-        "matrix options: --jobs N --trace-out FILE --metrics-out FILE\n"
+        "matrix options: --jobs N --trace-out FILE --metrics-out FILE --prom-out FILE\n"
         "fault-sweep options: --fault-seed N --windows N --jobs N --trace-out FILE\n"
-        "                     --metrics-out FILE\n"
+        "                     --metrics-out FILE --prom-out FILE\n"
         "trace scenarios: baseline canary dep shadow-stack cfi memcheck pma sfi fault\n"
         "trace options: --trace-out FILE --no-decode-cache --seed N --attacker-seed N\n"
         "fuzz options: --seeds N --seed-base B --jobs N --minimize --replay FILE --out FILE\n"
-        "              --coverage --coverage-out FILE --metrics-out FILE\n"
+        "              --coverage --coverage-out FILE --metrics-out FILE --prom-out FILE\n"
         "evolve options: --seed N --execs N --init N --batch N --jobs N --max-corpus N\n"
         "                --out FILE --json-out FILE --curve-out FILE --metrics-out FILE\n"
         "curves options: --trials N --jobs N --aslr-bits LIST --budgets LIST\n"
@@ -139,13 +143,15 @@ int usage() {
         "                 --seed N --attacker-seed N (+ hardening options for file.mc)\n"
         "campaign: swsec campaign run --kind matrix|fault-sweep|fuzz|fuzz-evolve --dir DIR\n"
         "          (--fuzz-evolve = --kind fuzz-evolve)\n"
-        "          swsec campaign resume --dir DIR | swsec campaign status --dir DIR\n"
+        "          swsec campaign resume --dir DIR\n"
+        "          swsec campaign status --dir DIR [--follow]\n"
         "campaign spec options: --draws N --seeds N --seed-base B --windows N\n"
         "          --victim-seed N --attacker-seed N --fault-seed N\n"
         "          --evolve-execs N --evolve-init N (fuzz-evolve island budget)\n"
         "          --hang-cell N --crash-cell N --crash-times N (sabotage, for tests)\n"
         "campaign exec options: --jobs N --cell-timeout-ms N --retries N --backoff-ms N\n"
-        "          --fsync-every N --max-cells N --metrics-out FILE\n",
+        "          --fsync-every N --max-cells N --metrics-out FILE --prom-out FILE\n"
+        "          --heartbeat-ms N (progress.jsonl heartbeat cadence; 0 = off)\n",
         stderr);
     return 2;
 }
@@ -271,6 +277,7 @@ int cmd_matrix(int argc, char** argv) {
     int jobs = 1;
     std::string trace_out;
     std::string metrics_out;
+    std::string prom_out;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--jobs" && i + 1 < argc) {
@@ -279,6 +286,8 @@ int cmd_matrix(int argc, char** argv) {
             trace_out = argv[++i];
         } else if (arg == "--metrics-out" && i + 1 < argc) {
             metrics_out = argv[++i];
+        } else if (arg == "--prom-out" && i + 1 < argc) {
+            prom_out = argv[++i];
         } else {
             std::fprintf(stderr, "unknown matrix option '%s'\n", arg.c_str());
             return 2;
@@ -289,8 +298,14 @@ int cmd_matrix(int argc, char** argv) {
     if (!trace_out.empty()) {
         write_out(trace_out, core::matrix_cells_jsonl(cells));
     }
-    if (!metrics_out.empty()) {
-        write_out(metrics_out, core::matrix_metrics(cells).to_json());
+    if (!metrics_out.empty() || !prom_out.empty()) {
+        const profile::Registry reg = core::matrix_metrics(cells);
+        if (!metrics_out.empty()) {
+            write_out(metrics_out, reg.to_json());
+        }
+        if (!prom_out.empty()) {
+            write_out(prom_out, reg.to_prometheus());
+        }
     }
     return 0;
 }
@@ -447,6 +462,7 @@ int cmd_fuzz(int argc, char** argv) {
     std::string out_path;
     std::string coverage_out;
     std::string metrics_out;
+    std::string prom_out;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--seeds" && i + 1 < argc) {
@@ -463,6 +479,8 @@ int cmd_fuzz(int argc, char** argv) {
             coverage_out = argv[++i];
         } else if (arg == "--metrics-out" && i + 1 < argc) {
             metrics_out = argv[++i];
+        } else if (arg == "--prom-out" && i + 1 < argc) {
+            prom_out = argv[++i];
         } else if (arg == "--replay" && i + 1 < argc) {
             replay_path = argv[++i];
         } else if (arg == "--out" && i + 1 < argc) {
@@ -487,31 +505,14 @@ int cmd_fuzz(int argc, char** argv) {
     if (!coverage_out.empty()) {
         write_out(coverage_out, report.coverage.curve_csv(opts.seed_base));
     }
-    if (!metrics_out.empty()) {
-        profile::Registry reg;
-        const profile::Labels base = {{"harness", "fuzz"}};
-        reg.counter_add("fuzz_programs_total", base, static_cast<std::uint64_t>(report.programs));
-        reg.counter_add("fuzz_runs_total", base, report.runs);
-        reg.counter_add("fuzz_const_checks_total", base, report.const_checks);
-        reg.counter_add("fuzz_divergences_total", base, report.divergences.size());
-        reg.counter_add("victim_instructions_total", base, report.counters.instructions);
-        reg.counter_add("dcache_hits_total", base, report.counters.dcache_hits);
-        reg.counter_add("dcache_decodes_total", base, report.counters.dcache_misses);
-        reg.counter_add("syscalls_total", base, report.counters.syscalls);
-        reg.counter_add("heap_allocs_total", base, report.counters.heap_allocs);
-        reg.counter_add("heap_frees_total", base, report.counters.heap_frees);
-        // vm.dispatch.*: which execution tier did the work (DESIGN.md §13).
-        reg.counter_add("vm_dispatch_tier2_entries_total", base, report.tier2_entries);
-        reg.counter_add("vm_dispatch_fast_steps_total", base, report.fast_steps);
-        reg.counter_add("vm_dispatch_superinsns_retired_total", base, report.superinsns_retired);
-        reg.counter_add("vm_dispatch_deopts_total", base, report.deopts);
-        if (report.coverage.enabled) {
-            reg.gauge_set("coverage_edges", base,
-                          static_cast<double>(report.coverage.total_edges));
-            reg.counter_add("coverage_interesting_seeds_total", base,
-                            report.coverage.interesting.size());
+    if (!metrics_out.empty() || !prom_out.empty()) {
+        const profile::Registry reg = fuzz::fuzz_metrics(report);
+        if (!metrics_out.empty()) {
+            write_out(metrics_out, reg.to_json());
         }
-        write_out(metrics_out, reg.to_json());
+        if (!prom_out.empty()) {
+            write_out(prom_out, reg.to_prometheus());
+        }
     }
     if (!report.clean()) {
         std::fputs(fuzz::to_repro_file(report.divergences).c_str(), stderr);
@@ -653,6 +654,7 @@ int cmd_fault_sweep(int argc, char** argv) {
     core::FaultSweepOptions opts;
     std::string trace_out;
     std::string metrics_out;
+    std::string prom_out;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--fault-seed" && i + 1 < argc) {
@@ -665,6 +667,8 @@ int cmd_fault_sweep(int argc, char** argv) {
             trace_out = argv[++i];
         } else if (arg == "--metrics-out" && i + 1 < argc) {
             metrics_out = argv[++i];
+        } else if (arg == "--prom-out" && i + 1 < argc) {
+            prom_out = argv[++i];
         } else {
             std::fprintf(stderr, "unknown fault-sweep option '%s'\n", arg.c_str());
             return 2;
@@ -675,8 +679,14 @@ int cmd_fault_sweep(int argc, char** argv) {
     if (!trace_out.empty()) {
         write_out(trace_out, core::matrix_cells_jsonl(report.baseline_cells));
     }
-    if (!metrics_out.empty()) {
-        write_out(metrics_out, core::fault_sweep_metrics(report).to_json());
+    if (!metrics_out.empty() || !prom_out.empty()) {
+        const profile::Registry reg = core::fault_sweep_metrics(report);
+        if (!metrics_out.empty()) {
+            write_out(metrics_out, reg.to_json());
+        }
+        if (!prom_out.empty()) {
+            write_out(prom_out, reg.to_prometheus());
+        }
     }
     return report.fail_closed() ? 0 : 1;
 }
@@ -691,6 +701,7 @@ int cmd_campaign(int argc, char** argv) {
     std::string dir;
     std::string metrics_out;
     std::string kind_arg;
+    bool follow = false;
     for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--kind" && i + 1 < argc) {
@@ -735,8 +746,14 @@ int cmd_campaign(int argc, char** argv) {
             opts.fsync_every = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
         } else if (arg == "--max-cells" && i + 1 < argc) {
             opts.max_cells = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--heartbeat-ms" && i + 1 < argc) {
+            opts.heartbeat_ms = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg == "--metrics-out" && i + 1 < argc) {
             metrics_out = argv[++i];
+        } else if (arg == "--prom-out" && i + 1 < argc) {
+            opts.prom_out = argv[++i];
+        } else if (arg == "--follow") {
+            follow = true;
         } else {
             std::fprintf(stderr, "unknown campaign option '%s'\n", arg.c_str());
             return 2;
@@ -747,8 +764,27 @@ int cmd_campaign(int argc, char** argv) {
         return 2;
     }
     if (verb == "status") {
-        const campaign::Status st = campaign::campaign_status(dir);
+        campaign::Status st = campaign::campaign_status(dir);
         std::fputs(st.to_string().c_str(), stdout);
+        if (follow) {
+            // Tail the heartbeat: re-probe until the campaign accounts for
+            // every cell, reprinting whenever a new heartbeat (or more
+            // finished cells) shows up.  The probe is read-only, so polling
+            // never disturbs the running campaign.
+            std::uint64_t last_seq = st.hb_seq;
+            std::uint64_t last_accounted = st.cells_completed + st.cells_quarantined;
+            while (st.exists && !st.complete()) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(200));
+                st = campaign::campaign_status(dir);
+                const std::uint64_t accounted = st.cells_completed + st.cells_quarantined;
+                if (st.hb_seq != last_seq || accounted != last_accounted) {
+                    last_seq = st.hb_seq;
+                    last_accounted = accounted;
+                    std::fputs(st.to_string().c_str(), stdout);
+                    std::fflush(stdout);
+                }
+            }
+        }
         if (!st.exists) {
             return 2;
         }
@@ -784,11 +820,19 @@ int cmd_campaign(int argc, char** argv) {
                  static_cast<unsigned long long>(report.sched.steals),
                  static_cast<unsigned long long>(report.cells_resumed),
                  static_cast<unsigned long long>(report.wal_lines_dropped));
-    if (!metrics_out.empty()) {
+    if (!metrics_out.empty() || !opts.prom_out.empty()) {
         // include_volatile: the campaign export is for post-mortems, and
         // cells/sec + steal counts are the point; CI byte-diffs report.jsonl
         // and summary.txt, never this file.
-        write_out(metrics_out, campaign::campaign_metrics(report).to_json(true));
+        const profile::Registry reg = campaign::campaign_metrics(report);
+        if (!metrics_out.empty()) {
+            write_out(metrics_out, reg.to_json(true));
+        }
+        if (!opts.prom_out.empty()) {
+            // Final snapshot supersedes the heartbeat-time ones: same path,
+            // now with the merged post-run registry.
+            write_out(opts.prom_out, reg.to_prometheus(true));
+        }
     }
     // Quarantines degrade the campaign but do not fail it; only an
     // incomplete lattice (e.g. a --max-cells test interruption) is nonzero.
